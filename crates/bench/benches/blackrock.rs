@@ -1,0 +1,51 @@
+//! Masscan Blackrock shuffle throughput vs. ZMap's cyclic-group step —
+//! the §3 comparison's performance side (both are far above line rate).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use zmap_masscan::{Blackrock, LegacyBlackrock};
+use zmap_targets::{Cycle, CyclicGroup};
+
+fn bench_blackrock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("randomizer");
+    let n = 1_000_000u64;
+    g.throughput(Throughput::Elements(n));
+
+    let br = Blackrock::new(1 << 32, 7);
+    g.bench_function("blackrock_shuffle_1M", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc = acc.wrapping_add(br.shuffle(black_box(i)));
+            }
+            acc
+        })
+    });
+
+    let lbr = LegacyBlackrock::new(1 << 32, 7);
+    g.bench_function("legacy_blackrock_shuffle_1M", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc = acc.wrapping_add(lbr.shuffle(black_box(i)));
+            }
+            acc
+        })
+    });
+
+    let group = CyclicGroup::new((1u64 << 32) + 15).unwrap();
+    let cycle = Cycle::new(group, 7);
+    g.bench_function("cyclic_group_step_1M", |b| {
+        b.iter(|| {
+            let mut x = cycle.element_at_position(0);
+            for _ in 0..n {
+                x = cycle.step(black_box(x));
+            }
+            x
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_blackrock);
+criterion_main!(benches);

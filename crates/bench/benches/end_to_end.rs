@@ -1,0 +1,51 @@
+//! End-to-end engine throughput: a complete scan (generation, probe
+//! build, simulated network, validation, dedup, results) over a /16.
+//! The per-probe cost here bounds the scan rates the library sustains
+//! on real hardware.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::net::Ipv4Addr;
+use zmap_core::transport::SimNet;
+use zmap_core::{ScanConfig, Scanner};
+use zmap_netsim::loss::LossModel;
+use zmap_netsim::{ServiceModel, WorldConfig};
+
+fn run_slash16(dense: bool) -> u64 {
+    let model = if dense {
+        ServiceModel::dense(&[80])
+    } else {
+        ServiceModel::default()
+    };
+    let net = SimNet::new(WorldConfig {
+        seed: 5,
+        model,
+        loss: LossModel::NONE,
+        ..WorldConfig::default()
+    });
+    let src = Ipv4Addr::new(192, 0, 2, 9);
+    let mut cfg = ScanConfig::new(src);
+    cfg.allowlist_prefix(Ipv4Addr::new(61, 7, 0, 0), 16);
+    cfg.apply_default_blocklist = false;
+    cfg.rate_pps = 10_000_000;
+    cfg.cooldown_secs = 1;
+    Scanner::new(cfg, net.transport(src))
+        .expect("valid config")
+        .run()
+        .unique_successes
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(65_536));
+    g.bench_function("scan_slash16_sparse", |b| {
+        b.iter(|| black_box(run_slash16(false)))
+    });
+    g.bench_function("scan_slash16_dense", |b| {
+        b.iter(|| black_box(run_slash16(true)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Generator-search cost per group (§4.1): both algorithms, every ladder
+//! modulus. The 2024 algorithm's cost is ~4 modular exponentiations ×
+//! number of distinct prime factors of p−1.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zmap_math::primroot::smallest_primitive_root;
+use zmap_math::{factorization, find_generator_2013, find_generator_2024};
+use zmap_targets::group::GROUP_MODULI;
+
+fn bench_primroot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primroot");
+    for &p in &GROUP_MODULI {
+        let fact = factorization(p - 1);
+        let bound = (u64::MAX / (p - 1)).min(p).max(3);
+        g.bench_function(format!("find_2024_p{p}"), |b| {
+            let mut rng = StdRng::seed_from_u64(p);
+            b.iter(|| {
+                black_box(
+                    find_generator_2024(p, &fact, bound, u32::MAX, &mut rng)
+                        .expect("search succeeds"),
+                )
+            })
+        });
+    }
+    // 2013 algorithm on the classic 2^32 group only (its home turf).
+    let p = (1u64 << 32) + 15;
+    let fact = factorization(p - 1);
+    let gamma = smallest_primitive_root(p, &fact);
+    g.bench_function("find_2013_p2^32+15", |b| {
+        let mut rng = StdRng::seed_from_u64(p);
+        b.iter(|| {
+            black_box(
+                find_generator_2013(p, &fact, gamma, None, u32::MAX, &mut rng)
+                    .expect("unbounded search succeeds"),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_factorization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("factorize_order");
+    for &p in &GROUP_MODULI {
+        g.bench_function(format!("factor_p-1_{p}"), |b| {
+            b.iter(|| black_box(factorization(black_box(p - 1))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_primroot, bench_factorization);
+criterion_main!(benches);

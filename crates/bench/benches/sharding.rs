@@ -1,0 +1,59 @@
+//! Ablation for the §4.2 redesign: per-element iteration cost of
+//! interleaved vs. pizza sharding (pizza was adopted for correctness,
+//! not speed — this confirms there is no performance regression either).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use zmap_targets::{Cycle, CyclicGroup, ShardAlgorithm, ShardIter, ShardSpec};
+
+fn bench_sharding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharding");
+    let group = CyclicGroup::new((1u64 << 32) + 15).unwrap();
+    let cycle = Cycle::new(group, 3);
+    let take = 1_000_000usize;
+    g.throughput(Throughput::Elements(take as u64));
+    for alg in [ShardAlgorithm::Interleaved, ShardAlgorithm::Pizza] {
+        g.bench_function(format!("{alg:?}_walk_1M_of_8shards"), |b| {
+            let spec = ShardSpec {
+                shard: 3,
+                num_shards: 8,
+                subshard: 1,
+                num_subshards: 4,
+            };
+            b.iter(|| {
+                let mut acc = 0u64;
+                for e in ShardIter::new(&cycle, spec, alg).unwrap().take(take) {
+                    acc = acc.wrapping_add(black_box(e));
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_shard_setup(c: &mut Criterion) {
+    // Shard setup cost (modpow for the start element) matters when a
+    // coordinator hands out thousands of subshards.
+    let mut g = c.benchmark_group("shard_setup");
+    let group = CyclicGroup::new((1u64 << 48) + 21).unwrap();
+    let cycle = Cycle::new(group, 3);
+    for alg in [ShardAlgorithm::Interleaved, ShardAlgorithm::Pizza] {
+        g.bench_function(format!("{alg:?}_setup_2^48"), |b| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let spec = ShardSpec {
+                    shard: i % 1000,
+                    num_shards: 1000,
+                    subshard: 0,
+                    num_subshards: 1,
+                };
+                black_box(ShardIter::new(&cycle, spec, alg).unwrap().remaining())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sharding, bench_shard_setup);
+criterion_main!(benches);

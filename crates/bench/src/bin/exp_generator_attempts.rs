@@ -1,0 +1,70 @@
+//! §4.1 experiment — generator-search attempt counts.
+//!
+//! Paper: the 2013 algorithm (random additive generator mapped through a
+//! known root) averages ~4 attempts; the 2024 algorithm (random small
+//! candidate tested against the factorization of p−1) also averages ~4 —
+//! but only the 2024 algorithm can find the sub-2^16 generators the
+//! 2^48 multiport group needs (a bounded 2013 search succeeds with
+//! probability ~2^-32 per draw).
+
+use bench::print_table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zmap_math::{factorization, find_generator_2013, find_generator_2024};
+use zmap_math::primroot::smallest_primitive_root;
+use zmap_targets::group::GROUP_MODULI;
+
+fn main() {
+    println!("§4.1: average generator-search attempts over 2000 seeds\n");
+    let trials = 2000u32;
+    let mut rows = Vec::new();
+    for &p in &GROUP_MODULI {
+        let fact = factorization(p - 1);
+        let gamma = smallest_primitive_root(p, &fact);
+        let mut rng = StdRng::seed_from_u64(p);
+        let bound = (u64::MAX / (p - 1)).min(p).max(3);
+
+        let mean_2013: f64 = (0..trials)
+            .map(|_| {
+                find_generator_2013(p, &fact, gamma, None, u32::MAX, &mut rng)
+                    .expect("unbounded search succeeds")
+                    .attempts as f64
+            })
+            .sum::<f64>()
+            / f64::from(trials);
+        let mean_2024: f64 = (0..trials)
+            .map(|_| {
+                find_generator_2024(p, &fact, bound, u32::MAX, &mut rng)
+                    .expect("search succeeds")
+                    .attempts as f64
+            })
+            .sum::<f64>()
+            / f64::from(trials);
+
+        // Bounded 2013 search for the 48-bit group: how often does it
+        // succeed within 1000 draws when the generator must be < 2^16?
+        let bounded_note = if p > 1 << 32 {
+            let ok = (0..50)
+                .filter(|_| {
+                    find_generator_2013(p, &fact, gamma, Some(1 << 16), 1000, &mut rng).is_some()
+                })
+                .count();
+            format!("{ok}/50 within 1000 draws")
+        } else {
+            "-".into()
+        };
+        rows.push(vec![
+            format!("2^{} ladder (p={p})", (64 - p.leading_zeros() - 1)),
+            format!("{mean_2013:.2}"),
+            format!("{mean_2024:.2}"),
+            bounded_note,
+        ]);
+    }
+    print_table(
+        &["group", "2013 attempts", "2024 attempts", "2013 bounded <2^16"],
+        &rows,
+    );
+    println!("\npaper anchor: ~4 attempts on average for both algorithms;");
+    println!("the bounded 2013 search is hopeless for the large groups,");
+    println!("which is why multiport ZMap flipped the approach.");
+}

@@ -1,0 +1,94 @@
+//! §3 experiment — single-probe loss and the value of diverse vantages.
+//!
+//! Paper (Wan et al.): a single-probe scan misses ≈2.7% of responsive
+//! hosts; sending a second probe from the *same* vantage recovers little
+//! (path loss is correlated), while scanning from 2–3 topologically
+//! diverse vantages is the effective mitigation.
+
+use bench::{pct, print_table};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+use zmap_core::transport::SimNet;
+use zmap_core::{ScanConfig, Scanner};
+use zmap_netsim::loss::LossModel;
+use zmap_netsim::{ServiceModel, WorldConfig};
+
+const PREFIX: Ipv4Addr = Ipv4Addr::new(51, 64, 0, 0);
+const LEN: u8 = 14; // 256k addresses
+
+fn world(loss: LossModel) -> WorldConfig {
+    let mut model = ServiceModel::default();
+    model.live_fraction = 0.10;
+    WorldConfig {
+        seed: 31,
+        model,
+        loss,
+        ..WorldConfig::default()
+    }
+}
+
+/// Runs a scan from `vantage` and returns the set of found hosts.
+fn scan_from(
+    net: &SimNet,
+    vantage: Ipv4Addr,
+    probes: u32,
+    seed: u64,
+) -> HashSet<Ipv4Addr> {
+    let mut cfg = ScanConfig::new(vantage);
+    cfg.allowlist_prefix(PREFIX, LEN);
+    cfg.apply_default_blocklist = false;
+    cfg.ports = vec![80];
+    cfg.rate_pps = 2_000_000;
+    cfg.seed = seed;
+    cfg.probes_per_target = probes;
+    cfg.cooldown_secs = 3;
+    Scanner::new(cfg, net.transport(vantage))
+        .expect("valid config")
+        .run()
+        .results
+        .iter()
+        .map(|r| r.saddr)
+        .collect()
+}
+
+fn main() {
+    // Ground truth: a lossless scan.
+    let truth = {
+        let net = SimNet::new(world(LossModel::NONE));
+        scan_from(&net, Ipv4Addr::new(192, 0, 2, 9), 1, 1)
+    };
+    println!(
+        "ground truth: {} hosts with TCP/80 open in the /{LEN}\n",
+        truth.len()
+    );
+
+    let vantages = [
+        Ipv4Addr::new(192, 0, 2, 9),   // "us-east"
+        Ipv4Addr::new(198, 51, 100, 9), // "eu-west"
+        Ipv4Addr::new(203, 0, 113, 9), // "ap-south"
+    ];
+
+    let strategies: Vec<(&str, Vec<(usize, u32)>)> = vec![
+        ("1 vantage, 1 probe", vec![(0, 1)]),
+        ("1 vantage, 2 probes", vec![(0, 2)]),
+        ("2 vantages, 1 probe", vec![(0, 1), (1, 1)]),
+        ("3 vantages, 1 probe", vec![(0, 1), (1, 1), (2, 1)]),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, plan) in &strategies {
+        // One shared lossy world per strategy: vantage-correlated loss is
+        // a property of (vantage, prefix), identical across strategies.
+        let net = SimNet::new(world(LossModel::default()));
+        let mut found: HashSet<Ipv4Addr> = HashSet::new();
+        for &(v, probes) in plan {
+            found.extend(scan_from(&net, vantages[v], probes, 1 + v as u64));
+        }
+        let covered = found.intersection(&truth).count();
+        let miss = 1.0 - covered as f64 / truth.len() as f64;
+        rows.push(vec![name.to_string(), covered.to_string(), pct(miss)]);
+    }
+    print_table(&["strategy", "hosts found", "miss rate"], &rows);
+    println!("\npaper anchors: single probe misses ~2.7%; retrying from the");
+    println!("same vantage barely helps; adding vantages recovers most loss.");
+}

@@ -1,0 +1,355 @@
+//! Hand-rolled argument parsing (keeping the binary dependency-free).
+
+use std::net::Ipv4Addr;
+use zmap_core::{DedupMethod, OutputFormat, ProbeKind, ScanConfig};
+use zmap_targets::parse::{parse_cidr, Cidr};
+use zmap_targets::ShardAlgorithm;
+use zmap_wire::ipv4::IpIdMode;
+use zmap_wire::options::OptionLayout;
+
+/// Parsed CLI options: the scan config plus CLI-only concerns.
+#[derive(Debug)]
+pub struct CliOptions {
+    /// The scan configuration.
+    pub config: ScanConfig,
+    /// Output format for the data stream.
+    pub format: OutputFormat,
+    /// Data output path (`-` = stdout).
+    pub output_path: String,
+    /// Metadata output path (None = stderr at completion).
+    pub metadata_path: Option<String>,
+    /// Suppress the 1 Hz status stream.
+    pub quiet: bool,
+    /// Emit debug-level logs.
+    pub verbose: bool,
+    /// Simulated-world seed.
+    pub sim_seed: u64,
+    /// Simulated live-host fraction override.
+    pub sim_live_fraction: Option<f64>,
+    /// Print help and exit.
+    pub help: bool,
+}
+
+/// Errors from [`parse_args`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// Unknown flag.
+    UnknownFlag(String),
+    /// A flag was missing its value.
+    MissingValue(String),
+    /// A value failed to parse; `(flag, value, why)`.
+    BadValue(String, String, String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::UnknownFlag(s) => write!(f, "unknown flag: {s}"),
+            CliError::MissingValue(s) => write!(f, "flag {s} requires a value"),
+            CliError::BadValue(flag, v, why) => {
+                write!(f, "bad value {v:?} for {flag}: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage text (`zmap --help`).
+pub const USAGE: &str = "\
+zmap-rs: fast Internet-wide scanner (simulated-network build)
+
+USAGE: zmap [OPTIONS]
+
+TARGETING
+  --subnet CIDR            allowlist a prefix (repeatable; default all IPv4)
+  --blocklist CIDR         blocklist a prefix (repeatable)
+  --no-default-blocklist   do not exclude IANA reserved space
+  -p, --target-ports LIST  comma-separated ports (default 80)
+  --max-targets N          stop after N targets
+  --max-results N          stop after N unique successes
+
+PROBES
+  --probe-module M         tcp_synscan | icmp_echoscan | udp (default tcp_synscan)
+  --option-layout L        none|mss|sack|ts|wscale|packed|linux|bsd|windows
+  --static-ip-id           classic IP ID 54321 (default: random per probe)
+  --probes N               probes per target (default 1)
+
+RATE & SHARDING
+  -r, --rate PPS           probes per second (default 10000)
+  --cooldown-secs N        post-send listen time (default 8)
+  --seed N                 scan seed (permutation + validation key)
+  --shard I --shards N     this machine's shard (default 0 of 1)
+  --threads T              send subshards (default 1)
+  --interleaved            2014 interleaved sharding (default: pizza)
+
+OUTPUT (four streams: data, logs, status, metadata)
+  -O, --output-format F    text | csv | jsonl (default text)
+  -o, --output-file PATH   data stream destination (default -)
+  --metadata-file PATH     completion metadata JSON (default stderr)
+  --dedup-window N         sliding window size (default 1000000)
+  --no-dedup               report every response
+  --full-bitmap-dedup      exact 2^32 bitmap (single-port only)
+  -q, --quiet              no status updates
+  -v, --verbose            debug logging
+  --output-failures        also report RST/unreachable results
+
+SIMULATION (this build scans a simulated Internet)
+  --sim-seed N             world seed (default 1)
+  --sim-live-fraction F    fraction of addresses that are live hosts
+  --source-ip IP           scanner address (default 192.0.2.9)
+  -h, --help               this text
+";
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, CliError>
+where
+    T::Err: std::fmt::Display,
+{
+    v.parse()
+        .map_err(|e: T::Err| CliError::BadValue(flag.into(), v.into(), e.to_string()))
+}
+
+fn parse_cidr_flag(flag: &str, v: &str) -> Result<Cidr, CliError> {
+    parse_cidr(v).map_err(|e| CliError::BadValue(flag.into(), v.into(), e.to_string()))
+}
+
+/// Parses argv (without the program name).
+pub fn parse_args(argv: &[String]) -> Result<CliOptions, CliError> {
+    let mut opts = CliOptions {
+        config: ScanConfig::new(Ipv4Addr::new(192, 0, 2, 9)),
+        format: OutputFormat::Text,
+        output_path: "-".into(),
+        metadata_path: None,
+        quiet: false,
+        verbose: false,
+        sim_seed: 1,
+        sim_live_fraction: None,
+        help: false,
+    };
+    let mut it = argv.iter().peekable();
+    let need = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                    flag: &str|
+     -> Result<String, CliError> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| CliError::MissingValue(flag.into()))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => opts.help = true,
+            "--subnet" => {
+                let c = parse_cidr_flag("--subnet", &need(&mut it, "--subnet")?)?;
+                opts.config.allowlist_prefix(Ipv4Addr::from(c.addr), c.len);
+            }
+            "--blocklist" => {
+                let c = parse_cidr_flag("--blocklist", &need(&mut it, "--blocklist")?)?;
+                opts.config.blocklist_prefix(Ipv4Addr::from(c.addr), c.len);
+            }
+            "--no-default-blocklist" => opts.config.apply_default_blocklist = false,
+            "-p" | "--target-ports" => {
+                let v = need(&mut it, "--target-ports")?;
+                let mut ports = Vec::new();
+                for part in v.split(',') {
+                    ports.push(parse_num::<u16>("--target-ports", part.trim())?);
+                }
+                opts.config.ports = ports;
+            }
+            "--max-targets" => {
+                opts.config.max_targets = parse_num("--max-targets", &need(&mut it, "--max-targets")?)?
+            }
+            "--max-results" => {
+                opts.config.max_results = parse_num("--max-results", &need(&mut it, "--max-results")?)?
+            }
+            "--probe-module" => {
+                let v = need(&mut it, "--probe-module")?;
+                opts.config.probe = match v.as_str() {
+                    "tcp_synscan" => ProbeKind::TcpSyn,
+                    "icmp_echoscan" => ProbeKind::IcmpEcho,
+                    "udp" => ProbeKind::Udp(b"zmap-udp-probe".to_vec()),
+                    other => {
+                        return Err(CliError::BadValue(
+                            "--probe-module".into(),
+                            other.into(),
+                            "expected tcp_synscan|icmp_echoscan|udp".into(),
+                        ))
+                    }
+                };
+            }
+            "--option-layout" => {
+                let v = need(&mut it, "--option-layout")?;
+                opts.config.option_layout = match v.as_str() {
+                    "none" => OptionLayout::NoOptions,
+                    "mss" => OptionLayout::MssOnly,
+                    "sack" => OptionLayout::SackPermittedOnly,
+                    "ts" => OptionLayout::TimestampOnly,
+                    "wscale" => OptionLayout::WindowScaleOnly,
+                    "packed" => OptionLayout::OptimalPacked,
+                    "linux" => OptionLayout::Linux,
+                    "bsd" => OptionLayout::Bsd,
+                    "windows" => OptionLayout::Windows,
+                    other => {
+                        return Err(CliError::BadValue(
+                            "--option-layout".into(),
+                            other.into(),
+                            "see --help for layouts".into(),
+                        ))
+                    }
+                };
+            }
+            "--static-ip-id" => opts.config.ip_id = IpIdMode::Static,
+            "--probes" => {
+                opts.config.probes_per_target = parse_num("--probes", &need(&mut it, "--probes")?)?
+            }
+            "-r" | "--rate" => {
+                opts.config.rate_pps = parse_num("--rate", &need(&mut it, "--rate")?)?
+            }
+            "--cooldown-secs" => {
+                opts.config.cooldown_secs =
+                    parse_num("--cooldown-secs", &need(&mut it, "--cooldown-secs")?)?
+            }
+            "--seed" => opts.config.seed = parse_num("--seed", &need(&mut it, "--seed")?)?,
+            "--shard" => opts.config.shard = parse_num("--shard", &need(&mut it, "--shard")?)?,
+            "--shards" => {
+                opts.config.num_shards = parse_num("--shards", &need(&mut it, "--shards")?)?
+            }
+            "--threads" => {
+                opts.config.subshards = parse_num("--threads", &need(&mut it, "--threads")?)?
+            }
+            "--interleaved" => opts.config.shard_algorithm = ShardAlgorithm::Interleaved,
+            "-O" | "--output-format" => {
+                let v = need(&mut it, "--output-format")?;
+                opts.format = match v.as_str() {
+                    "text" => OutputFormat::Text,
+                    "csv" => OutputFormat::Csv,
+                    "jsonl" | "json" => OutputFormat::JsonLines,
+                    other => {
+                        return Err(CliError::BadValue(
+                            "--output-format".into(),
+                            other.into(),
+                            "expected text|csv|jsonl".into(),
+                        ))
+                    }
+                };
+            }
+            "-o" | "--output-file" => opts.output_path = need(&mut it, "--output-file")?,
+            "--metadata-file" => opts.metadata_path = Some(need(&mut it, "--metadata-file")?),
+            "--dedup-window" => {
+                opts.config.dedup =
+                    DedupMethod::Window(parse_num("--dedup-window", &need(&mut it, "--dedup-window")?)?)
+            }
+            "--no-dedup" => opts.config.dedup = DedupMethod::None,
+            "--full-bitmap-dedup" => opts.config.dedup = DedupMethod::FullBitmap,
+            "-q" | "--quiet" => opts.quiet = true,
+            "-v" | "--verbose" => opts.verbose = true,
+            "--output-failures" => opts.config.report_failures = true,
+            "--sim-seed" => opts.sim_seed = parse_num("--sim-seed", &need(&mut it, "--sim-seed")?)?,
+            "--sim-live-fraction" => {
+                opts.sim_live_fraction = Some(parse_num(
+                    "--sim-live-fraction",
+                    &need(&mut it, "--sim-live-fraction")?,
+                )?)
+            }
+            "--source-ip" => {
+                let v = need(&mut it, "--source-ip")?;
+                opts.config.source_ip = v.parse().map_err(|_| {
+                    CliError::BadValue("--source-ip".into(), v.clone(), "not an IPv4 address".into())
+                })?;
+            }
+            other => return Err(CliError::UnknownFlag(other.into())),
+        }
+    }
+    Ok(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o.config.ports, vec![80]);
+        assert_eq!(o.format, OutputFormat::Text);
+        assert_eq!(o.output_path, "-");
+        assert!(!o.help);
+    }
+
+    #[test]
+    fn typical_invocation() {
+        let o = parse_args(&args(
+            "--subnet 11.0.0.0/16 -p 80,443 -r 50000 --seed 7 -O csv --shard 1 --shards 4 --threads 2",
+        ))
+        .unwrap();
+        assert_eq!(o.config.ports, vec![80, 443]);
+        assert_eq!(o.config.rate_pps, 50_000);
+        assert_eq!(o.config.seed, 7);
+        assert_eq!(o.format, OutputFormat::Csv);
+        assert_eq!(o.config.shard, 1);
+        assert_eq!(o.config.num_shards, 4);
+        assert_eq!(o.config.subshards, 2);
+    }
+
+    #[test]
+    fn probe_modules_and_layouts() {
+        let o = parse_args(&args("--probe-module icmp_echoscan")).unwrap();
+        assert_eq!(o.config.probe, ProbeKind::IcmpEcho);
+        let o = parse_args(&args("--option-layout linux --static-ip-id")).unwrap();
+        assert_eq!(o.config.option_layout, OptionLayout::Linux);
+        assert_eq!(o.config.ip_id, IpIdMode::Static);
+    }
+
+    #[test]
+    fn dedup_flags() {
+        assert_eq!(
+            parse_args(&args("--no-dedup")).unwrap().config.dedup,
+            DedupMethod::None
+        );
+        assert_eq!(
+            parse_args(&args("--dedup-window 500")).unwrap().config.dedup,
+            DedupMethod::Window(500)
+        );
+        assert_eq!(
+            parse_args(&args("--full-bitmap-dedup")).unwrap().config.dedup,
+            DedupMethod::FullBitmap
+        );
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert_eq!(
+            parse_args(&args("--bogus")).unwrap_err(),
+            CliError::UnknownFlag("--bogus".into())
+        );
+        assert_eq!(
+            parse_args(&args("--rate")).unwrap_err(),
+            CliError::MissingValue("--rate".into())
+        );
+        assert!(matches!(
+            parse_args(&args("--rate fast")),
+            Err(CliError::BadValue(_, _, _))
+        ));
+        assert!(matches!(
+            parse_args(&args("--subnet not-a-cidr")),
+            Err(CliError::BadValue(_, _, _))
+        ));
+    }
+
+    #[test]
+    fn help_flag() {
+        assert!(parse_args(&args("-h")).unwrap().help);
+        assert!(USAGE.contains("--subnet"));
+        assert!(USAGE.contains("four streams"));
+    }
+
+    #[test]
+    fn repeatable_subnets_accumulate() {
+        let o = parse_args(&args("--subnet 11.0.0.0/24 --subnet 12.0.0.0/24")).unwrap();
+        let mut c = o.config.effective_constraint();
+        c.finalize();
+        assert_eq!(c.allowed_count(), 512);
+    }
+}

@@ -1,0 +1,196 @@
+//! Scan configuration — the library-level equivalent of ZMap's CLI flags.
+
+use serde::Serialize;
+use std::net::Ipv4Addr;
+use zmap_targets::parse::default_blocklist;
+use zmap_targets::{Constraint, ShardAlgorithm};
+use zmap_wire::ipv4::IpIdMode;
+use zmap_wire::options::OptionLayout;
+
+/// Which probe module to run (ZMap ships many; these are the core three).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum ProbeKind {
+    /// TCP SYN scan ("tcp_synscan", the default).
+    TcpSyn,
+    /// ICMP echo scan ("icmp_echoscan").
+    IcmpEcho,
+    /// UDP probe with a fixed payload ("udp").
+    Udp(Vec<u8>),
+}
+
+/// Response deduplication strategy (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum DedupMethod {
+    /// No deduplication (every response is reported).
+    None,
+    /// Exact paged bitmap — single-port scans only (512 MB worst case).
+    FullBitmap,
+    /// Sliding window of the last n distinct targets (ZMap default,
+    /// n = 10^6).
+    Window(usize),
+}
+
+/// Everything a scan needs. Construct with [`ScanConfig::new`] and adjust
+/// fields; `Scanner::new` validates.
+#[derive(Debug, Clone)]
+pub struct ScanConfig {
+    /// Scanner source address.
+    pub source_ip: Ipv4Addr,
+    /// Scan seed: fixes the permutation, validation key, and all
+    /// procedural choices. Random per scan in real deployments.
+    pub seed: u64,
+    /// Target ports (ignored by the ICMP module).
+    pub ports: Vec<u16>,
+    /// Probe module.
+    pub probe: ProbeKind,
+    /// Address constraint (allowlist/blocklist composition).
+    pub constraint: Constraint,
+    /// Apply the IANA reserved-space blocklist on top of the constraint
+    /// (ZMap always does unless explicitly overridden).
+    pub apply_default_blocklist: bool,
+    /// Probes per second.
+    pub rate_pps: u64,
+    /// Probes sent per target (ZMap `--probes`, default 1).
+    pub probes_per_target: u32,
+    /// Stop after this many targets (0 = whole shard).
+    pub max_targets: u64,
+    /// Stop after this many unique successful results (0 = unlimited).
+    pub max_results: u64,
+    /// Seconds to keep listening after the last probe (ZMap `--cooldown`,
+    /// default 8).
+    pub cooldown_secs: u64,
+    /// This machine's shard and the shard count.
+    pub shard: u32,
+    pub num_shards: u32,
+    /// Send "threads" (subshards). The simulator engine interleaves them
+    /// on one thread; the partition semantics match threaded ZMap.
+    pub subshards: u32,
+    /// Sharding algorithm (pizza since 2017).
+    pub shard_algorithm: ShardAlgorithm,
+    /// TCP option layout for SYN probes (§4.3; default MSS-only).
+    pub option_layout: OptionLayout,
+    /// IP ID policy (§4.3; default random since 2024).
+    pub ip_id: IpIdMode,
+    /// Deduplication (§4.1; default 10^6-entry sliding window).
+    pub dedup: DedupMethod,
+    /// Report RST/unreachable (host-alive-but-closed) results too, not
+    /// just successes (ZMap's default reports only successes).
+    pub report_failures: bool,
+    /// Internal: whether `allowlist_prefix` has replaced the default
+    /// allow-all constraint yet.
+    allowlist_started: bool,
+}
+
+impl ScanConfig {
+    /// A config with ZMap's defaults: full IPv4 minus the reserved-space
+    /// blocklist, TCP/80 SYN scan, 10 kpps, window dedup.
+    pub fn new(source_ip: Ipv4Addr) -> Self {
+        ScanConfig {
+            source_ip,
+            seed: 0,
+            ports: vec![80],
+            probe: ProbeKind::TcpSyn,
+            constraint: Constraint::new(true),
+            apply_default_blocklist: true,
+            rate_pps: 10_000,
+            probes_per_target: 1,
+            max_targets: 0,
+            max_results: 0,
+            cooldown_secs: 8,
+            shard: 0,
+            num_shards: 1,
+            subshards: 1,
+            shard_algorithm: ShardAlgorithm::Pizza,
+            option_layout: OptionLayout::MssOnly,
+            ip_id: IpIdMode::Random,
+            dedup: DedupMethod::Window(1_000_000),
+            report_failures: false,
+            allowlist_started: false,
+        }
+    }
+
+    /// Replaces the constraint with "deny all, allow this prefix" — the
+    /// common single-subnet experiment setup. Callable repeatedly to add
+    /// prefixes.
+    pub fn allowlist_prefix(&mut self, net: Ipv4Addr, len: u8) {
+        if self.allowlist_started {
+            self.constraint.set_prefix(u32::from(net), len, true);
+        } else {
+            let mut c = Constraint::new(false);
+            c.set_prefix(u32::from(net), len, true);
+            self.constraint = c;
+            self.allowlist_started = true;
+        }
+    }
+
+    /// Blocks a prefix (on top of whatever is allowed).
+    pub fn blocklist_prefix(&mut self, net: Ipv4Addr, len: u8) {
+        self.constraint.set_prefix(u32::from(net), len, false);
+    }
+
+    /// The final constraint with the default blocklist applied (what the
+    /// scanner actually walks). Callers must `finalize()` before counting.
+    pub fn effective_constraint(&self) -> Constraint {
+        let mut c = self.constraint.clone();
+        if self.apply_default_blocklist {
+            for cidr in default_blocklist() {
+                c.set_prefix(cidr.addr, cidr.len, false);
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_zmap() {
+        let c = ScanConfig::new(Ipv4Addr::new(192, 0, 2, 1));
+        assert_eq!(c.ports, vec![80]);
+        assert_eq!(c.rate_pps, 10_000);
+        assert_eq!(c.cooldown_secs, 8);
+        assert_eq!(c.option_layout, OptionLayout::MssOnly);
+        assert_eq!(c.ip_id, IpIdMode::Random);
+        assert_eq!(c.dedup, DedupMethod::Window(1_000_000));
+        assert_eq!(c.shard_algorithm, ShardAlgorithm::Pizza);
+        assert!(c.apply_default_blocklist);
+    }
+
+    #[test]
+    fn allowlist_accumulates() {
+        let mut c = ScanConfig::new(Ipv4Addr::new(192, 0, 2, 1));
+        c.allowlist_prefix(Ipv4Addr::new(11, 0, 0, 0), 24);
+        c.allowlist_prefix(Ipv4Addr::new(12, 0, 0, 0), 24);
+        let mut eff = c.effective_constraint();
+        eff.finalize();
+        assert_eq!(eff.allowed_count(), 512);
+        assert!(eff.is_allowed(u32::from(Ipv4Addr::new(11, 0, 0, 5))));
+        assert!(!eff.is_allowed(u32::from(Ipv4Addr::new(13, 0, 0, 5))));
+    }
+
+    #[test]
+    fn default_blocklist_is_applied() {
+        let c = ScanConfig::new(Ipv4Addr::new(192, 0, 2, 1));
+        let mut eff = c.effective_constraint();
+        eff.finalize();
+        // Multicast and RFC1918 are gone.
+        assert!(!eff.is_allowed(u32::from(Ipv4Addr::new(224, 0, 0, 1))));
+        assert!(!eff.is_allowed(u32::from(Ipv4Addr::new(10, 1, 2, 3))));
+        assert!(eff.is_allowed(u32::from(Ipv4Addr::new(8, 8, 8, 8))));
+        // ~600M addresses blocked.
+        let blocked = (1u64 << 32) - eff.allowed_count();
+        assert!(blocked > 500_000_000 && blocked < 800_000_000, "{blocked}");
+    }
+
+    #[test]
+    fn blocklist_on_top_of_allowlist() {
+        let mut c = ScanConfig::new(Ipv4Addr::new(192, 0, 2, 1));
+        c.allowlist_prefix(Ipv4Addr::new(20, 0, 0, 0), 16);
+        c.blocklist_prefix(Ipv4Addr::new(20, 0, 5, 0), 24);
+        let mut eff = c.effective_constraint();
+        eff.finalize();
+        assert_eq!(eff.allowed_count(), 65536 - 256);
+    }
+}

@@ -1,0 +1,62 @@
+//! The ZMap scanner as a Rust library.
+//!
+//! *Ten Years of ZMap* (§5) closes with "If we were to implement ZMap
+//! today, we would do so in Rust" — this crate is that scanner, built
+//! per the paper's own architecture lessons:
+//!
+//! * **library + CLI wrapper**: everything here is a library; `zmap-cli`
+//!   is a thin argument parser over [`ScanConfig`] + [`Scanner`],
+//! * **four output streams** (§5 "Data, Metadata, and Logs"): data
+//!   records ([`output`]), leveled logs ([`log`]), 1 Hz real-time status
+//!   ([`monitor`]), and machine-readable completion metadata
+//!   ([`metadata`]),
+//! * **static output schema**: results serialize to CSV/JSON Lines with
+//!   fixed field types ([`output::SCHEMA`]),
+//! * **stateless core**: target generation is the cyclic-group walk
+//!   (zmap-targets), response validation is cookie-based (zmap-wire),
+//!   dedup is the sliding window (zmap-dedup) — no per-probe state.
+//!
+//! The engine is generic over [`transport::Transport`]; the default
+//! [`transport::SimTransport`] drives the zmap-netsim simulated Internet
+//! deterministically, which is how every experiment in this repository
+//! runs. A [`transport::LoopbackTransport`] exists for unit tests.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use zmap_core::{ScanConfig, Scanner, transport::SimNet};
+//! use zmap_netsim::{ServiceModel, WorldConfig};
+//!
+//! // A dense /24 so the doctest is fast and deterministic.
+//! let net = SimNet::new(WorldConfig {
+//!     model: ServiceModel::dense(&[80]),
+//!     loss: zmap_netsim::loss::LossModel::NONE,
+//!     ..WorldConfig::default()
+//! });
+//! let mut cfg = ScanConfig::new("192.0.2.9".parse().unwrap());
+//! cfg.allowlist_prefix("11.7.7.0".parse().unwrap(), 24);
+//! cfg.ports = vec![80];
+//! let summary = Scanner::new(cfg, net.transport("192.0.2.9".parse().unwrap()))
+//!     .unwrap()
+//!     .run();
+//! assert_eq!(summary.sent, 256);
+//! assert_eq!(summary.unique_successes, 256); // dense world: all open
+//! ```
+
+pub mod config;
+pub mod l7;
+pub mod log;
+pub mod metadata;
+pub mod monitor;
+pub mod output;
+pub mod parallel;
+pub mod probe_mod;
+pub mod ratecontrol;
+pub mod scanner;
+pub mod transport;
+
+pub use config::{DedupMethod, ProbeKind, ScanConfig};
+pub use metadata::ScanMetadata;
+pub use output::{Classification, OutputFormat, ScanResult};
+pub use scanner::{ScanSummary, Scanner};
+pub use transport::{LoopbackTransport, SimNet, SimTransport, Transport};

@@ -1,0 +1,144 @@
+//! Completion metadata — stream #4: a machine-readable record of what
+//! ran, with what configuration, and what happened.
+//!
+//! §5: "Be liberal in what environment and execution information is
+//! included in scan metadata, as it is difficult to know a priori what
+//! will be useful."
+
+use crate::config::ScanConfig;
+use serde::Serialize;
+
+/// Machine-readable scan metadata, serialized as a single JSON object at
+/// scan completion.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScanMetadata {
+    /// Library version (Cargo package version).
+    pub version: String,
+    /// Configuration echo.
+    pub config: ConfigEcho,
+    /// The permutation parameters — enough to reproduce the exact probe
+    /// order of this scan.
+    pub permutation: PermutationEcho,
+    /// Outcome counters.
+    pub counters: Counters,
+    /// Virtual duration of the scan in nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// The serializable subset of [`ScanConfig`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ConfigEcho {
+    pub source_ip: String,
+    pub seed: u64,
+    pub ports: Vec<u16>,
+    pub probe: String,
+    pub rate_pps: u64,
+    pub probes_per_target: u32,
+    pub cooldown_secs: u64,
+    pub shard: u32,
+    pub num_shards: u32,
+    pub subshards: u32,
+    pub shard_algorithm: String,
+    pub option_layout: String,
+    pub ip_id: String,
+    pub dedup: String,
+}
+
+/// Cyclic-group walk parameters.
+#[derive(Debug, Clone, Serialize)]
+pub struct PermutationEcho {
+    pub group_prime: u64,
+    pub generator: u64,
+    pub offset: u64,
+}
+
+/// Outcome counters.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct Counters {
+    pub targets_total: u64,
+    pub sent: u64,
+    pub responses_validated: u64,
+    pub responses_discarded: u64,
+    pub duplicates_suppressed: u64,
+    pub unique_successes: u64,
+    pub unique_failures: u64,
+}
+
+impl ConfigEcho {
+    /// Extracts the echo from a config.
+    pub fn from_config(cfg: &ScanConfig) -> Self {
+        ConfigEcho {
+            source_ip: cfg.source_ip.to_string(),
+            seed: cfg.seed,
+            ports: cfg.ports.clone(),
+            probe: format!("{:?}", cfg.probe),
+            rate_pps: cfg.rate_pps,
+            probes_per_target: cfg.probes_per_target,
+            cooldown_secs: cfg.cooldown_secs,
+            shard: cfg.shard,
+            num_shards: cfg.num_shards,
+            subshards: cfg.subshards,
+            shard_algorithm: format!("{:?}", cfg.shard_algorithm),
+            option_layout: format!("{:?}", cfg.option_layout),
+            ip_id: format!("{:?}", cfg.ip_id),
+            dedup: format!("{:?}", cfg.dedup),
+        }
+    }
+}
+
+impl ScanMetadata {
+    /// Serializes to the canonical single-line JSON form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("metadata is always serializable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn metadata_roundtrips_through_json() {
+        let cfg = ScanConfig::new(Ipv4Addr::new(192, 0, 2, 1));
+        let md = ScanMetadata {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            config: ConfigEcho::from_config(&cfg),
+            permutation: PermutationEcho {
+                group_prime: 4_294_967_311,
+                generator: 12345,
+                offset: 42,
+            },
+            counters: Counters {
+                targets_total: 100,
+                sent: 100,
+                responses_validated: 37,
+                responses_discarded: 2,
+                duplicates_suppressed: 1,
+                unique_successes: 30,
+                unique_failures: 6,
+            },
+            duration_ns: 5_000_000_000,
+        };
+        let json = md.to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["config"]["source_ip"], "192.0.2.1");
+        assert_eq!(v["permutation"]["group_prime"], 4_294_967_311u64);
+        assert_eq!(v["counters"]["unique_successes"], 30);
+        assert_eq!(v["config"]["rate_pps"], 10_000);
+        assert!(v["version"].as_str().unwrap().contains('.'));
+    }
+
+    #[test]
+    fn config_echo_captures_ports_and_shards() {
+        let mut cfg = ScanConfig::new(Ipv4Addr::new(192, 0, 2, 1));
+        cfg.ports = vec![80, 443];
+        cfg.shard = 2;
+        cfg.num_shards = 5;
+        let echo = ConfigEcho::from_config(&cfg);
+        assert_eq!(echo.ports, vec![80, 443]);
+        assert_eq!(echo.shard, 2);
+        assert_eq!(echo.num_shards, 5);
+        assert!(echo.shard_algorithm.contains("Pizza"));
+    }
+}

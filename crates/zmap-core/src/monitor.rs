@@ -1,0 +1,131 @@
+//! Real-time status updates — stream #3: per-second send/receive/drop
+//! rates, as ZMap prints while a scan runs.
+
+use serde::Serialize;
+
+/// One per-second status sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct StatusUpdate {
+    /// Seconds since scan start.
+    pub t_secs: u64,
+    /// Probes sent so far.
+    pub sent: u64,
+    /// Send rate over the last interval (pps).
+    pub send_rate: f64,
+    /// Validated responses so far.
+    pub received: u64,
+    /// Unique successes so far.
+    pub successes: u64,
+    /// Duplicates suppressed so far.
+    pub duplicates: u64,
+    /// Percent of targets completed (0–100).
+    pub percent_complete: f64,
+}
+
+/// Collects per-second samples as the scan advances.
+#[derive(Debug, Default)]
+pub struct Monitor {
+    samples: Vec<StatusUpdate>,
+    last_sent: u64,
+    next_tick: u64,
+}
+
+/// Interval between samples, in ns.
+const TICK_NS: u64 = 1_000_000_000;
+
+impl Monitor {
+    /// An empty monitor.
+    pub fn new() -> Self {
+        Monitor::default()
+    }
+
+    /// Called by the engine as time advances; emits a sample per elapsed
+    /// second boundary.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tick(
+        &mut self,
+        now_ns: u64,
+        sent: u64,
+        received: u64,
+        successes: u64,
+        duplicates: u64,
+        total_targets: u64,
+    ) {
+        while now_ns >= self.next_tick {
+            let t_secs = self.next_tick / TICK_NS;
+            let send_rate = (sent - self.last_sent) as f64;
+            self.samples.push(StatusUpdate {
+                t_secs,
+                sent,
+                send_rate,
+                received,
+                successes,
+                duplicates,
+                percent_complete: if total_targets == 0 {
+                    100.0
+                } else {
+                    100.0 * sent as f64 / total_targets as f64
+                },
+            });
+            self.last_sent = sent;
+            self.next_tick += TICK_NS;
+        }
+    }
+
+    /// All samples so far.
+    pub fn samples(&self) -> &[StatusUpdate] {
+        &self.samples
+    }
+
+    /// Renders the latest sample in ZMap's one-line status style.
+    pub fn status_line(&self) -> Option<String> {
+        self.samples.last().map(|s| {
+            format!(
+                "{}s; send: {} ({:.0} pps); recv: {} ({} app success); drops: {} dup",
+                s.t_secs, s.sent, s.send_rate, s.received, s.successes, s.duplicates
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_sample_per_second() {
+        let mut m = Monitor::new();
+        m.tick(0, 0, 0, 0, 0, 1000); // t=0 boundary
+        m.tick(500_000_000, 5000, 10, 8, 0, 1000);
+        m.tick(1_000_000_000, 10_000, 25, 20, 1, 1000);
+        m.tick(3_000_000_000, 30_000, 70, 60, 2, 1000);
+        let s = m.samples();
+        // Boundaries at t=0,1,2,3.
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0].t_secs, 0);
+        assert_eq!(s[1].t_secs, 1);
+        assert_eq!(s[3].t_secs, 3);
+        // Rate over second 1 = sent at that boundary minus before.
+        assert_eq!(s[1].send_rate, 10_000.0);
+    }
+
+    #[test]
+    fn percent_complete() {
+        let mut m = Monitor::new();
+        m.tick(0, 250, 0, 0, 0, 1000);
+        assert!((m.samples()[0].percent_complete - 25.0).abs() < 1e-9);
+        let mut m = Monitor::new();
+        m.tick(0, 0, 0, 0, 0, 0);
+        assert_eq!(m.samples()[0].percent_complete, 100.0);
+    }
+
+    #[test]
+    fn status_line_renders() {
+        let mut m = Monitor::new();
+        assert!(m.status_line().is_none());
+        m.tick(1_000_000_000, 9000, 100, 90, 3, 10_000);
+        let line = m.status_line().unwrap();
+        assert!(line.contains("send: 9000"));
+        assert!(line.contains("90 app success"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Data output — stream #1: one record per validated response.
+//!
+//! Per §5's lessons: text-stream formats only (Text, CSV, JSON Lines; the
+//! database output modules were removed from ZMap as liabilities), a
+//! static schema with fixed field types, and per-record streaming output.
+
+use serde::Serialize;
+use std::io::{self, Write};
+use std::net::Ipv4Addr;
+
+/// Classification of a validated response (ZMap's `classification` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Classification {
+    /// TCP SYN-ACK (port open).
+    SynAck,
+    /// TCP RST (port closed, host alive).
+    Rst,
+    /// ICMP echo reply.
+    EchoReply,
+    /// ICMP destination unreachable.
+    Unreach,
+    /// UDP payload response.
+    UdpData,
+    /// Anything else that validated.
+    Other,
+}
+
+impl Serialize for Classification {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self.label())
+    }
+}
+
+impl Classification {
+    /// Label matching ZMap's output vocabulary.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Classification::SynAck => "synack",
+            Classification::Rst => "rst",
+            Classification::EchoReply => "echoreply",
+            Classification::Unreach => "unreach",
+            Classification::UdpData => "udp",
+            Classification::Other => "other",
+        }
+    }
+}
+
+/// One output record. Field names and types are the stable public schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ScanResult {
+    /// Receive timestamp, nanoseconds since scan start.
+    pub ts_ns: u64,
+    /// Responding (probed) address.
+    pub saddr: Ipv4Addr,
+    /// Probed port (0 for ICMP echo).
+    pub sport: u16,
+    /// Response classification.
+    pub classification: Classification,
+    /// Observed TTL.
+    pub ttl: u8,
+    /// True if this response indicates an open/answering service.
+    pub success: bool,
+}
+
+/// The static output schema (§5 "Static Types and Output Schema"):
+/// `(name, type)` pairs, in column order.
+pub const SCHEMA: [(&str, &str); 6] = [
+    ("ts_ns", "u64"),
+    ("saddr", "ipv4"),
+    ("sport", "u16"),
+    ("classification", "string"),
+    ("ttl", "u8"),
+    ("success", "bool"),
+];
+
+/// Supported output formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Bare `ip` or `ip:port` lines (ZMap's default "text" module).
+    Text,
+    /// CSV with a header row.
+    Csv,
+    /// JSON Lines, one object per record.
+    JsonLines,
+}
+
+/// A streaming output module writing records to `W`.
+pub struct OutputModule<W: Write> {
+    format: OutputFormat,
+    out: W,
+    records: u64,
+    wrote_header: bool,
+}
+
+impl<W: Write> OutputModule<W> {
+    /// Creates a module; CSV writes its header lazily on first record.
+    pub fn new(format: OutputFormat, out: W) -> Self {
+        OutputModule {
+            format,
+            out,
+            records: 0,
+            wrote_header: false,
+        }
+    }
+
+    /// Writes one record.
+    pub fn record(&mut self, r: &ScanResult) -> io::Result<()> {
+        match self.format {
+            OutputFormat::Text => {
+                if r.sport == 0 {
+                    writeln!(self.out, "{}", r.saddr)?;
+                } else {
+                    writeln!(self.out, "{}:{}", r.saddr, r.sport)?;
+                }
+            }
+            OutputFormat::Csv => {
+                if !self.wrote_header {
+                    let names: Vec<&str> = SCHEMA.iter().map(|&(n, _)| n).collect();
+                    writeln!(self.out, "{}", names.join(","))?;
+                    self.wrote_header = true;
+                }
+                writeln!(
+                    self.out,
+                    "{},{},{},{},{},{}",
+                    r.ts_ns,
+                    r.saddr,
+                    r.sport,
+                    r.classification.label(),
+                    r.ttl,
+                    r.success
+                )?;
+            }
+            OutputFormat::JsonLines => {
+                let line = serde_json::to_string(r).map_err(io::Error::other)?;
+                writeln!(self.out, "{line}")?;
+            }
+        }
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records written.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes and returns the writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScanResult {
+        ScanResult {
+            ts_ns: 123_456_789,
+            saddr: Ipv4Addr::new(203, 0, 113, 9),
+            sport: 443,
+            classification: Classification::SynAck,
+            ttl: 57,
+            success: true,
+        }
+    }
+
+    #[test]
+    fn text_format() {
+        let mut m = OutputModule::new(OutputFormat::Text, Vec::new());
+        m.record(&sample()).unwrap();
+        let mut icmp = sample();
+        icmp.sport = 0;
+        icmp.classification = Classification::EchoReply;
+        m.record(&icmp).unwrap();
+        let out = String::from_utf8(m.finish().unwrap()).unwrap();
+        assert_eq!(out, "203.0.113.9:443\n203.0.113.9\n");
+    }
+
+    #[test]
+    fn csv_format_with_header() {
+        let mut m = OutputModule::new(OutputFormat::Csv, Vec::new());
+        m.record(&sample()).unwrap();
+        m.record(&sample()).unwrap();
+        let out = String::from_utf8(m.finish().unwrap()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 records");
+        assert_eq!(lines[0], "ts_ns,saddr,sport,classification,ttl,success");
+        assert_eq!(lines[1], "123456789,203.0.113.9,443,synack,57,true");
+    }
+
+    #[test]
+    fn jsonl_format_is_parseable_with_stable_fields() {
+        let mut m = OutputModule::new(OutputFormat::JsonLines, Vec::new());
+        m.record(&sample()).unwrap();
+        let out = String::from_utf8(m.finish().unwrap()).unwrap();
+        let v: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
+        assert_eq!(v["saddr"], "203.0.113.9");
+        assert_eq!(v["sport"], 443);
+        assert_eq!(v["classification"], "synack");
+        assert_eq!(v["success"], true);
+        // Every schema field is present.
+        for (name, _) in SCHEMA {
+            assert!(v.get(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn record_count() {
+        let mut m = OutputModule::new(OutputFormat::Text, Vec::new());
+        for _ in 0..5 {
+            m.record(&sample()).unwrap();
+        }
+        assert_eq!(m.records(), 5);
+    }
+
+    #[test]
+    fn classification_labels() {
+        assert_eq!(Classification::SynAck.label(), "synack");
+        assert_eq!(Classification::Rst.label(), "rst");
+        assert_eq!(Classification::EchoReply.label(), "echoreply");
+    }
+}

@@ -1,0 +1,90 @@
+//! Probe modules: the pluggable probe-construction/classification layer
+//! (ZMap's "Scan Modules", §5 "Tools Not Frameworks").
+
+use crate::config::ProbeKind;
+use crate::output::Classification;
+use std::net::Ipv4Addr;
+use zmap_wire::probe::{ProbeBuilder, Response, ResponseKind};
+
+/// Builds the probe frame for one target under the configured module.
+pub fn build_probe(
+    kind: &ProbeKind,
+    builder: &ProbeBuilder,
+    ip: Ipv4Addr,
+    port: u16,
+    ip_id_entropy: u16,
+) -> Vec<u8> {
+    match kind {
+        ProbeKind::TcpSyn => builder.tcp_syn(ip, port, ip_id_entropy),
+        ProbeKind::IcmpEcho => builder.icmp_echo(ip, ip_id_entropy),
+        ProbeKind::Udp(payload) => builder.udp(ip, port, payload, ip_id_entropy),
+    }
+}
+
+/// Maps a validated response to the output classification.
+pub fn classify(resp: &Response) -> Classification {
+    match resp.kind {
+        ResponseKind::SynAck => Classification::SynAck,
+        ResponseKind::Rst => Classification::Rst,
+        ResponseKind::EchoReply => Classification::EchoReply,
+        ResponseKind::Unreachable { .. } => Classification::Unreach,
+        ResponseKind::UdpData(_) => Classification::UdpData,
+        ResponseKind::OtherTcp(_) => Classification::Other,
+    }
+}
+
+/// Whether a response from this module counts toward `max_results`
+/// (successes only, like ZMap).
+pub fn is_success(resp: &Response) -> bool {
+    resp.kind.is_success()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zmap_wire::icmp::UnreachCode;
+    use zmap_wire::tcp::TcpFlags;
+
+    #[test]
+    fn probe_frames_differ_by_module() {
+        let b = ProbeBuilder::new(Ipv4Addr::new(1, 1, 1, 1), 3);
+        let ip = Ipv4Addr::new(8, 8, 8, 8);
+        let syn = build_probe(&ProbeKind::TcpSyn, &b, ip, 80, 0);
+        let echo = build_probe(&ProbeKind::IcmpEcho, &b, ip, 80, 0);
+        let udp = build_probe(&ProbeKind::Udp(b"x".to_vec()), &b, ip, 53, 0);
+        assert_ne!(syn, echo);
+        assert_ne!(syn, udp);
+        // Protocol bytes: TCP=6, ICMP=1, UDP=17 at IP offset 9.
+        assert_eq!(syn[14 + 9], 6);
+        assert_eq!(echo[14 + 9], 1);
+        assert_eq!(udp[14 + 9], 17);
+    }
+
+    #[test]
+    fn classification_mapping() {
+        let mk = |kind| Response {
+            ip: Ipv4Addr::new(1, 2, 3, 4),
+            port: 80,
+            kind,
+            ttl: 60,
+            seq: 0,
+        };
+        assert_eq!(classify(&mk(ResponseKind::SynAck)), Classification::SynAck);
+        assert_eq!(classify(&mk(ResponseKind::Rst)), Classification::Rst);
+        assert_eq!(classify(&mk(ResponseKind::EchoReply)), Classification::EchoReply);
+        assert_eq!(
+            classify(&mk(ResponseKind::Unreachable {
+                code: UnreachCode::Port,
+                via: Ipv4Addr::new(9, 9, 9, 9)
+            })),
+            Classification::Unreach
+        );
+        assert_eq!(classify(&mk(ResponseKind::UdpData(10))), Classification::UdpData);
+        assert_eq!(
+            classify(&mk(ResponseKind::OtherTcp(TcpFlags::ACK))),
+            Classification::Other
+        );
+        assert!(is_success(&mk(ResponseKind::SynAck)));
+        assert!(!is_success(&mk(ResponseKind::Rst)));
+    }
+}

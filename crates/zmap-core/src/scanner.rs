@@ -1,0 +1,646 @@
+//! The scan engine: target walk → paced probes → validated, deduplicated,
+//! classified results.
+
+use crate::config::{DedupMethod, ProbeKind, ScanConfig};
+use crate::log::{Level, Logger};
+use crate::metadata::{ConfigEcho, Counters, PermutationEcho, ScanMetadata};
+use crate::monitor::{Monitor, StatusUpdate};
+use crate::output::ScanResult;
+use crate::probe_mod;
+use crate::ratecontrol::RateController;
+use crate::transport::Transport;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zmap_dedup::{target_key, PagedBitmap, SlidingWindow};
+use zmap_targets::generator::BuildError;
+use zmap_targets::{TargetGenerator, Target};
+use zmap_wire::probe::ProbeBuilder;
+
+/// Outcome of a completed scan.
+#[derive(Debug)]
+pub struct ScanSummary {
+    /// Probes sent.
+    pub sent: u64,
+    /// Targets in this shard.
+    pub targets_total: u64,
+    /// Responses that validated (cookie matched).
+    pub responses_validated: u64,
+    /// Frames that parsed but were not ours / failed validation.
+    pub responses_discarded: u64,
+    /// Duplicate responses suppressed by dedup.
+    pub duplicates_suppressed: u64,
+    /// Unique successful targets (open/answering).
+    pub unique_successes: u64,
+    /// Unique failed targets (RST/unreachable).
+    pub unique_failures: u64,
+    /// Virtual scan duration (ns), including cooldown.
+    pub duration_ns: u64,
+    /// The success records (plus failures when `report_failures`).
+    pub results: Vec<ScanResult>,
+    /// Per-second status samples.
+    pub status: Vec<StatusUpdate>,
+    /// Machine-readable metadata (stream #4).
+    pub metadata: ScanMetadata,
+}
+
+impl ScanSummary {
+    /// Fraction of targets that answered successfully.
+    pub fn hitrate(&self) -> f64 {
+        if self.targets_total == 0 {
+            0.0
+        } else {
+            self.unique_successes as f64 / self.targets_total as f64
+        }
+    }
+}
+
+enum DedupState {
+    None,
+    Bitmap(Box<PagedBitmap>),
+    Window(SlidingWindow),
+}
+
+impl DedupState {
+    fn observe(&mut self, key: u64) -> bool {
+        match self {
+            DedupState::None => true,
+            DedupState::Bitmap(b) => zmap_dedup::Deduplicator::observe(&mut **b, key),
+            DedupState::Window(w) => w.check_and_insert(key),
+        }
+    }
+}
+
+/// The scanner engine. Generic over [`Transport`].
+pub struct Scanner<T: Transport> {
+    cfg: ScanConfig,
+    transport: T,
+    builder: ProbeBuilder,
+    gen: TargetGenerator,
+    dedup: DedupState,
+    logger: Logger,
+    rng: StdRng,
+}
+
+impl<T: Transport> Scanner<T> {
+    /// Validates the configuration and prepares the permutation.
+    pub fn new(cfg: ScanConfig, transport: T) -> Result<Self, BuildError> {
+        Self::with_logger(cfg, transport, Logger::null())
+    }
+
+    /// Like [`new`](Self::new) with an explicit logger (stream #2).
+    pub fn with_logger(
+        cfg: ScanConfig,
+        transport: T,
+        logger: Logger,
+    ) -> Result<Self, BuildError> {
+        let ports: Vec<u16> = match cfg.probe {
+            // The ICMP module has no port dimension; a single pseudo-port
+            // keeps the (IP, port) target machinery uniform.
+            ProbeKind::IcmpEcho => vec![0],
+            _ => cfg.ports.clone(),
+        };
+        let gen = TargetGenerator::builder()
+            .constraint(cfg.effective_constraint())
+            .ports(&ports)
+            .seed(cfg.seed)
+            .shards(cfg.num_shards.max(1))
+            .subshards(cfg.subshards.max(1))
+            .algorithm(cfg.shard_algorithm)
+            .build()?;
+        let mut builder = ProbeBuilder::new(cfg.source_ip, cfg.seed);
+        builder.layout = cfg.option_layout;
+        builder.ip_id = cfg.ip_id;
+        let dedup = match cfg.dedup {
+            DedupMethod::None => DedupState::None,
+            DedupMethod::FullBitmap => DedupState::Bitmap(Box::new(PagedBitmap::new())),
+            DedupMethod::Window(n) => DedupState::Window(SlidingWindow::new(n)),
+        };
+        logger.info(format_args!(
+            "scan configured: {} targets in shard {}/{}, group p={}, generator={}",
+            gen.target_count(),
+            cfg.shard,
+            cfg.num_shards,
+            gen.cycle().group().prime(),
+            gen.cycle().generator(),
+        ));
+        Ok(Scanner {
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x5EED_1D),
+            cfg,
+            transport,
+            builder,
+            gen,
+            dedup,
+            logger,
+        })
+    }
+
+    /// The target generator (inspectable before running).
+    pub fn generator(&self) -> &TargetGenerator {
+        &self.gen
+    }
+
+    /// Runs the scan to completion (send phase + cooldown) and returns
+    /// the summary. Consumes the scanner.
+    pub fn run(self) -> ScanSummary {
+        let Scanner {
+            cfg,
+            mut transport,
+            builder,
+            gen,
+            mut dedup,
+            logger,
+            mut rng,
+        } = self;
+        let start = transport.now();
+        let mut rc = RateController::new(start, cfg.rate_pps);
+        let mut monitor = Monitor::new();
+        let mut counters = Counters::default();
+        let mut results: Vec<ScanResult> = Vec::new();
+
+        // Shard-local target count (exact only for the whole scan; for a
+        // shard we estimate as total/shards for progress display).
+        let whole = gen.target_count();
+        let shard_targets = if cfg.max_targets > 0 {
+            cfg.max_targets
+        } else {
+            whole / u64::from(cfg.num_shards.max(1))
+        };
+
+        // Interleave subshard iterators round-robin: this reproduces the
+        // temporal mixing of ZMap's concurrent send threads while staying
+        // deterministic.
+        let subshards = cfg.subshards.max(1);
+        let mut iters: Vec<_> = (0..subshards)
+            .map(|t| gen.iter_shard(cfg.shard, t))
+            .collect();
+        let mut live: Vec<usize> = (0..iters.len()).collect();
+        let mut next = 0usize;
+        let mut done = false;
+
+        while !done {
+            if cfg.max_targets > 0 && counters.targets_total >= cfg.max_targets {
+                break;
+            }
+            // Pick the next target, rotating across subshards.
+            let target = loop {
+                if live.is_empty() {
+                    break None;
+                }
+                next %= live.len();
+                match iters[live[next]].next() {
+                    Some(t) => {
+                        next += 1;
+                        break Some(t);
+                    }
+                    None => {
+                        live.remove(next);
+                    }
+                }
+            };
+            let Some(Target { ip, port }) = target else {
+                break;
+            };
+            counters.targets_total += 1;
+
+            for _ in 0..cfg.probes_per_target.max(1) {
+                let at = rc.mark_sent();
+                transport.advance_to(at);
+                let entropy: u16 = rng.gen();
+                let frame = probe_mod::build_probe(&cfg.probe, &builder, ip, port, entropy);
+                transport.send_frame(&frame);
+                counters.sent += 1;
+            }
+
+            drain_rx(
+                &mut transport,
+                &builder,
+                &mut dedup,
+                &logger,
+                cfg.report_failures,
+                start,
+                &mut counters,
+                &mut results,
+            );
+            monitor.tick(
+                transport.now().saturating_sub(start),
+                counters.sent,
+                counters.responses_validated,
+                counters.unique_successes,
+                counters.duplicates_suppressed,
+                shard_targets * u64::from(cfg.probes_per_target.max(1)),
+            );
+
+            if cfg.max_results > 0 && counters.unique_successes >= cfg.max_results {
+                logger.info(format_args!(
+                    "max-results {} reached; entering cooldown",
+                    cfg.max_results
+                ));
+                done = true;
+            }
+        }
+        // Cooldown: drain stragglers for cooldown_secs of virtual time.
+        let cooldown_end = transport.now() + cfg.cooldown_secs * 1_000_000_000;
+        loop {
+            match transport.next_rx_at() {
+                Some(t) if t <= cooldown_end => {
+                    transport.advance_to(t);
+                    drain_rx(
+                        &mut transport,
+                        &builder,
+                        &mut dedup,
+                        &logger,
+                        cfg.report_failures,
+                        start,
+                        &mut counters,
+                        &mut results,
+                    );
+                }
+                _ => break,
+            }
+        }
+        transport.advance_to(cooldown_end);
+        drain_rx(
+            &mut transport,
+            &builder,
+            &mut dedup,
+            &logger,
+            cfg.report_failures,
+            start,
+            &mut counters,
+            &mut results,
+        );
+        // Final status samples covering the cooldown (so the stream ends
+        // at 100% complete).
+        monitor.tick(
+            transport.now().saturating_sub(start),
+            counters.sent,
+            counters.responses_validated,
+            counters.unique_successes,
+            counters.duplicates_suppressed,
+            counters.sent.max(1),
+        );
+
+        let duration_ns = transport.now() - start;
+        logger.info(format_args!(
+            "scan complete: {} sent, {} validated, {} unique successes, {:.4}% hitrate",
+            counters.sent,
+            counters.responses_validated,
+            counters.unique_successes,
+            if counters.targets_total == 0 {
+                0.0
+            } else {
+                100.0 * counters.unique_successes as f64 / counters.targets_total as f64
+            }
+        ));
+
+        let metadata = ScanMetadata {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            config: ConfigEcho::from_config(&cfg),
+            permutation: PermutationEcho {
+                group_prime: gen.cycle().group().prime(),
+                generator: gen.cycle().generator(),
+                offset: gen.cycle().offset(),
+            },
+            counters,
+            duration_ns,
+        };
+        ScanSummary {
+            sent: counters.sent,
+            targets_total: counters.targets_total,
+            responses_validated: counters.responses_validated,
+            responses_discarded: counters.responses_discarded,
+            duplicates_suppressed: counters.duplicates_suppressed,
+            unique_successes: counters.unique_successes,
+            unique_failures: counters.unique_failures,
+            duration_ns,
+            results,
+            status: monitor.samples().to_vec(),
+            metadata,
+        }
+    }
+
+}
+
+/// Receive-path processing shared by the send loop and cooldown.
+#[allow(clippy::too_many_arguments)]
+fn drain_rx<T: Transport>(
+    transport: &mut T,
+    builder: &ProbeBuilder,
+    dedup: &mut DedupState,
+    logger: &Logger,
+    report_failures: bool,
+    start: u64,
+    counters: &mut Counters,
+    results: &mut Vec<ScanResult>,
+) {
+    for (ts, frame) in transport.recv_frames() {
+        match builder.parse_response(&frame) {
+            Ok(Some(resp)) => {
+                counters.responses_validated += 1;
+                let key = target_key(u32::from(resp.ip), resp.port);
+                if !dedup.observe(key) {
+                    counters.duplicates_suppressed += 1;
+                    continue;
+                }
+                let classification = probe_mod::classify(&resp);
+                let success = probe_mod::is_success(&resp);
+                if success {
+                    counters.unique_successes += 1;
+                } else {
+                    counters.unique_failures += 1;
+                }
+                if success || report_failures {
+                    results.push(ScanResult {
+                        ts_ns: ts.saturating_sub(start),
+                        saddr: resp.ip,
+                        sport: resp.port,
+                        classification,
+                        ttl: resp.ttl,
+                        success,
+                    });
+                }
+            }
+            Ok(None) => {
+                counters.responses_discarded += 1;
+            }
+            Err(e) => {
+                counters.responses_discarded += 1;
+                logger.log(Level::Debug, format_args!("malformed frame: {e}"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::Classification;
+    use crate::transport::SimNet;
+    use std::net::Ipv4Addr;
+    use zmap_netsim::loss::LossModel;
+    use zmap_netsim::{ServiceModel, WorldConfig};
+
+    fn dense_net(ports: &[u16]) -> SimNet {
+        SimNet::new(WorldConfig {
+            model: ServiceModel::dense(ports),
+            loss: LossModel::NONE,
+            ..WorldConfig::default()
+        })
+    }
+
+    fn base_cfg(net_ports: &[u16]) -> ScanConfig {
+        let mut cfg = ScanConfig::new(Ipv4Addr::new(192, 0, 2, 9));
+        cfg.allowlist_prefix(Ipv4Addr::new(10, 10, 10, 0), 24);
+        cfg.apply_default_blocklist = false; // 10/8 is in the default list
+        cfg.ports = net_ports.to_vec();
+        cfg.rate_pps = 1_000_000;
+        cfg.cooldown_secs = 2;
+        cfg
+    }
+
+    #[test]
+    fn dense_scan_finds_everything() {
+        let net = dense_net(&[80]);
+        let cfg = base_cfg(&[80]);
+        let s = Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .unwrap()
+            .run();
+        assert_eq!(s.sent, 256);
+        assert_eq!(s.unique_successes, 256);
+        assert_eq!(s.duplicates_suppressed, 0);
+        assert_eq!(s.responses_discarded, 0);
+        assert!((s.hitrate() - 1.0).abs() < 1e-9);
+        assert_eq!(s.results.len(), 256);
+        // Every result is a distinct IP in the scanned /24.
+        let mut ips: Vec<_> = s.results.iter().map(|r| r.saddr).collect();
+        ips.sort();
+        ips.dedup();
+        assert_eq!(ips.len(), 256);
+        assert!(ips.iter().all(|ip| ip.octets()[..3] == [10, 10, 10]));
+    }
+
+    #[test]
+    fn multiport_scan_counts_targets_not_hosts() {
+        let net = dense_net(&[80, 443]);
+        let cfg = base_cfg(&[80, 443]);
+        let s = Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .unwrap()
+            .run();
+        assert_eq!(s.sent, 512);
+        assert_eq!(s.unique_successes, 512);
+        // Results carry both ports.
+        assert!(s.results.iter().any(|r| r.sport == 80));
+        assert!(s.results.iter().any(|r| r.sport == 443));
+    }
+
+    #[test]
+    fn closed_ports_are_failures_not_successes() {
+        let net = dense_net(&[80]); // only 80 open
+        let mut cfg = base_cfg(&[81]);
+        cfg.report_failures = true;
+        let s = Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .unwrap()
+            .run();
+        assert_eq!(s.unique_successes, 0);
+        assert_eq!(s.unique_failures, 256, "dense world RSTs on closed");
+        assert_eq!(s.results.len(), 256);
+        assert!(s.results.iter().all(|r| r.classification == Classification::Rst));
+    }
+
+    #[test]
+    fn failures_hidden_by_default() {
+        let net = dense_net(&[80]);
+        let cfg = base_cfg(&[81]);
+        let s = Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .unwrap()
+            .run();
+        assert!(s.results.is_empty());
+        assert_eq!(s.unique_failures, 256);
+    }
+
+    #[test]
+    fn max_targets_caps_probes() {
+        let net = dense_net(&[80]);
+        let mut cfg = base_cfg(&[80]);
+        cfg.max_targets = 10;
+        let s = Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .unwrap()
+            .run();
+        assert!(s.sent <= 11, "sent {}", s.sent);
+    }
+
+    #[test]
+    fn max_results_stops_early() {
+        let net = dense_net(&[80]);
+        let mut cfg = base_cfg(&[80]);
+        cfg.max_results = 5;
+        // Slow rate so responses arrive while still sending.
+        cfg.rate_pps = 1_000;
+        let s = Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .unwrap()
+            .run();
+        assert!(s.unique_successes >= 5);
+        assert!(s.sent < 256, "must stop before the whole /24: {}", s.sent);
+    }
+
+    #[test]
+    fn icmp_echo_scan() {
+        let net = dense_net(&[80]);
+        let mut cfg = base_cfg(&[80]);
+        cfg.probe = ProbeKind::IcmpEcho;
+        let s = Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .unwrap()
+            .run();
+        assert_eq!(s.sent, 256, "one echo per host regardless of ports");
+        assert_eq!(s.unique_successes, 256);
+        assert!(s
+            .results
+            .iter()
+            .all(|r| r.classification == Classification::EchoReply && r.sport == 0));
+    }
+
+    #[test]
+    fn udp_scan() {
+        let net = dense_net(&[53]);
+        let mut cfg = base_cfg(&[53]);
+        cfg.probe = ProbeKind::Udp(b"probe".to_vec());
+        let s = Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .unwrap()
+            .run();
+        assert_eq!(s.unique_successes, 256);
+        assert!(s.results.iter().all(|r| r.classification == Classification::UdpData));
+    }
+
+    #[test]
+    fn blowback_is_deduplicated() {
+        let mut model = ServiceModel::dense(&[80]);
+        model.blowback_fraction = 1.0;
+        model.blowback_max = 50;
+        let net = SimNet::new(WorldConfig {
+            model,
+            loss: LossModel::NONE,
+            ..WorldConfig::default()
+        });
+        let mut cfg = base_cfg(&[80]);
+        cfg.rate_pps = 100_000;
+        cfg.cooldown_secs = 400; // long enough for the duplicate tail
+        let s = Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .unwrap()
+            .run();
+        assert_eq!(s.unique_successes, 256, "dups must not inflate successes");
+        assert!(
+            s.duplicates_suppressed > 1000,
+            "blowback should produce heavy duplication: {}",
+            s.duplicates_suppressed
+        );
+        assert_eq!(s.results.len(), 256);
+    }
+
+    #[test]
+    fn without_dedup_duplicates_pollute_output() {
+        let mut model = ServiceModel::dense(&[80]);
+        model.blowback_fraction = 1.0;
+        model.blowback_max = 50;
+        let net = SimNet::new(WorldConfig {
+            model,
+            loss: LossModel::NONE,
+            ..WorldConfig::default()
+        });
+        let mut cfg = base_cfg(&[80]);
+        cfg.rate_pps = 100_000;
+        cfg.cooldown_secs = 400;
+        cfg.dedup = DedupMethod::None;
+        let s = Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .unwrap()
+            .run();
+        assert!(
+            s.unique_successes > 1000,
+            "no dedup: every duplicate counts ({})",
+            s.unique_successes
+        );
+    }
+
+    #[test]
+    fn rate_controls_virtual_duration() {
+        let net = dense_net(&[80]);
+        let mut cfg = base_cfg(&[80]);
+        cfg.rate_pps = 256; // exactly 1 second of sending for a /24
+        cfg.cooldown_secs = 1;
+        let s = Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .unwrap()
+            .run();
+        // ~1 s sending + 1 s cooldown.
+        assert!(s.duration_ns >= 1_900_000_000, "{}", s.duration_ns);
+        assert!(s.duration_ns < 3_000_000_000, "{}", s.duration_ns);
+        assert!(!s.status.is_empty(), "status stream populated");
+    }
+
+    #[test]
+    fn sharded_scans_partition_results() {
+        let mut all = std::collections::HashSet::new();
+        let mut total_sent = 0;
+        for shard in 0..3u32 {
+            let net = dense_net(&[80]);
+            let mut cfg = base_cfg(&[80]);
+            cfg.shard = shard;
+            cfg.num_shards = 3;
+            cfg.subshards = 2;
+            let s = Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+                .unwrap()
+                .run();
+            total_sent += s.sent;
+            for r in &s.results {
+                assert!(all.insert((r.saddr, r.sport)), "{} duplicated", r.saddr);
+            }
+        }
+        assert_eq!(total_sent, 256);
+        assert_eq!(all.len(), 256);
+    }
+
+    #[test]
+    fn metadata_captures_permutation() {
+        let net = dense_net(&[80]);
+        let cfg = base_cfg(&[80]);
+        let s = Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .unwrap()
+            .run();
+        let json = s.metadata.to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["counters"]["sent"], 256);
+        assert!(v["permutation"]["generator"].as_u64().unwrap() > 1);
+        assert_eq!(v["config"]["source_ip"], "192.0.2.9");
+    }
+
+    #[test]
+    fn same_seed_same_results_different_seed_different_order() {
+        let run = |seed| {
+            let net = dense_net(&[80]);
+            let mut cfg = base_cfg(&[80]);
+            cfg.seed = seed;
+            Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+                .unwrap()
+                .run()
+        };
+        let a = run(1);
+        let b = run(1);
+        let c = run(2);
+        let order = |s: &ScanSummary| s.results.iter().map(|r| r.saddr).collect::<Vec<_>>();
+        assert_eq!(order(&a), order(&b), "determinism");
+        assert_ne!(order(&a), order(&c), "seed changes order");
+        assert_eq!(a.unique_successes, c.unique_successes, "same coverage");
+    }
+
+    #[test]
+    fn logger_receives_scan_lifecycle() {
+        let net = dense_net(&[80]);
+        let cfg = base_cfg(&[80]);
+        let log = Logger::memory(Level::Debug);
+        let s = Scanner::with_logger(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)), log.clone())
+            .unwrap()
+            .run();
+        assert_eq!(s.sent, 256);
+        let lines = log.lines();
+        assert!(lines.iter().any(|(_, l)| l.contains("scan configured")));
+        assert!(lines.iter().any(|(_, l)| l.contains("scan complete")));
+    }
+}

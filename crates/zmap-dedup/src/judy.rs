@@ -1,0 +1,367 @@
+//! A Judy-style sparse radix set over `u64` keys.
+//!
+//! ZMap's sliding window is backed by a Judy array (Baskins 2000) — a
+//! 256-ary radix tree with adaptive node compression. We reproduce the
+//! essential design: a byte-per-level radix trie whose interior nodes
+//! switch between a compact sorted representation (for sparse fan-out)
+//! and a full 256-pointer array (for dense fan-out), with 256-bit bitmap
+//! leaves for the final byte. Lookups and updates are O(8) with small
+//! constants, and memory tracks occupancy rather than key-space size —
+//! exactly the property that lets a 48-bit dedup window fit in RAM.
+
+use crate::Deduplicator;
+
+/// Fan-out threshold at which a compact node is promoted to a full array.
+const PROMOTE_AT: usize = 24;
+
+enum Branch {
+    /// Sorted parallel arrays of (byte, child) — cache-friendly when the
+    /// fan-out is small, which is the common case in deep levels.
+    Compact(Vec<(u8, Node)>),
+    /// Full 256-slot array for dense fan-out.
+    Full(Box<[Option<Node>; 256]>),
+}
+
+enum Node {
+    /// Interior node (levels 0..7).
+    Branch(Box<Branch>),
+    /// 256-bit bitmap over the final byte (level 7).
+    Leaf(Box<[u64; 4]>),
+}
+
+impl Branch {
+    fn get(&self, byte: u8) -> Option<&Node> {
+        match self {
+            Branch::Compact(v) => v
+                .binary_search_by_key(&byte, |(b, _)| *b)
+                .ok()
+                .map(|i| &v[i].1),
+            Branch::Full(arr) => arr[usize::from(byte)].as_ref(),
+        }
+    }
+
+    fn get_mut(&mut self, byte: u8) -> Option<&mut Node> {
+        match self {
+            Branch::Compact(v) => v
+                .binary_search_by_key(&byte, |(b, _)| *b)
+                .ok()
+                .map(move |i| &mut v[i].1),
+            Branch::Full(arr) => arr[usize::from(byte)].as_mut(),
+        }
+    }
+
+    /// Gets or inserts the child for `byte`, promoting to Full if the
+    /// compact node grows past the threshold.
+    fn entry(&mut self, byte: u8, depth: usize) -> &mut Node {
+        // Promotion first, to keep borrows simple.
+        if let Branch::Compact(v) = self {
+            if v.len() >= PROMOTE_AT && v.binary_search_by_key(&byte, |(b, _)| *b).is_err() {
+                let mut arr: Box<[Option<Node>; 256]> =
+                    Box::new(std::array::from_fn(|_| None));
+                for (b, n) in v.drain(..) {
+                    arr[usize::from(b)] = Some(n);
+                }
+                *self = Branch::Full(arr);
+            }
+        }
+        match self {
+            Branch::Compact(v) => {
+                let idx = match v.binary_search_by_key(&byte, |(b, _)| *b) {
+                    Ok(i) => i,
+                    Err(i) => {
+                        v.insert(i, (byte, Node::new(depth + 1)));
+                        i
+                    }
+                };
+                &mut v[idx].1
+            }
+            Branch::Full(arr) => {
+                arr[usize::from(byte)].get_or_insert_with(|| Node::new(depth + 1))
+            }
+        }
+    }
+
+    /// Removes the child for `byte` if it exists and reports emptiness.
+    fn remove_child(&mut self, byte: u8) {
+        match self {
+            Branch::Compact(v) => {
+                if let Ok(i) = v.binary_search_by_key(&byte, |(b, _)| *b) {
+                    v.remove(i);
+                }
+            }
+            Branch::Full(arr) => arr[usize::from(byte)] = None,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            Branch::Compact(v) => v.is_empty(),
+            Branch::Full(arr) => arr.iter().all(|c| c.is_none()),
+        }
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        let own = match self {
+            Branch::Compact(v) => (v.len() * std::mem::size_of::<(u8, Node)>()) as u64,
+            Branch::Full(_) => 256 * std::mem::size_of::<Option<Node>>() as u64,
+        };
+        let children: u64 = match self {
+            Branch::Compact(v) => v.iter().map(|(_, n)| n.memory_bytes()).sum(),
+            Branch::Full(arr) => arr
+                .iter()
+                .flatten()
+                .map(|n| n.memory_bytes())
+                .sum(),
+        };
+        own + children
+    }
+}
+
+impl Node {
+    fn new(depth: usize) -> Node {
+        if depth == 7 {
+            Node::Leaf(Box::new([0u64; 4]))
+        } else {
+            Node::Branch(Box::new(Branch::Compact(Vec::new())))
+        }
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        std::mem::size_of::<Node>() as u64
+            + match self {
+                Node::Leaf(_) => 32,
+                Node::Branch(b) => b.memory_bytes(),
+            }
+    }
+}
+
+/// A sparse set of `u64` keys with Judy-style radix organization.
+pub struct JudySet {
+    root: Node,
+    len: u64,
+}
+
+fn byte_at(key: u64, depth: usize) -> u8 {
+    (key >> (56 - depth * 8)) as u8
+}
+
+impl JudySet {
+    /// An empty set.
+    pub fn new() -> Self {
+        JudySet {
+            root: Node::new(0),
+            len: 0,
+        }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: u64) -> bool {
+        let mut node = &self.root;
+        for depth in 0..8 {
+            match node {
+                Node::Branch(b) => match b.get(byte_at(key, depth)) {
+                    Some(child) => node = child,
+                    None => return false,
+                },
+                Node::Leaf(bits) => {
+                    let low = key as u8;
+                    return bits[usize::from(low >> 6)] & (1 << (low & 63)) != 0;
+                }
+            }
+        }
+        unreachable!("leaf is always reached at depth 7")
+    }
+
+    /// Inserts `key`; returns `true` if newly inserted.
+    pub fn insert(&mut self, key: u64) -> bool {
+        let mut node = &mut self.root;
+        let mut depth = 0usize;
+        loop {
+            match node {
+                Node::Branch(b) => {
+                    let byte = byte_at(key, depth);
+                    node = b.entry(byte, depth);
+                    depth += 1;
+                }
+                Node::Leaf(bits) => {
+                    let low = key as u8;
+                    let w = usize::from(low >> 6);
+                    let mask = 1u64 << (low & 63);
+                    let fresh = bits[w] & mask == 0;
+                    bits[w] |= mask;
+                    self.len += u64::from(fresh);
+                    return fresh;
+                }
+            }
+        }
+    }
+
+    /// Removes `key`; returns `true` if it was present. Empty subtrees are
+    /// pruned so memory tracks live occupancy (the property the sliding
+    /// window depends on).
+    pub fn remove(&mut self, key: u64) -> bool {
+        fn rec(node: &mut Node, key: u64, depth: usize) -> (bool, bool) {
+            // returns (removed, subtree_now_empty)
+            match node {
+                Node::Leaf(bits) => {
+                    let low = key as u8;
+                    let w = usize::from(low >> 6);
+                    let mask = 1u64 << (low & 63);
+                    let present = bits[w] & mask != 0;
+                    bits[w] &= !mask;
+                    let empty = bits.iter().all(|&x| x == 0);
+                    (present, empty)
+                }
+                Node::Branch(b) => {
+                    let byte = byte_at(key, depth);
+                    match b.get_mut(byte) {
+                        None => (false, b.is_empty()),
+                        Some(child) => {
+                            let (removed, child_empty) = rec(child, key, depth + 1);
+                            if child_empty {
+                                b.remove_child(byte);
+                            }
+                            (removed, b.is_empty())
+                        }
+                    }
+                }
+            }
+        }
+        let (removed, _) = rec(&mut self.root, key, 0);
+        self.len -= u64::from(removed);
+        removed
+    }
+
+    /// Approximate heap memory in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        self.root.memory_bytes()
+    }
+}
+
+impl Default for JudySet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deduplicator for JudySet {
+    fn observe(&mut self, key: u64) -> bool {
+        self.insert(key)
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        JudySet::memory_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = JudySet::new();
+        assert!(!s.contains(42));
+        assert!(s.insert(42));
+        assert!(s.contains(42));
+        assert!(!s.insert(42));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(42));
+        assert!(!s.contains(42));
+        assert!(!s.remove(42));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn extreme_keys() {
+        let mut s = JudySet::new();
+        for k in [0u64, 1, u64::MAX, u64::MAX - 1, 1 << 63, (1 << 48) - 1] {
+            assert!(s.insert(k), "{k}");
+            assert!(s.contains(k), "{k}");
+        }
+        assert_eq!(s.len(), 6);
+        assert!(!s.contains(2));
+    }
+
+    #[test]
+    fn dense_fanout_promotes_and_stays_correct() {
+        // 300 keys differing only in byte 6 forces promotion past 24.
+        let mut s = JudySet::new();
+        for i in 0..256u64 {
+            assert!(s.insert(i << 8));
+        }
+        for i in 0..256u64 {
+            assert!(s.contains(i << 8), "{i}");
+            assert!(!s.contains((i << 8) | 1), "{i}");
+        }
+        assert_eq!(s.len(), 256);
+    }
+
+    #[test]
+    fn removal_prunes_memory() {
+        let mut s = JudySet::new();
+        let empty = s.memory_bytes();
+        for i in 0..10_000u64 {
+            s.insert(i * 7919); // spread keys
+        }
+        let full = s.memory_bytes();
+        assert!(full > empty);
+        for i in 0..10_000u64 {
+            assert!(s.remove(i * 7919));
+        }
+        assert!(s.is_empty());
+        let after = s.memory_bytes();
+        assert!(
+            after <= empty + 64,
+            "memory must shrink after removal: empty={empty} after={after}"
+        );
+    }
+
+    #[test]
+    fn sequential_versus_scattered_keys() {
+        let mut s = JudySet::new();
+        for i in 0..4096u64 {
+            s.insert(i);
+        }
+        let seq = s.memory_bytes();
+        let mut t = JudySet::new();
+        for i in 0..4096u64 {
+            t.insert(i.wrapping_mul(0x9E3779B97F4A7C15));
+        }
+        let scattered = t.memory_bytes();
+        // Sequential keys share prefixes: must be much more compact.
+        assert!(seq * 4 < scattered, "seq={seq} scattered={scattered}");
+    }
+
+    #[test]
+    fn matches_std_hashset_randomized() {
+        use std::collections::HashSet;
+        let mut judy = JudySet::new();
+        let mut std_set = HashSet::new();
+        let mut state = 0x12345678u64;
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = state >> 16; // 48-bit-ish keys
+            let op = state & 3;
+            if op == 0 {
+                assert_eq!(judy.remove(key), std_set.remove(&key));
+            } else {
+                assert_eq!(judy.insert(key), std_set.insert(key));
+            }
+            assert_eq!(judy.len(), std_set.len() as u64);
+        }
+        for &k in std_set.iter().take(1000) {
+            assert!(judy.contains(k));
+        }
+    }
+}

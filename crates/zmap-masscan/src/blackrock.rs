@@ -1,0 +1,238 @@
+//! Blackrock: Masscan's index-shuffling cipher.
+//!
+//! Masscan randomizes scan order by encrypting the linear target index
+//! with a small format-preserving cipher: a Feistel network over an
+//! `a × b` lattice chosen so `a·b ≥ range`, walking the cycle (re-encrypt
+//! while the output lands outside `range`). With enough rounds and true
+//! cycle-walking this is a genuine permutation of `[0, range)`.
+//!
+//! The *legacy* variant models the early implementation's weakness: the
+//! out-of-range correction was bounded and fell back to a modulo fold,
+//! which is not injective — some indices collide and some values are
+//! never produced. Scanning with it probes some targets twice and misses
+//! others entirely, which is precisely the coverage deficit the §3
+//! comparison attributes to "biases in its randomization algorithm".
+
+/// Number of Feistel rounds (Masscan uses 4 by default).
+const ROUNDS: u32 = 4;
+
+/// Masscan's round function: a small multiply-xor mixer keyed by round
+/// and seed. Faithful in spirit (integer mixing, no table lookups).
+fn f(round: u32, right: u64, seed: u64) -> u64 {
+    let mut x = right ^ seed ^ (u64::from(round) << 26);
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^= x >> 33;
+    x
+}
+
+/// Computes the lattice sides: `a = ⌈√range⌉`, `b` minimal with
+/// `a·b ≥ range`.
+fn lattice(range: u64) -> (u64, u64) {
+    debug_assert!(range >= 1);
+    let a = (range as f64).sqrt().ceil() as u64;
+    let a = a.max(1);
+    let b = range.div_ceil(a);
+    (a, b.max(1))
+}
+
+/// One alternating-modulus Feistel encryption over the a×b lattice
+/// (Black–Rogaway FPE method 2, as Masscan implements it): the state
+/// alternates between ℤ_a×ℤ_b and ℤ_b×ℤ_a orientations, each round is
+/// invertible, so the whole thing permutes `[0, a·b)`.
+fn feistel(idx: u64, a: u64, b: u64, seed: u64) -> u64 {
+    let mut left = idx % a;
+    let mut right = idx / a;
+    for j in 1..=ROUNDS {
+        let m = if j & 1 == 1 { a } else { b };
+        let tmp = ((left as u128 + f(j, right, seed) as u128) % m as u128) as u64;
+        left = right;
+        right = tmp;
+    }
+    // After an even number of rounds the state is back in the
+    // (left ∈ ℤ_a, right ∈ ℤ_b) orientation; re-pack as left + a·right.
+    debug_assert_eq!(ROUNDS % 2, 0);
+    a * right + left
+}
+
+/// The correct Blackrock permutation over `[0, range)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Blackrock {
+    range: u64,
+    a: u64,
+    b: u64,
+    seed: u64,
+}
+
+impl Blackrock {
+    /// A permutation of `[0, range)` keyed by `seed`.
+    ///
+    /// # Panics
+    /// Panics if `range == 0`.
+    pub fn new(range: u64, seed: u64) -> Self {
+        assert!(range > 0, "range must be positive");
+        let (a, b) = lattice(range);
+        Blackrock { range, a, b, seed }
+    }
+
+    /// The permuted position of index `i` (cycle-walked into range).
+    ///
+    /// # Panics
+    /// Panics if `i ≥ range`.
+    pub fn shuffle(&self, i: u64) -> u64 {
+        assert!(i < self.range);
+        let mut x = i;
+        // Cycle-walking: the lattice has at most a·b < range + a slots,
+        // so the expected number of re-encryptions is < 2; the loop is
+        // guaranteed to terminate because encryption permutes the lattice.
+        loop {
+            x = feistel(x, self.a, self.b, self.seed);
+            if x < self.range {
+                return x;
+            }
+        }
+    }
+
+    /// The domain size.
+    pub fn range(&self) -> u64 {
+        self.range
+    }
+}
+
+/// The early, biased variant: bounded cycle-walking with a modulo fold.
+#[derive(Debug, Clone, Copy)]
+pub struct LegacyBlackrock {
+    range: u64,
+    a: u64,
+    b: u64,
+    seed: u64,
+}
+
+impl LegacyBlackrock {
+    /// A *non-bijective* shuffle of `[0, range)` keyed by `seed`.
+    ///
+    /// # Panics
+    /// Panics if `range == 0`.
+    pub fn new(range: u64, seed: u64) -> Self {
+        assert!(range > 0, "range must be positive");
+        // The early lattice choice: a = ⌊√range⌋, b = range/a + 1. This
+        // always over-covers (a·b > range), so some encryptions land out
+        // of range and hit the buggy fold below — even for perfect-square
+        // ranges where the fixed lattice would be exact.
+        let a = ((range as f64).sqrt().floor() as u64).max(1);
+        let b = range / a + 1;
+        LegacyBlackrock { range, a, b, seed }
+    }
+
+    /// The shuffled position — NOT injective: out-of-range intermediate
+    /// values are folded with `% range` instead of walking the cycle.
+    /// Because `a·b < 2·range`, the fold maps them onto the low end of
+    /// the output space, colliding with values already produced there.
+    pub fn shuffle(&self, i: u64) -> u64 {
+        assert!(i < self.range);
+        // The bug: fold instead of re-encrypting until in range.
+        feistel(i, self.a, self.b, self.seed) % self.range
+    }
+
+    /// The domain size.
+    pub fn range(&self) -> u64 {
+        self.range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn blackrock_is_a_permutation() {
+        for range in [1u64, 2, 10, 255, 256, 257, 1000, 65536, 100_003] {
+            for seed in [0u64, 1, 0xDEADBEEF] {
+                let br = Blackrock::new(range, seed);
+                let mut seen = HashSet::new();
+                for i in 0..range {
+                    let y = br.shuffle(i);
+                    assert!(y < range, "out of range: {y} >= {range}");
+                    assert!(seen.insert(y), "collision at {i} (range {range})");
+                }
+                assert_eq!(seen.len() as u64, range);
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_change_the_permutation() {
+        let a = Blackrock::new(10_000, 1);
+        let b = Blackrock::new(10_000, 2);
+        let pa: Vec<u64> = (0..100).map(|i| a.shuffle(i)).collect();
+        let pb: Vec<u64> = (0..100).map(|i| b.shuffle(i)).collect();
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn shuffle_is_not_identity_like() {
+        let br = Blackrock::new(100_000, 7);
+        let fixed = (0..100_000).filter(|&i| br.shuffle(i) == i).count();
+        // A random permutation has ~1 fixed point; allow a few.
+        assert!(fixed < 20, "{fixed} fixed points");
+    }
+
+    #[test]
+    fn legacy_has_collisions_and_misses() {
+        // The whole point of the legacy model: it is NOT a permutation.
+        let range = 100_000u64;
+        let lbr = LegacyBlackrock::new(range, 3);
+        let mut seen = HashSet::new();
+        let mut collisions = 0u64;
+        for i in 0..range {
+            if !seen.insert(lbr.shuffle(i)) {
+                collisions += 1;
+            }
+        }
+        let missed = range - seen.len() as u64;
+        assert!(collisions > 0, "legacy must collide");
+        assert_eq!(collisions, missed, "each collision implies a missed value");
+        // The bias is a few percent, not total garbage.
+        let frac = missed as f64 / range as f64;
+        assert!(frac > 0.001 && frac < 0.2, "miss fraction {frac}");
+    }
+
+    #[test]
+    fn legacy_outputs_stay_in_range() {
+        let lbr = LegacyBlackrock::new(12345, 9);
+        for i in 0..12345 {
+            assert!(lbr.shuffle(i) < 12345);
+        }
+    }
+
+    #[test]
+    fn range_one() {
+        assert_eq!(Blackrock::new(1, 5).shuffle(0), 0);
+        assert_eq!(LegacyBlackrock::new(1, 5).shuffle(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be positive")]
+    fn zero_range_panics() {
+        Blackrock::new(0, 1);
+    }
+
+    #[test]
+    fn output_distribution_is_roughly_uniform() {
+        // Bucket the first half of outputs over 16 bins; no bin should be
+        // wildly over- or under-filled.
+        let range = 64_000u64;
+        let br = Blackrock::new(range, 42);
+        let mut bins = [0u64; 16];
+        for i in 0..range / 2 {
+            bins[(br.shuffle(i) * 16 / range) as usize] += 1;
+        }
+        let expect = (range / 2 / 16) as f64;
+        for (k, &b) in bins.iter().enumerate() {
+            let dev = (b as f64 - expect).abs() / expect;
+            assert!(dev < 0.15, "bin {k}: {b} vs {expect}");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! A Masscan-style baseline scanner.
+//!
+//! §3 of *Ten Years of ZMap* recounts Adrian et al.'s finding that
+//! "despite following a similar high-level approach, Masscan finds
+//! notably fewer hosts than ZMap, likely due to biases in its
+//! randomization algorithm." This crate implements the baseline needed
+//! to reproduce that comparison:
+//!
+//! * [`blackrock::Blackrock`] — Masscan's randomization: a Feistel
+//!   network over an a×b lattice covering the index range, with
+//!   cycle-walking to stay in range (a correct permutation, property
+//!   tested), and
+//! * [`blackrock::LegacyBlackrock`] — the early variant whose in-range
+//!   correction was incomplete: out-of-range intermediate values are
+//!   re-encrypted only a bounded number of times and then *folded* back
+//!   by modulo, which makes some indices collide (probed twice) and
+//!   others never appear — the "bias" that costs coverage,
+//! * [`scanner::MasscanScanner`] — a scan engine with Masscan's on-wire
+//!   behavior: optionless SYNs and destination-derived IP IDs.
+
+pub mod blackrock;
+pub mod scanner;
+
+pub use blackrock::{Blackrock, LegacyBlackrock};
+pub use scanner::{MasscanConfig, MasscanScanner, MasscanSummary};

@@ -1,0 +1,224 @@
+//! Integer factorization via trial division + Pollard's rho (Brent variant).
+//!
+//! The 2024 generator-search algorithm (paper §4.1) requires the prime
+//! factorization of p − 1 for each group modulus p. ZMap precomputes and
+//! stores these; we compute them once at group-construction time instead —
+//! for 49-bit inputs Pollard rho finishes in microseconds, and computing
+//! rather than hardcoding lets the library support user-supplied groups.
+
+use crate::modular::{gcd, modmul};
+use crate::prime::is_prime;
+
+/// A prime factorization `n = Π pᵢ^aᵢ`, with `pᵢ` strictly increasing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Factorization {
+    n: u64,
+    /// `(prime, exponent)` pairs sorted by prime.
+    factors: Vec<(u64, u32)>,
+}
+
+impl Factorization {
+    /// The factored integer.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// `(prime, exponent)` pairs in increasing prime order.
+    pub fn factors(&self) -> &[(u64, u32)] {
+        &self.factors
+    }
+
+    /// The distinct prime divisors, increasing.
+    pub fn distinct_primes(&self) -> Vec<u64> {
+        self.factors.iter().map(|&(p, _)| p).collect()
+    }
+
+    /// Euler's totient φ(n), computed from the factorization.
+    pub fn totient(&self) -> u64 {
+        let mut phi = self.n;
+        for &(p, _) in &self.factors {
+            phi = phi / p * (p - 1);
+        }
+        phi
+    }
+
+    /// Recomputes the product of all factors (for verification).
+    pub fn product(&self) -> u64 {
+        self.factors
+            .iter()
+            .map(|&(p, a)| p.pow(a))
+            .product::<u64>()
+    }
+}
+
+/// One Pollard-rho attempt on composite odd `n > 3` (Floyd cycle
+/// finding). Returns a divisor of `n`; a return value of `n` itself
+/// means the tortoise met the hare without exposing a factor — the
+/// caller must retry with a different polynomial constant. Guaranteed to
+/// terminate: the iteration is eventually periodic and `x == y` is
+/// checked every step.
+fn pollard_rho(n: u64, seed: u64) -> u64 {
+    let c = 1 + seed % (n - 3);
+    let f = |x: u64| {
+        let sq = modmul(x, x, n);
+        let s = sq + c;
+        if s >= n {
+            s - n
+        } else {
+            s
+        }
+    };
+    let mut x = 2u64;
+    let mut y = 2u64;
+    loop {
+        x = f(x);
+        y = f(f(y));
+        if x == y {
+            return n; // cycle closed with no factor found
+        }
+        let d = gcd(x.abs_diff(y), n);
+        if d != 1 {
+            return d;
+        }
+    }
+}
+
+fn factor_into(n: u64, out: &mut Vec<u64>) {
+    if n == 1 {
+        return;
+    }
+    if is_prime(n) {
+        out.push(n);
+        return;
+    }
+    let mut seed = 1;
+    loop {
+        let d = pollard_rho(n, seed);
+        if d != n && d != 1 {
+            factor_into(d, out);
+            factor_into(n / d, out);
+            return;
+        }
+        seed += 1;
+    }
+}
+
+/// All prime factors of `n` with multiplicity, in increasing order.
+/// `factor(0)` and `factor(1)` return an empty vector.
+pub fn factor(mut n: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    if n < 2 {
+        return out;
+    }
+    // Strip small primes by trial division first: cheap, and leaves rho an
+    // odd cofactor.
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47] {
+        while n % p == 0 {
+            out.push(p);
+            n /= p;
+        }
+    }
+    factor_into(n, &mut out);
+    out.sort_unstable();
+    out
+}
+
+/// The full [`Factorization`] of `n` (primes with exponents).
+///
+/// # Panics
+/// Panics if `n == 0` (zero has no prime factorization).
+pub fn factorization(n: u64) -> Factorization {
+    assert!(n != 0, "cannot factor zero");
+    let flat = factor(n);
+    let mut factors: Vec<(u64, u32)> = Vec::new();
+    for p in flat {
+        match factors.last_mut() {
+            Some((q, a)) if *q == p => *a += 1,
+            _ => factors.push((p, 1)),
+        }
+    }
+    Factorization { n, factors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_small() {
+        assert_eq!(factor(0), Vec::<u64>::new());
+        assert_eq!(factor(1), Vec::<u64>::new());
+        assert_eq!(factor(2), vec![2]);
+        assert_eq!(factor(12), vec![2, 2, 3]);
+        assert_eq!(factor(97), vec![97]);
+        assert_eq!(factor(1024), vec![2; 10]);
+    }
+
+    #[test]
+    fn factorization_of_zmap_group_orders() {
+        // p - 1 for each group modulus; cross-checked against sympy.
+        let f = factorization((1 << 16) + 1 - 1);
+        assert_eq!(f.factors(), &[(2, 16)]);
+
+        let f = factorization((1 << 24) + 43 - 1);
+        assert_eq!(f.factors(), &[(2, 1), (23, 1), (103, 1), (3541, 1)]);
+
+        let f = factorization((1u64 << 32) + 15 - 1);
+        assert_eq!(
+            f.factors(),
+            &[(2, 1), (3, 2), (5, 1), (131, 1), (364289, 1)]
+        );
+
+        let f = factorization((1u64 << 40) + 15 - 1);
+        assert_eq!(f.factors(), &[(2, 1), (3, 1), (5, 1), (36_650_387_593, 1)]);
+
+        let f = factorization((1u64 << 48) + 21 - 1);
+        assert_eq!(
+            f.factors(),
+            &[(2, 2), (3, 1), (7, 1), (1361, 1), (2_462_081_249, 1)]
+        );
+    }
+
+    #[test]
+    fn product_roundtrip_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let n: u64 = rng.gen_range(2..1u64 << 40);
+            let f = factorization(n);
+            assert_eq!(f.product(), n, "n={n}");
+            for &(p, _) in f.factors() {
+                assert!(is_prime(p), "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn semiprime_of_two_large_primes() {
+        // 1000003 * 1000033
+        let n = 1_000_003u64 * 1_000_033;
+        assert_eq!(factor(n), vec![1_000_003, 1_000_033]);
+    }
+
+    #[test]
+    fn perfect_square_of_prime() {
+        let p = 999_983u64;
+        assert_eq!(factor(p * p), vec![p, p]);
+    }
+
+    #[test]
+    fn totient_matches_known_values() {
+        assert_eq!(factorization(10).totient(), 4);
+        assert_eq!(factorization(65537).totient(), 65536);
+        // φ(2^32 + 14) ≈ 10^9 (paper §4.1 cites this count of additive
+        // generators).
+        let phi = factorization((1u64 << 32) + 14).totient();
+        assert_eq!(phi, 1_136_578_560, "φ(2^32+14) ≈ 10^9, as §4.1 cites");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot factor zero")]
+    fn factorization_zero_panics() {
+        factorization(0);
+    }
+}

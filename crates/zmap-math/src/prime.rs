@@ -1,0 +1,141 @@
+//! Deterministic Miller–Rabin primality testing for `u64`.
+//!
+//! ZMap's group moduli are fixed primes, but the scanner verifies them at
+//! startup (and the test suite verifies the whole ladder), so the test must
+//! be exact, not probabilistic. The witness set
+//! {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} is deterministic for every
+//! integer below 3.3 × 10^24, which covers all of `u64`.
+
+use crate::modular::{modmul, modpow};
+
+/// Witnesses sufficient for a deterministic Miller–Rabin test on `u64`.
+const WITNESSES: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+
+/// Returns `true` iff `n` is prime. Exact for all `u64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &WITNESSES {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^r with d odd.
+    let mut d = n - 1;
+    let r = d.trailing_zeros();
+    d >>= r;
+    'witness: for &a in &WITNESSES {
+        let mut x = modpow(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = modmul(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Smallest prime strictly greater than `n`, or `None` if none fits in `u64`.
+pub fn next_prime(n: u64) -> Option<u64> {
+    let mut c = n.checked_add(1)?;
+    if c <= 2 {
+        return Some(2);
+    }
+    if c % 2 == 0 {
+        c += 1;
+    }
+    loop {
+        if is_prime(c) {
+            return Some(c);
+        }
+        c = c.checked_add(2)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43];
+        for p in primes {
+            assert!(is_prime(p), "{p}");
+        }
+        for c in [0u64, 1, 4, 6, 8, 9, 10, 12, 15, 21, 25, 27, 33, 35, 49] {
+            assert!(!is_prime(c), "{c}");
+        }
+    }
+
+    #[test]
+    fn zmap_group_moduli_are_prime() {
+        // The group ladder from the paper (§4.1), with 2^48+21 correcting
+        // the paper's 2^48+23 typo (2^48+23 = 3 × 29 × 59 × 54826561891).
+        assert!(is_prime((1 << 8) + 1));
+        assert!(is_prime((1 << 16) + 1));
+        assert!(is_prime((1 << 24) + 43));
+        assert!(is_prime((1u64 << 32) + 15));
+        assert!(is_prime((1u64 << 40) + 15));
+        assert!(is_prime((1u64 << 48) + 21));
+        assert!(!is_prime((1u64 << 48) + 23), "paper typo: 2^48+23 composite");
+    }
+
+    #[test]
+    fn strong_pseudoprimes_rejected() {
+        // Strong pseudoprimes to base 2 (would fool a single-witness test).
+        for n in [2047u64, 3277, 4033, 4681, 8321, 3_215_031_751] {
+            assert!(!is_prime(n), "{n}");
+        }
+        // Carmichael numbers.
+        for n in [561u64, 1105, 1729, 2465, 2821, 6601, 8911] {
+            assert!(!is_prime(n), "{n}");
+        }
+    }
+
+    #[test]
+    fn large_known_values() {
+        assert!(is_prime(18_446_744_073_709_551_557)); // largest u64 prime
+        assert!(!is_prime(u64::MAX)); // 3 * 5 * 17 * ...
+        assert!(is_prime(2_147_483_647)); // 2^31 - 1, Mersenne
+    }
+
+    #[test]
+    fn matches_trial_division_exhaustively_small() {
+        fn trial(n: u64) -> bool {
+            if n < 2 {
+                return false;
+            }
+            let mut d = 2;
+            while d * d <= n {
+                if n % d == 0 {
+                    return false;
+                }
+                d += 1;
+            }
+            true
+        }
+        for n in 0..5_000u64 {
+            assert_eq!(is_prime(n), trial(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn next_prime_basics() {
+        assert_eq!(next_prime(0), Some(2));
+        assert_eq!(next_prime(2), Some(3));
+        assert_eq!(next_prime(13), Some(17));
+        assert_eq!(next_prime(1 << 16), Some((1 << 16) + 1));
+        assert_eq!(next_prime(1u64 << 48), Some((1u64 << 48) + 21));
+        assert_eq!(next_prime(u64::MAX), None);
+        assert_eq!(next_prime(18_446_744_073_709_551_557), None);
+    }
+}

@@ -1,0 +1,61 @@
+//! L7 service banners for the two-phase-scanning experiments (§3).
+//!
+//! ZMap is an L4 tool; real studies follow up with ZGrab/LZR to confirm
+//! that a SYN-ACK is an actual service. The simulated hosts therefore
+//! serve protocol-plausible banners so an L7 interrogation phase has
+//! something to measure against middleboxes that SYN-ACK everything but
+//! carry no service.
+
+/// The application-layer banner a real service on `port` returns to a
+/// generic probe, or a generic one for long-tail ports.
+pub fn banner_for_port(port: u16) -> &'static [u8] {
+    match port {
+        80 | 8080 | 8000 => b"HTTP/1.1 200 OK\r\nServer: sim-httpd/1.0\r\nContent-Length: 0\r\n\r\n",
+        443 | 8443 => b"\x16\x03\x03\x00\x2a\x02\x00\x00\x26\x03\x03", // TLS ServerHello prefix
+        22 => b"SSH-2.0-OpenSSH_8.9p1 sim\r\n",
+        21 => b"220 sim-ftpd ready\r\n",
+        23 => b"\xff\xfd\x18\xff\xfd\x20login: ",
+        25 => b"220 sim.example.com ESMTP\r\n",
+        110 => b"+OK sim-pop3 ready\r\n",
+        143 => b"* OK sim-imapd ready\r\n",
+        3389 => b"\x03\x00\x00\x13\x0e\xd0\x00\x00\x12\x34\x00\x02", // RDP neg. response
+        8728 => b"\x00\x00\x00\x00", // MikroTik API sentence terminator
+        _ => b"\x00sim-service\x00",
+    }
+}
+
+/// Whether the banner for `port` looks like the named protocol — a tiny
+/// classifier used by the experiments (stands in for ZGrab's parsers).
+pub fn looks_like_protocol(port: u16, banner: &[u8]) -> bool {
+    match port {
+        80 | 8080 | 8000 => banner.starts_with(b"HTTP/"),
+        443 | 8443 => banner.first() == Some(&0x16),
+        22 => banner.starts_with(b"SSH-"),
+        21 | 25 => banner.starts_with(b"220"),
+        110 => banner.starts_with(b"+OK"),
+        143 => banner.starts_with(b"* OK"),
+        _ => !banner.is_empty(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banners_match_their_protocols() {
+        for port in [80u16, 443, 22, 21, 23, 25, 110, 143, 8080, 8728, 47808] {
+            assert!(
+                looks_like_protocol(port, banner_for_port(port)),
+                "port {port}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_banner_is_no_protocol() {
+        assert!(!looks_like_protocol(80, b""));
+        assert!(!looks_like_protocol(12345, b""));
+        assert!(!looks_like_protocol(80, b"SSH-2.0")); // wrong protocol
+    }
+}

@@ -1,0 +1,86 @@
+//! A deterministic, procedurally generated model of the IPv4 Internet for
+//! evaluating Internet-wide scanners.
+//!
+//! The paper's experiments ran against the real Internet; this crate is
+//! the substitution (see DESIGN.md): a ground-truth host population whose
+//! behavior reproduces the phenomena the paper measures —
+//!
+//! * hosts whose SYN filters drop optionless probes (Figure 7's 1.5–2.0%
+//!   hit-rate gap), including a tiny picky tail that wants exact OS
+//!   option orderings,
+//! * "blowback" hosts that repeat responses tens to thousands of times
+//!   (the Figure 5 dedup driver),
+//! * transient per-path loss such that a single-probe scan misses ≈2.7%
+//!   of responsive hosts (§3, Wan et al.), partially *correlated* per
+//!   (vantage, prefix) so retries from one vantage recover less than
+//!   scanning from a second vantage,
+//! * per-prefix SYN rate limiting that penalizes bursty probe orders
+//!   (the Masscan-vs-ZMap §3 comparison),
+//! * port/service structure and geographic structure for the telescope
+//!   figures.
+//!
+//! Determinism: every behavior is a pure function of `(world seed, ip)` —
+//! a 2^32 population costs no memory — plus explicit event-queue state
+//! for scheduled responses.
+
+pub mod banner;
+pub mod blowback;
+pub mod geo;
+pub mod loss;
+pub mod pcap;
+pub mod population;
+pub mod profile;
+pub mod ratelimit;
+pub mod responder;
+pub mod services;
+pub mod world;
+
+pub use geo::Country;
+pub use profile::{HostProfile, OptionSensitivity, StackOs};
+pub use services::ServiceModel;
+pub use world::{EndpointId, World, WorldConfig};
+
+/// Nanoseconds per second, the simulator's clock unit.
+pub const NS_PER_SEC: u64 = 1_000_000_000;
+
+/// A deterministic hash of (seed, ip, salt) → u64, the root of all
+/// procedural generation. Thin wrapper over the wire crate's SipHash.
+#[inline]
+pub fn hash3(seed: u64, ip: u32, salt: u64) -> u64 {
+    let mut data = [0u8; 12];
+    data[0..4].copy_from_slice(&ip.to_be_bytes());
+    data[4..12].copy_from_slice(&salt.to_le_bytes());
+    zmap_wire::cookie::siphash24(seed, 0x7A6D_6170_6E65_7473, &data)
+}
+
+/// Uniform f64 in [0, 1) from a hash value.
+#[inline]
+pub fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash3_is_deterministic_and_sensitive() {
+        assert_eq!(hash3(1, 2, 3), hash3(1, 2, 3));
+        assert_ne!(hash3(1, 2, 3), hash3(1, 2, 4));
+        assert_ne!(hash3(1, 2, 3), hash3(1, 3, 3));
+        assert_ne!(hash3(1, 2, 3), hash3(2, 2, 3));
+    }
+
+    #[test]
+    fn unit_is_in_range_and_spread() {
+        let mut lo = false;
+        let mut hi = false;
+        for i in 0..1000u32 {
+            let u = unit(hash3(7, i, 0));
+            assert!((0.0..1.0).contains(&u));
+            lo |= u < 0.1;
+            hi |= u > 0.9;
+        }
+        assert!(lo && hi, "values must spread across [0,1)");
+    }
+}

@@ -1,0 +1,117 @@
+//! Minimal libpcap-format capture writer (and reader, for tests).
+//!
+//! Every simulation endpoint can tap its traffic to a classic pcap file
+//! so Wireshark can inspect simulated scans — the same affordance
+//! smoltcp's examples provide via `--pcap`.
+
+use std::io::{self, Read, Write};
+
+/// Classic pcap magic (microsecond timestamps, native endian).
+const MAGIC: u32 = 0xA1B2_C3D4;
+/// LINKTYPE_ETHERNET.
+const LINKTYPE_EN10MB: u32 = 1;
+
+/// Streaming pcap writer.
+pub struct PcapWriter<W: Write> {
+    out: W,
+    packets: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Writes the global header and returns the writer.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        out.write_all(&MAGIC.to_le_bytes())?;
+        out.write_all(&2u16.to_le_bytes())?; // version major
+        out.write_all(&4u16.to_le_bytes())?; // version minor
+        out.write_all(&0i32.to_le_bytes())?; // thiszone
+        out.write_all(&0u32.to_le_bytes())?; // sigfigs
+        out.write_all(&65535u32.to_le_bytes())?; // snaplen
+        out.write_all(&LINKTYPE_EN10MB.to_le_bytes())?;
+        Ok(PcapWriter { out, packets: 0 })
+    }
+
+    /// Appends one frame with the given timestamp.
+    pub fn write_frame(&mut self, ts_ns: u64, frame: &[u8]) -> io::Result<()> {
+        let secs = (ts_ns / 1_000_000_000) as u32;
+        let usecs = ((ts_ns % 1_000_000_000) / 1_000) as u32;
+        self.out.write_all(&secs.to_le_bytes())?;
+        self.out.write_all(&usecs.to_le_bytes())?;
+        self.out.write_all(&(frame.len() as u32).to_le_bytes())?;
+        self.out.write_all(&(frame.len() as u32).to_le_bytes())?;
+        self.out.write_all(frame)?;
+        self.packets += 1;
+        Ok(())
+    }
+
+    /// Frames written so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Reads back a pcap produced by [`PcapWriter`] (test utility).
+pub fn read_pcap<R: Read>(mut input: R) -> io::Result<Vec<(u64, Vec<u8>)>> {
+    let mut hdr = [0u8; 24];
+    input.read_exact(&mut hdr)?;
+    let magic = u32::from_le_bytes(hdr[0..4].try_into().expect("sliced 4 bytes"));
+    if magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad pcap magic"));
+    }
+    let mut out = Vec::new();
+    loop {
+        let mut rec = [0u8; 16];
+        match input.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+        let secs = u32::from_le_bytes(rec[0..4].try_into().expect("4"));
+        let usecs = u32::from_le_bytes(rec[4..8].try_into().expect("4"));
+        let caplen = u32::from_le_bytes(rec[8..12].try_into().expect("4")) as usize;
+        let mut frame = vec![0u8; caplen];
+        input.read_exact(&mut frame)?;
+        out.push((u64::from(secs) * 1_000_000_000 + u64::from(usecs) * 1_000, frame));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_frame(1_500_000_000, &[1, 2, 3, 4]).unwrap();
+        w.write_frame(2_000_123_000, &[5; 60]).unwrap();
+        assert_eq!(w.packets(), 2);
+        let bytes = w.finish().unwrap();
+        let frames = read_pcap(&bytes[..]).unwrap();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].1, vec![1, 2, 3, 4]);
+        assert_eq!(frames[0].0, 1_500_000_000);
+        // Microsecond truncation: 123 µs survives, sub-µs does not.
+        assert_eq!(frames[1].0, 2_000_123_000);
+        assert_eq!(frames[1].1.len(), 60);
+    }
+
+    #[test]
+    fn empty_capture() {
+        let w = PcapWriter::new(Vec::new()).unwrap();
+        let bytes = w.finish().unwrap();
+        assert_eq!(bytes.len(), 24);
+        assert!(read_pcap(&bytes[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let bytes = vec![0u8; 24];
+        assert!(read_pcap(&bytes[..]).is_err());
+    }
+}

@@ -1,0 +1,379 @@
+//! The allowlist/blocklist constraint tree.
+//!
+//! ZMap restricts scans with CIDR allowlists and blocklists (reserved
+//! space, opt-out requests, …). Target generation needs two operations,
+//! both fast:
+//!
+//! * `is_allowed(addr)` — filter individual addresses, and
+//! * `lookup(i)` — map a *target index* `i ∈ [0, allowed_count)` to the
+//!   `i`-th allowed address in numeric order, so the cyclic-group walk can
+//!   cover exactly the allowed set.
+//!
+//! Both are O(32) on a binary radix tree over address bits where every
+//! internal node caches the number of allowed addresses in its subtree.
+//! This mirrors ZMap's `constraint.c`.
+//!
+//! The tree is built with [`Constraint::set_prefix`] (later calls override
+//! earlier ones on overlap, like ZMap applying blocklist after allowlist)
+//! and must be [`finalize`](Constraint::finalize)d before counting queries;
+//! `finalize` is idempotent and [`TargetGenerator`](crate::TargetGenerator)
+//! calls it for you.
+
+/// Maximum prefix length / tree depth (IPv4).
+const MAX_DEPTH: u8 = 32;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// All addresses under this node share one verdict.
+    Leaf(bool),
+    /// Split on the next address bit; `count` = allowed addresses below
+    /// (valid only after finalize).
+    Internal {
+        children: [Box<Node>; 2],
+        count: u64,
+    },
+}
+
+impl Node {
+    fn leaf(value: bool) -> Box<Node> {
+        Box::new(Node::Leaf(value))
+    }
+
+    /// Recomputes subtree counts bottom-up; returns this subtree's count.
+    fn recount(&mut self, depth: u8) -> u64 {
+        match self {
+            Node::Leaf(false) => 0,
+            Node::Leaf(true) => 1u64 << (MAX_DEPTH - depth),
+            Node::Internal { children, count } => {
+                let c = children[0].recount(depth + 1) + children[1].recount(depth + 1);
+                *count = c;
+                c
+            }
+        }
+    }
+
+    /// Merges child leaves with identical verdicts back into one leaf.
+    fn compact(&mut self) {
+        if let Node::Internal { children, .. } = self {
+            children[0].compact();
+            children[1].compact();
+            if let (Node::Leaf(a), Node::Leaf(b)) = (&*children[0], &*children[1]) {
+                if a == b {
+                    *self = Node::Leaf(*a);
+                }
+            }
+        }
+    }
+}
+
+/// A set of IPv4 addresses defined by CIDR rules, supporting O(32)
+/// membership tests and index→address lookup.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    root: Box<Node>,
+    finalized: bool,
+}
+
+impl Constraint {
+    /// A constraint where every address starts as allowed
+    /// (`default_allow = true`, blocklist-style) or denied
+    /// (`false`, allowlist-style).
+    pub fn new(default_allow: bool) -> Self {
+        Constraint {
+            root: Node::leaf(default_allow),
+            finalized: false,
+        }
+    }
+
+    /// Sets the verdict for `addr/len`. Later calls win on overlap.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub fn set_prefix(&mut self, addr: u32, len: u8, allow: bool) {
+        assert!(len <= MAX_DEPTH, "prefix length {len} exceeds 32");
+        self.finalized = false;
+        let mut node = &mut *self.root;
+        for depth in 0..len {
+            // Split a leaf so we can descend through it.
+            if let Node::Leaf(v) = *node {
+                *node = Node::Internal {
+                    children: [Node::leaf(v), Node::leaf(v)],
+                    count: 0,
+                };
+            }
+            let bit = ((addr >> (31 - depth)) & 1) as usize;
+            match node {
+                Node::Internal { children, .. } => node = &mut *children[bit],
+                Node::Leaf(_) => unreachable!("leaf was split above"),
+            }
+        }
+        *node = Node::Leaf(allow);
+    }
+
+    /// Recomputes subtree counts and compacts redundant splits. Idempotent;
+    /// required before [`allowed_count`](Self::allowed_count) /
+    /// [`lookup`](Self::lookup).
+    pub fn finalize(&mut self) {
+        self.root.compact();
+        self.root.recount(0);
+        self.finalized = true;
+    }
+
+    /// Whether `addr` is in the allowed set. Works before finalize.
+    pub fn is_allowed(&self, addr: u32) -> bool {
+        let mut node = &*self.root;
+        let mut depth = 0u8;
+        loop {
+            match node {
+                Node::Leaf(v) => return *v,
+                Node::Internal { children, .. } => {
+                    let bit = ((addr >> (31 - depth)) & 1) as usize;
+                    node = &children[bit];
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// Number of allowed addresses.
+    ///
+    /// # Panics
+    /// Panics if the constraint was mutated since the last
+    /// [`finalize`](Self::finalize).
+    pub fn allowed_count(&self) -> u64 {
+        self.assert_finalized();
+        match &*self.root {
+            Node::Leaf(false) => 0,
+            Node::Leaf(true) => 1u64 << 32,
+            Node::Internal { count, .. } => *count,
+        }
+    }
+
+    /// The `index`-th allowed address in increasing numeric order, or
+    /// `None` if `index ≥ allowed_count()`.
+    ///
+    /// # Panics
+    /// Panics if the constraint was mutated since the last
+    /// [`finalize`](Self::finalize).
+    pub fn lookup(&self, mut index: u64) -> Option<u32> {
+        self.assert_finalized();
+        if index >= self.allowed_count() {
+            return None;
+        }
+        let mut node = &*self.root;
+        let mut addr: u32 = 0;
+        let mut depth: u8 = 0;
+        loop {
+            match node {
+                Node::Leaf(true) => {
+                    // `index` remaining addresses into this allowed block.
+                    return Some(addr | (index as u32));
+                }
+                Node::Leaf(false) => unreachable!("descent never enters denied leaf"),
+                Node::Internal { children, .. } => {
+                    let left_count = match &*children[0] {
+                        Node::Leaf(false) => 0,
+                        Node::Leaf(true) => 1u64 << (MAX_DEPTH - depth - 1),
+                        Node::Internal { count, .. } => *count,
+                    };
+                    if index < left_count {
+                        node = &children[0];
+                    } else {
+                        index -= left_count;
+                        node = &children[1];
+                        addr |= 1 << (31 - depth);
+                    }
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// The allowed set as sorted, disjoint, inclusive `(start, end)` ranges.
+    /// Works before finalize. Useful for diagnostics and simulation setup.
+    pub fn allowed_ranges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        fn walk(node: &Node, prefix: u32, depth: u8, out: &mut Vec<(u32, u32)>) {
+            match node {
+                Node::Leaf(false) => {}
+                Node::Leaf(true) => {
+                    let size = if depth == 0 { u32::MAX } else { (1u32 << (32 - depth)) - 1 };
+                    let start = prefix;
+                    let end = prefix | size;
+                    // Coalesce with the previous range when contiguous.
+                    if let Some(last) = out.last_mut() {
+                        if last.1 != u32::MAX && last.1 + 1 == start {
+                            last.1 = end;
+                            return;
+                        }
+                    }
+                    out.push((start, end));
+                }
+                Node::Internal { children, .. } => {
+                    walk(&children[0], prefix, depth + 1, out);
+                    walk(&children[1], prefix | (1 << (31 - depth)), depth + 1, out);
+                }
+            }
+        }
+        walk(&self.root, 0, 0, &mut out);
+        out
+    }
+
+    fn assert_finalized(&self) {
+        assert!(
+            self.finalized,
+            "Constraint::finalize() must be called after mutation and before counting queries"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> u32 {
+        s.parse::<std::net::Ipv4Addr>().unwrap().into()
+    }
+
+    #[test]
+    fn default_allow_covers_everything() {
+        let mut c = Constraint::new(true);
+        c.finalize();
+        assert_eq!(c.allowed_count(), 1u64 << 32);
+        assert!(c.is_allowed(0));
+        assert!(c.is_allowed(u32::MAX));
+        assert_eq!(c.lookup(0), Some(0));
+        assert_eq!(c.lookup((1u64 << 32) - 1), Some(u32::MAX));
+        assert_eq!(c.lookup(1u64 << 32), None);
+    }
+
+    #[test]
+    fn default_deny_is_empty() {
+        let mut c = Constraint::new(false);
+        c.finalize();
+        assert_eq!(c.allowed_count(), 0);
+        assert_eq!(c.lookup(0), None);
+        assert!(!c.is_allowed(12345));
+    }
+
+    #[test]
+    fn single_slash24_allowlist() {
+        let mut c = Constraint::new(false);
+        c.set_prefix(ip("192.0.2.0"), 24, true);
+        c.finalize();
+        assert_eq!(c.allowed_count(), 256);
+        assert!(c.is_allowed(ip("192.0.2.0")));
+        assert!(c.is_allowed(ip("192.0.2.255")));
+        assert!(!c.is_allowed(ip("192.0.3.0")));
+        assert_eq!(c.lookup(0), Some(ip("192.0.2.0")));
+        assert_eq!(c.lookup(255), Some(ip("192.0.2.255")));
+        assert_eq!(c.lookup(256), None);
+    }
+
+    #[test]
+    fn blocklist_carves_hole() {
+        let mut c = Constraint::new(true);
+        c.set_prefix(ip("10.0.0.0"), 8, false);
+        c.finalize();
+        assert_eq!(c.allowed_count(), (1u64 << 32) - (1 << 24));
+        assert!(!c.is_allowed(ip("10.1.2.3")));
+        assert!(c.is_allowed(ip("11.0.0.0")));
+        // Index order must skip the hole: index of 11.0.0.0 equals the
+        // count of allowed addresses below it (10/8 removed).
+        let idx_11 = (u64::from(ip("11.0.0.0"))) - (1 << 24);
+        assert_eq!(c.lookup(idx_11), Some(ip("11.0.0.0")));
+    }
+
+    #[test]
+    fn later_rules_override_earlier() {
+        // Allow 10/8, then block 10.5/16, then re-allow 10.5.5/24.
+        let mut c = Constraint::new(false);
+        c.set_prefix(ip("10.0.0.0"), 8, true);
+        c.set_prefix(ip("10.5.0.0"), 16, false);
+        c.set_prefix(ip("10.5.5.0"), 24, true);
+        c.finalize();
+        assert_eq!(c.allowed_count(), (1 << 24) - (1 << 16) + (1 << 8));
+        assert!(c.is_allowed(ip("10.4.0.1")));
+        assert!(!c.is_allowed(ip("10.5.0.1")));
+        assert!(c.is_allowed(ip("10.5.5.1")));
+    }
+
+    #[test]
+    fn lookup_is_bijective_on_allowed_set() {
+        let mut c = Constraint::new(false);
+        c.set_prefix(ip("1.2.3.0"), 28, true);
+        c.set_prefix(ip("9.9.9.9"), 32, true);
+        c.set_prefix(ip("255.255.255.0"), 24, true);
+        c.set_prefix(ip("255.255.255.128"), 25, false);
+        c.finalize();
+        let n = c.allowed_count();
+        assert_eq!(n, 16 + 1 + 128);
+        let mut prev: Option<u32> = None;
+        for i in 0..n {
+            let a = c.lookup(i).unwrap();
+            assert!(c.is_allowed(a), "lookup({i}) = {a} not allowed");
+            if let Some(p) = prev {
+                assert!(a > p, "lookup not strictly increasing at {i}");
+            }
+            prev = Some(a);
+        }
+    }
+
+    #[test]
+    fn slash32_and_slash0() {
+        let mut c = Constraint::new(false);
+        c.set_prefix(ip("8.8.8.8"), 32, true);
+        c.finalize();
+        assert_eq!(c.allowed_count(), 1);
+        assert_eq!(c.lookup(0), Some(ip("8.8.8.8")));
+
+        let mut c = Constraint::new(false);
+        c.set_prefix(0, 0, true);
+        c.finalize();
+        assert_eq!(c.allowed_count(), 1u64 << 32);
+    }
+
+    #[test]
+    fn allowed_ranges_coalesce() {
+        let mut c = Constraint::new(false);
+        c.set_prefix(ip("192.0.2.0"), 25, true);
+        c.set_prefix(ip("192.0.2.128"), 25, true); // adjacent halves
+        c.finalize();
+        assert_eq!(c.allowed_ranges(), vec![(ip("192.0.2.0"), ip("192.0.2.255"))]);
+    }
+
+    #[test]
+    fn last_address_edge() {
+        let mut c = Constraint::new(false);
+        c.set_prefix(ip("255.255.255.255"), 32, true);
+        c.finalize();
+        assert_eq!(c.allowed_ranges(), vec![(u32::MAX, u32::MAX)]);
+        assert_eq!(c.lookup(0), Some(u32::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "finalize")]
+    fn count_before_finalize_panics() {
+        let c = Constraint::new(true);
+        let _ = c.allowed_count();
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix length")]
+    fn overlong_prefix_panics() {
+        let mut c = Constraint::new(true);
+        c.set_prefix(0, 33, false);
+    }
+
+    #[test]
+    fn finalize_is_idempotent_and_refreshes() {
+        let mut c = Constraint::new(false);
+        c.set_prefix(ip("10.0.0.0"), 8, true);
+        c.finalize();
+        assert_eq!(c.allowed_count(), 1 << 24);
+        c.set_prefix(ip("10.0.0.0"), 9, false);
+        c.finalize();
+        c.finalize();
+        assert_eq!(c.allowed_count(), 1 << 23);
+    }
+}

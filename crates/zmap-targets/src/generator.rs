@@ -1,0 +1,436 @@
+//! High-level (IP, port) target generation: the composition of constraint
+//! tree, cyclic group, and sharding described in paper §4.1.
+//!
+//! Since multiport support, ZMap selects from a pool of (IP, port)
+//! *targets* rather than iterating IPs and ports independently: the group
+//! element's top ⌈log₂ IPs⌉ bits index into the allowed-address set and
+//! its bottom ⌈log₂ Ports⌉ bits index the port list. Elements whose IP or
+//! port index falls outside the real pool are rejected and skipped (the
+//! group is the smallest ladder prime that fits, so the walk stays
+//! efficient).
+
+use crate::constraint::Constraint;
+use crate::cycle::Cycle;
+use crate::group::{CyclicGroup, GroupError};
+use crate::shard::{ShardAlgorithm, ShardError, ShardIter, ShardSpec};
+use std::net::Ipv4Addr;
+
+/// A single scan target: one (IP, port) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Target {
+    /// Destination address.
+    pub ip: Ipv4Addr,
+    /// Destination transport port.
+    pub port: u16,
+}
+
+impl std::fmt::Display for Target {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+/// Pseudorandom, exactly-once generator of scan targets.
+///
+/// Build with [`TargetGenerator::builder`]. The generator is cheap to
+/// clone conceptually but owned once per scan; individual shards/threads
+/// get iterators via [`iter_shard`](Self::iter_shard).
+#[derive(Debug)]
+pub struct TargetGenerator {
+    constraint: Constraint,
+    ports: Vec<u16>,
+    num_ips: u64,
+    port_bits: u32,
+    cycle: Cycle,
+    num_shards: u32,
+    num_subshards: u32,
+    algorithm: ShardAlgorithm,
+}
+
+impl TargetGenerator {
+    /// Starts building a generator.
+    pub fn builder() -> TargetGeneratorBuilder {
+        TargetGeneratorBuilder::default()
+    }
+
+    /// Total number of real targets (allowed IPs × ports).
+    pub fn target_count(&self) -> u64 {
+        self.num_ips * self.ports.len() as u64
+    }
+
+    /// Number of allowed destination addresses.
+    pub fn ip_count(&self) -> u64 {
+        self.num_ips
+    }
+
+    /// The scanned port list, in the order given.
+    pub fn ports(&self) -> &[u16] {
+        &self.ports
+    }
+
+    /// The group walk parameters (generator, offset, modulus) — recorded
+    /// in scan metadata so a scan is reproducible/resumable.
+    pub fn cycle(&self) -> &Cycle {
+        &self.cycle
+    }
+
+    /// The sharding algorithm in use.
+    pub fn algorithm(&self) -> ShardAlgorithm {
+        self.algorithm
+    }
+
+    /// Configured `(num_shards, num_subshards)`.
+    pub fn shard_counts(&self) -> (u32, u32) {
+        (self.num_shards, self.num_subshards)
+    }
+
+    /// Decodes one group element into a target, or `None` when the element
+    /// indexes outside the (IP, port) pool (rejection sampling).
+    pub fn decode(&self, element: u64) -> Option<Target> {
+        debug_assert!(element >= 1 && element < self.cycle.group().prime());
+        let candidate = element - 1;
+        let port_idx = (candidate & ((1u64 << self.port_bits) - 1)) as usize;
+        let ip_idx = candidate >> self.port_bits;
+        if port_idx >= self.ports.len() || ip_idx >= self.num_ips {
+            return None;
+        }
+        let addr = self
+            .constraint
+            .lookup(ip_idx)
+            .expect("ip_idx < allowed_count by check above");
+        Some(Target {
+            ip: Ipv4Addr::from(addr),
+            port: self.ports[port_idx],
+        })
+    }
+
+    /// Iterator over the targets of subshard `(shard, subshard)`.
+    ///
+    /// # Panics
+    /// Panics if the indices exceed the configured counts (a programming
+    /// error — counts are fixed at build time).
+    pub fn iter_shard(&self, shard: u32, subshard: u32) -> TargetIter<'_> {
+        let spec = ShardSpec {
+            shard,
+            num_shards: self.num_shards,
+            subshard,
+            num_subshards: self.num_subshards,
+        };
+        self.iter_spec(spec).expect("shard indices within configured counts")
+    }
+
+    /// Iterator for an explicit [`ShardSpec`] (counts may differ from the
+    /// builder's, e.g. when a coordinator hands out specs).
+    pub fn iter_spec(&self, spec: ShardSpec) -> Result<TargetIter<'_>, ShardError> {
+        Ok(TargetIter {
+            gen: self,
+            inner: ShardIter::new(&self.cycle, spec, self.algorithm)?,
+        })
+    }
+
+    /// Whether `ip` is in the allowed set.
+    pub fn is_ip_allowed(&self, ip: Ipv4Addr) -> bool {
+        self.constraint.is_allowed(u32::from(ip))
+    }
+}
+
+/// Iterator over one subshard's targets (rejection-sampled group walk).
+#[derive(Debug)]
+pub struct TargetIter<'a> {
+    gen: &'a TargetGenerator,
+    inner: ShardIter<'a>,
+}
+
+impl Iterator for TargetIter<'_> {
+    type Item = Target;
+
+    fn next(&mut self) -> Option<Target> {
+        loop {
+            let element = self.inner.next()?;
+            if let Some(t) = self.gen.decode(element) {
+                return Some(t);
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // At most every remaining element decodes.
+        (0, Some(usize::try_from(self.inner.remaining()).unwrap_or(usize::MAX)))
+    }
+}
+
+/// Errors from [`TargetGeneratorBuilder::build`].
+#[derive(Debug)]
+pub enum BuildError {
+    /// No ports were configured.
+    NoPorts,
+    /// The constraint allows zero addresses.
+    EmptyAddressSet,
+    /// The (IP × port) pool exceeds the largest cyclic group.
+    Group(GroupError),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::NoPorts => write!(f, "at least one port is required"),
+            BuildError::EmptyAddressSet => write!(f, "constraint allows zero addresses"),
+            BuildError::Group(e) => write!(f, "group selection failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builder for [`TargetGenerator`].
+#[derive(Debug)]
+pub struct TargetGeneratorBuilder {
+    constraint: Constraint,
+    ports: Vec<u16>,
+    seed: u64,
+    num_shards: u32,
+    num_subshards: u32,
+    algorithm: ShardAlgorithm,
+}
+
+impl Default for TargetGeneratorBuilder {
+    fn default() -> Self {
+        TargetGeneratorBuilder {
+            constraint: Constraint::new(true),
+            ports: vec![80],
+            seed: 0,
+            num_shards: 1,
+            num_subshards: 1,
+            algorithm: ShardAlgorithm::Pizza,
+        }
+    }
+}
+
+impl TargetGeneratorBuilder {
+    /// The address set to scan (defaults to all of IPv4 — combine with
+    /// [`crate::parse::default_blocklist`] in real deployments).
+    pub fn constraint(mut self, constraint: Constraint) -> Self {
+        self.constraint = constraint;
+        self
+    }
+
+    /// Destination ports (deduplicated, order preserved). Default `[80]`.
+    pub fn ports(mut self, ports: &[u16]) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        self.ports = ports.iter().copied().filter(|p| seen.insert(*p)).collect();
+        self
+    }
+
+    /// Scan seed: fixes the permutation (generator + offset). Default 0.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of machine-level shards. Default 1.
+    pub fn shards(mut self, n: u32) -> Self {
+        self.num_shards = n.max(1);
+        self
+    }
+
+    /// Number of per-machine send threads (subshards). Default 1.
+    pub fn subshards(mut self, t: u32) -> Self {
+        self.num_subshards = t.max(1);
+        self
+    }
+
+    /// Sharding algorithm. Default [`ShardAlgorithm::Pizza`].
+    pub fn algorithm(mut self, a: ShardAlgorithm) -> Self {
+        self.algorithm = a;
+        self
+    }
+
+    /// Finalizes the constraint, selects the group, and derives the cycle.
+    pub fn build(mut self) -> Result<TargetGenerator, BuildError> {
+        if self.ports.is_empty() {
+            return Err(BuildError::NoPorts);
+        }
+        self.constraint.finalize();
+        let num_ips = self.constraint.allowed_count();
+        if num_ips == 0 {
+            return Err(BuildError::EmptyAddressSet);
+        }
+        let port_bits = (self.ports.len() as u64).next_power_of_two().trailing_zeros();
+        let needed = num_ips
+            .checked_shl(port_bits)
+            .filter(|&n| n >> port_bits == num_ips)
+            .ok_or(BuildError::Group(GroupError::TooManyTargets(u64::MAX)))?;
+        let group = CyclicGroup::for_target_count(needed).map_err(BuildError::Group)?;
+        let cycle = Cycle::new(group, self.seed);
+        Ok(TargetGenerator {
+            constraint: self.constraint,
+            ports: self.ports,
+            num_ips,
+            port_bits,
+            cycle,
+            num_shards: self.num_shards,
+            num_subshards: self.num_subshards,
+            algorithm: self.algorithm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn slash24_gen(ports: &[u16], seed: u64) -> TargetGenerator {
+        let mut c = Constraint::new(false);
+        c.set_prefix(0xC0000200, 24, true); // 192.0.2.0/24
+        TargetGenerator::builder()
+            .constraint(c)
+            .ports(ports)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn covers_every_target_exactly_once() {
+        let gen = slash24_gen(&[80, 443, 8080], 5);
+        assert_eq!(gen.target_count(), 256 * 3);
+        let got: Vec<Target> = gen.iter_shard(0, 0).collect();
+        assert_eq!(got.len(), 256 * 3);
+        let set: HashSet<Target> = got.iter().copied().collect();
+        assert_eq!(set.len(), 256 * 3, "duplicate targets");
+        for t in &set {
+            assert_eq!(t.ip.octets()[..3], [192, 0, 2]);
+            assert!([80u16, 443, 8080].contains(&t.port));
+        }
+    }
+
+    #[test]
+    fn sharded_union_equals_whole_scan() {
+        for alg in [ShardAlgorithm::Pizza, ShardAlgorithm::Interleaved] {
+            let mut c = Constraint::new(false);
+            c.set_prefix(0x0A000000, 26, true);
+            let gen = TargetGenerator::builder()
+                .constraint(c)
+                .ports(&[80, 443])
+                .seed(9)
+                .shards(3)
+                .subshards(2)
+                .algorithm(alg)
+                .build()
+                .unwrap();
+            let mut union = HashSet::new();
+            let mut total = 0usize;
+            for s in 0..3 {
+                for t in 0..2 {
+                    for target in gen.iter_shard(s, t) {
+                        assert!(union.insert(target), "{target:?} duplicated ({alg:?})");
+                        total += 1;
+                    }
+                }
+            }
+            assert_eq!(total as u64, gen.target_count(), "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn order_is_pseudorandom_not_sequential() {
+        let gen = slash24_gen(&[80], 7);
+        let ips: Vec<u32> = gen
+            .iter_shard(0, 0)
+            .take(32)
+            .map(|t| u32::from(t.ip))
+            .collect();
+        let sorted = {
+            let mut s = ips.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_ne!(ips, sorted, "walk should not be in address order");
+    }
+
+    #[test]
+    fn seeds_change_order_but_not_set() {
+        let a: Vec<Target> = slash24_gen(&[80], 1).iter_shard(0, 0).collect();
+        let b: Vec<Target> = slash24_gen(&[80], 2).iter_shard(0, 0).collect();
+        assert_ne!(a, b);
+        let sa: HashSet<_> = a.into_iter().collect();
+        let sb: HashSet<_> = b.into_iter().collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn duplicate_ports_are_deduplicated() {
+        let gen = slash24_gen(&[80, 80, 443], 1);
+        assert_eq!(gen.ports(), &[80, 443]);
+        assert_eq!(gen.target_count(), 512);
+    }
+
+    #[test]
+    fn non_power_of_two_port_count_rejects_cleanly() {
+        // 3 ports ⇒ 2 port bits ⇒ port index 3 must be rejected, never
+        // emitted, and every real target still appears exactly once.
+        let gen = slash24_gen(&[1, 2, 3], 3);
+        let got: Vec<Target> = gen.iter_shard(0, 0).collect();
+        assert_eq!(got.len() as u64, gen.target_count());
+    }
+
+    #[test]
+    fn single_ip_many_ports() {
+        let mut c = Constraint::new(false);
+        c.set_prefix(0x08080808, 32, true);
+        let ports: Vec<u16> = (1..=100).collect();
+        let gen = TargetGenerator::builder()
+            .constraint(c)
+            .ports(&ports)
+            .seed(4)
+            .build()
+            .unwrap();
+        let got: HashSet<Target> = gen.iter_shard(0, 0).collect();
+        assert_eq!(got.len(), 100);
+        assert!(got.iter().all(|t| t.ip == Ipv4Addr::new(8, 8, 8, 8)));
+    }
+
+    #[test]
+    fn empty_configurations_error() {
+        let c = Constraint::new(false);
+        let err = TargetGenerator::builder().constraint(c).build().unwrap_err();
+        assert!(matches!(err, BuildError::EmptyAddressSet));
+        let err = TargetGenerator::builder().ports(&[]).build().unwrap_err();
+        assert!(matches!(err, BuildError::NoPorts));
+    }
+
+    #[test]
+    fn group_scales_with_pool_size() {
+        // /24 on 1 port → 256 targets → 2^16+1 group (257 is too small
+        // only when >256 targets; 256 fits 257's order of 256).
+        let gen = slash24_gen(&[80], 0);
+        assert_eq!(gen.cycle().group().prime(), 257);
+        // /24 on 2 ports → 512 targets → 65537 group.
+        let gen = slash24_gen(&[80, 443], 0);
+        assert_eq!(gen.cycle().group().prime(), 65537);
+    }
+
+    #[test]
+    fn full_ipv4_single_port_uses_32bit_group() {
+        let gen = TargetGenerator::builder().seed(1).build().unwrap();
+        assert_eq!(gen.target_count(), 1u64 << 32);
+        assert_eq!(gen.cycle().group().prime(), (1u64 << 32) + 15);
+        // Don't walk 4B targets; just decode a few elements.
+        let mut found = 0;
+        for i in 0..100u64 {
+            if let Some(t) = gen.decode(gen.cycle().element_at_position(i)) {
+                let _ = t;
+                found += 1;
+            }
+        }
+        assert!(found > 90, "full-v4 walk should rarely reject ({found}/100)");
+    }
+
+    #[test]
+    fn is_ip_allowed_matches_constraint() {
+        let gen = slash24_gen(&[80], 0);
+        assert!(gen.is_ip_allowed(Ipv4Addr::new(192, 0, 2, 17)));
+        assert!(!gen.is_ip_allowed(Ipv4Addr::new(192, 0, 3, 17)));
+    }
+}

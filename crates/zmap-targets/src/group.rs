@@ -1,0 +1,167 @@
+//! The ladder of cyclic group moduli ZMap iterates over (paper §4.1).
+//!
+//! ZMap originally scanned all of IPv4 with the group of order 2^32 + 14
+//! (prime modulus 2^32 + 15) and soon added smaller prime-order groups to
+//! scan subsets efficiently. Multiport support (2021, after Izhikevich et
+//! al.'s LZR) extended the ladder up to 2^48 + 20 so that a full
+//! IPv4 × 65536-port sweep fits in one group.
+//!
+//! Note: the paper's text says "2^48 + 23", but 2^48 + 23 = 3 × 29 × 59 ×
+//! 54826561891 is composite; the actual ZMap modulus is 2^48 + 21.
+
+use zmap_math::{factorization, is_prime, Factorization};
+
+/// The fixed ladder of prime moduli: the smallest usable group is chosen
+/// per scan so rejection sampling stays cheap.
+pub const GROUP_MODULI: [u64; 6] = [
+    (1 << 8) + 1,        // 257
+    (1 << 16) + 1,       // 65537
+    (1 << 24) + 43,      // 16777259
+    (1u64 << 32) + 15,   // 4294967311
+    (1u64 << 40) + 15,   // 1099511627791
+    (1u64 << 48) + 21,   // 281474976710677 (paper typo: "2^48+23")
+];
+
+/// A multiplicative group (ℤ/pℤ)^× used for target permutation.
+///
+/// Carries the factorization of the group order p − 1, which the 2024
+/// generator search needs (and which ZMap precomputes per group).
+#[derive(Debug, Clone)]
+pub struct CyclicGroup {
+    prime: u64,
+    order_factorization: Factorization,
+}
+
+impl CyclicGroup {
+    /// Builds the group for prime modulus `p`, verifying primality and
+    /// factoring the order.
+    ///
+    /// # Errors
+    /// Returns `Err` if `p` is not prime or is too small to be useful
+    /// (`p < 3`).
+    pub fn new(p: u64) -> Result<Self, GroupError> {
+        if p < 3 {
+            return Err(GroupError::TooSmall(p));
+        }
+        if !is_prime(p) {
+            return Err(GroupError::NotPrime(p));
+        }
+        Ok(CyclicGroup {
+            prime: p,
+            order_factorization: factorization(p - 1),
+        })
+    }
+
+    /// The smallest ladder group whose order (p − 1) is at least
+    /// `num_targets`, i.e. can permute that many targets.
+    ///
+    /// # Errors
+    /// Returns `Err(GroupError::TooManyTargets)` when `num_targets`
+    /// exceeds the largest group order (2^48 + 20).
+    pub fn for_target_count(num_targets: u64) -> Result<Self, GroupError> {
+        for &p in &GROUP_MODULI {
+            if p - 1 >= num_targets {
+                // Moduli in the ladder are known primes; construction
+                // cannot fail.
+                return Self::new(p);
+            }
+        }
+        Err(GroupError::TooManyTargets(num_targets))
+    }
+
+    /// The prime modulus p.
+    pub fn prime(&self) -> u64 {
+        self.prime
+    }
+
+    /// The group order p − 1 (number of elements).
+    pub fn order(&self) -> u64 {
+        self.prime - 1
+    }
+
+    /// Factorization of the group order.
+    pub fn order_factorization(&self) -> &Factorization {
+        &self.order_factorization
+    }
+}
+
+/// Errors constructing a [`CyclicGroup`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupError {
+    /// The requested modulus is not prime.
+    NotPrime(u64),
+    /// The requested modulus is below 3.
+    TooSmall(u64),
+    /// More targets than the largest ladder group can hold.
+    TooManyTargets(u64),
+}
+
+impl std::fmt::Display for GroupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroupError::NotPrime(p) => write!(f, "{p} is not prime"),
+            GroupError::TooSmall(p) => write!(f, "modulus {p} is too small"),
+            GroupError::TooManyTargets(n) => {
+                write!(f, "{n} targets exceed the largest group (2^48 + 20 elements)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_all_prime_and_increasing() {
+        let mut prev = 0;
+        for &p in &GROUP_MODULI {
+            assert!(is_prime(p), "{p}");
+            assert!(p > prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn group_selection_boundaries() {
+        assert_eq!(CyclicGroup::for_target_count(1).unwrap().prime(), 257);
+        assert_eq!(CyclicGroup::for_target_count(256).unwrap().prime(), 257);
+        assert_eq!(CyclicGroup::for_target_count(257).unwrap().prime(), 65537);
+        // A full single-port IPv4 scan needs 2^32 targets ⇒ 2^32+15 group.
+        assert_eq!(
+            CyclicGroup::for_target_count(1u64 << 32).unwrap().prime(),
+            (1u64 << 32) + 15
+        );
+        // Full IPv4 × all ports ⇒ the 48-bit group.
+        assert_eq!(
+            CyclicGroup::for_target_count(1u64 << 48).unwrap().prime(),
+            (1u64 << 48) + 21
+        );
+    }
+
+    #[test]
+    fn too_many_targets_errors() {
+        let e = CyclicGroup::for_target_count(u64::MAX).unwrap_err();
+        assert!(matches!(e, GroupError::TooManyTargets(_)));
+    }
+
+    #[test]
+    fn composite_modulus_rejected() {
+        assert!(matches!(
+            CyclicGroup::new((1u64 << 48) + 23),
+            Err(GroupError::NotPrime(_))
+        ));
+        assert!(matches!(CyclicGroup::new(0), Err(GroupError::TooSmall(0))));
+        assert!(matches!(CyclicGroup::new(2), Err(GroupError::TooSmall(2))));
+    }
+
+    #[test]
+    fn order_factorization_is_consistent() {
+        for &p in &GROUP_MODULI {
+            let g = CyclicGroup::new(p).unwrap();
+            assert_eq!(g.order_factorization().product(), p - 1);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Roll-ups over detected scans: the statistics behind Figures 1–4.
+
+use crate::detector::ScanRecord;
+use crate::fingerprint::Fingerprint;
+use std::collections::HashMap;
+
+/// Per-quarter summary (one point on Figure 1's time series).
+#[derive(Debug, Clone)]
+pub struct QuarterReport {
+    /// Label, e.g. "2024Q1".
+    pub label: String,
+    /// Total scan packets observed.
+    pub total_packets: u64,
+    /// Packets attributed to ZMap scans.
+    pub zmap_packets: u64,
+    /// Packets attributed to Masscan scans.
+    pub masscan_packets: u64,
+    /// Number of detected scans.
+    pub scans: usize,
+}
+
+impl QuarterReport {
+    /// Builds the report for one quarter's scan records.
+    pub fn from_scans(label: impl Into<String>, scans: &[ScanRecord]) -> Self {
+        let mut r = QuarterReport {
+            label: label.into(),
+            total_packets: 0,
+            zmap_packets: 0,
+            masscan_packets: 0,
+            scans: scans.len(),
+        };
+        for s in scans {
+            r.total_packets += s.packets;
+            match s.tool {
+                Fingerprint::ZMap => r.zmap_packets += s.packets,
+                Fingerprint::Masscan => r.masscan_packets += s.packets,
+                Fingerprint::Unknown => {}
+            }
+        }
+        r
+    }
+
+    /// ZMap's share of scan packets (Figure 1's y-axis).
+    pub fn zmap_share(&self) -> f64 {
+        if self.total_packets == 0 {
+            0.0
+        } else {
+            self.zmap_packets as f64 / self.total_packets as f64
+        }
+    }
+}
+
+/// Per-port packet counts (Figures 2 and 3).
+#[derive(Debug, Clone, Default)]
+pub struct PortReport {
+    counts: HashMap<u16, PortCounts>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PortCounts {
+    pub total: u64,
+    pub zmap: u64,
+}
+
+impl PortReport {
+    /// Accumulates scan records.
+    pub fn add_scans(&mut self, scans: &[ScanRecord]) {
+        for s in scans {
+            let c = self.counts.entry(s.dst_port).or_default();
+            c.total += s.packets;
+            if s.tool == Fingerprint::ZMap {
+                c.zmap += s.packets;
+            }
+        }
+    }
+
+    /// Top `n` ports by total packets (Figure 2's bars).
+    pub fn top_ports_all(&self, n: usize) -> Vec<(u16, PortCounts)> {
+        let mut v: Vec<(u16, PortCounts)> =
+            self.counts.iter().map(|(&p, &c)| (p, c)).collect();
+        v.sort_by_key(|&(p, c)| (std::cmp::Reverse(c.total), p));
+        v.truncate(n);
+        v
+    }
+
+    /// Top `n` ports by ZMap packets (Figure 3's bars).
+    pub fn top_ports_zmap(&self, n: usize) -> Vec<(u16, PortCounts)> {
+        let mut v: Vec<(u16, PortCounts)> =
+            self.counts.iter().map(|(&p, &c)| (p, c)).collect();
+        v.sort_by_key(|&(p, c)| (std::cmp::Reverse(c.zmap), p));
+        v.truncate(n);
+        v
+    }
+
+    /// ZMap's share of packets targeting `port` (§2.1's per-port figures:
+    /// 12% of TCP/23, 69% of TCP/80, 99.5% of TCP/8728 …).
+    pub fn zmap_share_of_port(&self, port: u16) -> f64 {
+        match self.counts.get(&port) {
+            Some(c) if c.total > 0 => c.zmap as f64 / c.total as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Per-country ZMap shares (Figure 4). Generic over the geolocation
+/// function so the pipeline stays independent of the simulator.
+#[derive(Debug, Clone, Default)]
+pub struct CountryReport {
+    counts: HashMap<String, PortCounts>,
+}
+
+impl CountryReport {
+    /// Accumulates scans, geolocating sources with `locate`.
+    pub fn add_scans<F: Fn(u32) -> String>(&mut self, scans: &[ScanRecord], locate: F) {
+        for s in scans {
+            let c = self.counts.entry(locate(s.src_ip)).or_default();
+            c.total += s.packets;
+            if s.tool == Fingerprint::ZMap {
+                c.zmap += s.packets;
+            }
+        }
+    }
+
+    /// ZMap's share of scan packets from `country`.
+    pub fn zmap_share(&self, country: &str) -> Option<f64> {
+        self.counts
+            .get(country)
+            .filter(|c| c.total > 0)
+            .map(|c| c.zmap as f64 / c.total as f64)
+    }
+
+    /// Countries by total scan packets, descending.
+    pub fn by_volume(&self) -> Vec<(String, PortCounts)> {
+        let mut v: Vec<(String, PortCounts)> = self
+            .counts
+            .iter()
+            .map(|(k, &c)| (k.clone(), c))
+            .collect();
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c.total));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: u32, port: u16, packets: u64, tool: Fingerprint) -> ScanRecord {
+        ScanRecord {
+            src_ip: src,
+            dst_port: port,
+            packets,
+            distinct_ips: 100,
+            tool,
+        }
+    }
+
+    #[test]
+    fn quarter_share_math() {
+        let scans = vec![
+            scan(1, 80, 700, Fingerprint::ZMap),
+            scan(2, 80, 200, Fingerprint::Unknown),
+            scan(3, 22, 100, Fingerprint::Masscan),
+        ];
+        let r = QuarterReport::from_scans("2024Q1", &scans);
+        assert_eq!(r.total_packets, 1000);
+        assert_eq!(r.zmap_packets, 700);
+        assert_eq!(r.masscan_packets, 100);
+        assert!((r.zmap_share() - 0.7).abs() < 1e-12);
+        assert_eq!(r.scans, 3);
+    }
+
+    #[test]
+    fn empty_quarter_is_zero() {
+        let r = QuarterReport::from_scans("2013Q3", &[]);
+        assert_eq!(r.zmap_share(), 0.0);
+    }
+
+    #[test]
+    fn port_report_ranks_and_shares() {
+        let mut pr = PortReport::default();
+        pr.add_scans(&[
+            scan(1, 80, 690, Fingerprint::ZMap),
+            scan(2, 80, 310, Fingerprint::Unknown),
+            scan(3, 23, 120, Fingerprint::ZMap),
+            scan(4, 23, 880, Fingerprint::Unknown),
+            scan(5, 8728, 995, Fingerprint::ZMap),
+            scan(6, 8728, 5, Fingerprint::Unknown),
+        ]);
+        assert!((pr.zmap_share_of_port(80) - 0.69).abs() < 1e-12);
+        assert!((pr.zmap_share_of_port(23) - 0.12).abs() < 1e-12);
+        assert!((pr.zmap_share_of_port(8728) - 0.995).abs() < 1e-12);
+        assert_eq!(pr.zmap_share_of_port(9999), 0.0);
+        let top_all = pr.top_ports_all(2);
+        assert_eq!(top_all[0].0, 23);
+        assert_eq!(top_all[1].0, 80);
+        let top_zmap = pr.top_ports_zmap(1);
+        assert_eq!(top_zmap[0].0, 8728);
+    }
+
+    #[test]
+    fn country_report() {
+        let mut cr = CountryReport::default();
+        let scans = vec![
+            scan(0x01000000, 80, 660, Fingerprint::ZMap),
+            scan(0x01000001, 80, 340, Fingerprint::Unknown),
+            scan(0x02000000, 80, 5, Fingerprint::ZMap),
+            scan(0x02000001, 80, 1095, Fingerprint::Unknown),
+        ];
+        cr.add_scans(&scans, |src| {
+            if src >> 24 == 1 { "US".into() } else { "RU".into() }
+        });
+        assert!((cr.zmap_share("US").unwrap() - 0.66).abs() < 1e-12);
+        assert!((cr.zmap_share("RU").unwrap() - 5.0 / 1100.0).abs() < 1e-12);
+        assert_eq!(cr.zmap_share("DE"), None);
+        assert_eq!(cr.by_volume()[0].0, "RU");
+    }
+}

@@ -1,0 +1,196 @@
+//! Scan detection: grouping darknet packets into scans and attributing a
+//! tool per scan.
+//!
+//! Following the ORION methodology used in §2.1, a *scan* is a flow —
+//! grouped by (source address, destination port) — that targets at least
+//! ten distinct telescope addresses. Tool attribution is per scan, by
+//! majority over its packets' fingerprints, which suppresses the
+//! 1/65536-per-packet false positives of the static-IP-ID rule.
+
+use crate::fingerprint::{classify_frame, Fingerprint, ProbeInfo};
+use std::collections::{HashMap, HashSet};
+
+/// Threshold of distinct darknet IPs for a flow to count as a scan.
+pub const SCAN_IP_THRESHOLD: usize = 10;
+
+/// A detected scan (one source sweeping one port).
+#[derive(Debug, Clone)]
+pub struct ScanRecord {
+    pub src_ip: u32,
+    pub dst_port: u16,
+    /// Packets observed in this flow.
+    pub packets: u64,
+    /// Distinct telescope addresses hit.
+    pub distinct_ips: usize,
+    /// Majority-attributed tool.
+    pub tool: Fingerprint,
+}
+
+#[derive(Default)]
+struct FlowState {
+    packets: u64,
+    distinct: HashSet<u32>,
+    votes_zmap: u64,
+    votes_masscan: u64,
+    votes_unknown: u64,
+}
+
+/// Streaming scan detector over captured frames.
+#[derive(Default)]
+pub struct ScanDetector {
+    flows: HashMap<(u32, u16), FlowState>,
+    non_tcp: u64,
+}
+
+impl ScanDetector {
+    /// An empty detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one captured frame.
+    pub fn ingest_frame(&mut self, frame: &[u8]) {
+        match classify_frame(frame) {
+            Some(info) if info.is_tcp_syn => self.ingest_info(&info),
+            Some(_) => {} // non-SYN TCP: ignore for scan tagging
+            None => self.non_tcp += 1,
+        }
+    }
+
+    /// Ingests pre-parsed probe info (for high-volume simulations that
+    /// skip frame materialization).
+    pub fn ingest_info(&mut self, info: &ProbeInfo) {
+        self.ingest_info_weighted(info, 1);
+    }
+
+    /// Ingests pre-parsed info standing for `weight` identical packets.
+    /// High-volume simulations fingerprint a *sample* of each flow's
+    /// packets and scale by the flow's true volume; because a tool's
+    /// fingerprint is constant within a flow, weighted samples preserve
+    /// packet-share statistics exactly.
+    pub fn ingest_info_weighted(&mut self, info: &ProbeInfo, weight: u64) {
+        let flow = self.flows.entry((info.src_ip, info.dst_port)).or_default();
+        flow.packets += weight;
+        flow.distinct.insert(info.dst_ip);
+        match info.fingerprint {
+            Fingerprint::ZMap => flow.votes_zmap += weight,
+            Fingerprint::Masscan => flow.votes_masscan += weight,
+            Fingerprint::Unknown => flow.votes_unknown += weight,
+        }
+    }
+
+    /// Frames that were not TCP (counted, not tagged — mirrors ORION's
+    /// TCP-only tool tagging).
+    pub fn non_tcp_frames(&self) -> u64 {
+        self.non_tcp
+    }
+
+    /// Finalizes: flows over the threshold become [`ScanRecord`]s.
+    pub fn scans(&self) -> Vec<ScanRecord> {
+        let mut out: Vec<ScanRecord> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.distinct.len() >= SCAN_IP_THRESHOLD)
+            .map(|(&(src_ip, dst_port), f)| {
+                let tool = if f.votes_zmap >= f.votes_masscan && f.votes_zmap >= f.votes_unknown
+                {
+                    Fingerprint::ZMap
+                } else if f.votes_masscan >= f.votes_unknown {
+                    Fingerprint::Masscan
+                } else {
+                    Fingerprint::Unknown
+                };
+                ScanRecord {
+                    src_ip,
+                    dst_port,
+                    packets: f.packets,
+                    distinct_ips: f.distinct.len(),
+                    tool,
+                }
+            })
+            .collect();
+        out.sort_by_key(|s| (std::cmp::Reverse(s.packets), s.src_ip, s.dst_port));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(src: u32, dst: u32, port: u16, fp: Fingerprint) -> ProbeInfo {
+        ProbeInfo {
+            src_ip: src,
+            dst_ip: dst,
+            dst_port: port,
+            fingerprint: fp,
+            is_tcp_syn: true,
+        }
+    }
+
+    #[test]
+    fn below_threshold_is_not_a_scan() {
+        let mut d = ScanDetector::new();
+        for i in 0..9u32 {
+            d.ingest_info(&info(1, 100 + i, 80, Fingerprint::ZMap));
+        }
+        assert!(d.scans().is_empty(), "9 IPs is below the 10-IP threshold");
+        d.ingest_info(&info(1, 200, 80, Fingerprint::ZMap));
+        assert_eq!(d.scans().len(), 1);
+    }
+
+    #[test]
+    fn repeated_ips_do_not_inflate_distinct_count() {
+        let mut d = ScanDetector::new();
+        for _ in 0..100 {
+            d.ingest_info(&info(1, 42, 80, Fingerprint::ZMap));
+        }
+        assert!(d.scans().is_empty(), "one IP hit 100 times is not a scan");
+    }
+
+    #[test]
+    fn flows_are_keyed_by_source_and_port() {
+        let mut d = ScanDetector::new();
+        for i in 0..10u32 {
+            d.ingest_info(&info(1, 100 + i, 80, Fingerprint::ZMap));
+            d.ingest_info(&info(1, 100 + i, 443, Fingerprint::Unknown));
+            d.ingest_info(&info(2, 100 + i, 80, Fingerprint::Masscan));
+        }
+        let scans = d.scans();
+        assert_eq!(scans.len(), 3);
+        let find = |src, port| {
+            scans
+                .iter()
+                .find(|s| s.src_ip == src && s.dst_port == port)
+                .unwrap()
+        };
+        assert_eq!(find(1, 80).tool, Fingerprint::ZMap);
+        assert_eq!(find(1, 443).tool, Fingerprint::Unknown);
+        assert_eq!(find(2, 80).tool, Fingerprint::Masscan);
+    }
+
+    #[test]
+    fn majority_vote_suppresses_stray_collisions() {
+        let mut d = ScanDetector::new();
+        // 1 packet randomly collides with the ZMap ID, 99 do not.
+        d.ingest_info(&info(7, 1, 22, Fingerprint::ZMap));
+        for i in 0..99u32 {
+            d.ingest_info(&info(7, 2 + i, 22, Fingerprint::Unknown));
+        }
+        let scans = d.scans();
+        assert_eq!(scans.len(), 1);
+        assert_eq!(scans[0].tool, Fingerprint::Unknown);
+        assert_eq!(scans[0].packets, 100);
+    }
+
+    #[test]
+    fn records_carry_volume() {
+        let mut d = ScanDetector::new();
+        for i in 0..50u32 {
+            d.ingest_info(&info(9, i, 8080, Fingerprint::ZMap));
+        }
+        let s = &d.scans()[0];
+        assert_eq!(s.packets, 50);
+        assert_eq!(s.distinct_ips, 50);
+    }
+}

@@ -1,0 +1,117 @@
+//! RFC 1071 Internet checksum, shared by IPv4/TCP/UDP/ICMP.
+//!
+//! Network parsers and builders must agree on one checksum implementation;
+//! keeping it in one module with reference-vector tests avoids the classic
+//! byte-order and odd-length bugs.
+
+/// One's-complement sum of `data` folded to 16 bits, starting from `acc`.
+/// Odd trailing bytes are padded with a zero byte (per RFC 1071).
+pub fn sum(mut acc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Folds carries and complements: the final checksum field value.
+pub fn finish(mut acc: u32) -> u16 {
+    while acc > 0xFFFF {
+        acc = (acc & 0xFFFF) + (acc >> 16);
+    }
+    !(acc as u16)
+}
+
+/// Checksum of a standalone buffer (e.g. an IPv4 header with its checksum
+/// field zeroed).
+pub fn checksum(data: &[u8]) -> u16 {
+    finish(sum(0, data))
+}
+
+/// The TCP/UDP pseudo-header contribution: source, destination, protocol,
+/// and L4 length.
+pub fn pseudo_header(src: u32, dst: u32, protocol: u8, l4_len: u16) -> u32 {
+    let mut acc = 0u32;
+    acc += src >> 16;
+    acc += src & 0xFFFF;
+    acc += dst >> 16;
+    acc += dst & 0xFFFF;
+    acc += u32::from(protocol);
+    acc += u32::from(l4_len);
+    acc
+}
+
+/// Verifies a buffer whose checksum field is *included*: the folded sum of
+/// the whole thing must be zero.
+pub fn verify(data: &[u8], pseudo: u32) -> bool {
+    finish(sum(pseudo, data)) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_worked_example() {
+        // The classic example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // Folded sum before complement should be 0xddf2.
+        let mut acc = sum(0, &data);
+        while acc > 0xFFFF {
+            acc = (acc & 0xFFFF) + (acc >> 16);
+        }
+        assert_eq!(acc, 0xddf2);
+    }
+
+    #[test]
+    fn known_ipv4_header_checksum() {
+        // Wikipedia's IPv4 checksum example: checksum must be 0xB861.
+        let hdr = [
+            0x45u8, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0,
+            0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        assert_eq!(checksum(&hdr), 0xB861);
+    }
+
+    #[test]
+    fn verify_accepts_valid_and_rejects_corrupt() {
+        let mut hdr = [
+            0x45u8, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0xb8, 0x61, 0xc0,
+            0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        assert!(verify(&hdr, 0));
+        hdr[3] ^= 0x01;
+        assert!(!verify(&hdr, 0));
+    }
+
+    #[test]
+    fn odd_length_padding() {
+        // [0xAB] == [0xAB, 0x00]
+        assert_eq!(checksum(&[0xAB]), checksum(&[0xAB, 0x00]));
+        assert_ne!(checksum(&[0xAB]), checksum(&[0x00, 0xAB]));
+    }
+
+    #[test]
+    fn empty_buffer() {
+        assert_eq!(checksum(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let oneshot = finish(sum(0, &data));
+        let split = finish(sum(sum(0, &data[..128]), &data[128..]));
+        assert_eq!(oneshot, split);
+    }
+
+    #[test]
+    fn pseudo_header_symmetry() {
+        // Swapping src/dst must not change the sum (addition commutes).
+        let a = pseudo_header(0x01020304, 0x05060708, 6, 20);
+        let b = pseudo_header(0x05060708, 0x01020304, 6, 20);
+        assert_eq!(finish(a), finish(b));
+    }
+}

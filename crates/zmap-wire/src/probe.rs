@@ -1,0 +1,730 @@
+//! Probe frame assembly and response classification — the glue between
+//! raw wire formats and the scanner engine.
+//!
+//! [`ProbeBuilder`] stamps out complete Ethernet frames for TCP SYN, ICMP
+//! echo, and UDP probes, embedding the validation cookie; [`parse_response`]
+//! takes a received frame and classifies it, checking the cookie so the
+//! engine sees only validated, typed responses.
+
+use crate::cookie::ValidationKey;
+use crate::ethernet::{EtherType, EthernetRepr, EthernetView, MacAddr};
+use crate::icmp::{IcmpRepr, IcmpType, IcmpView, UnreachCode};
+use crate::ipv4::{IpIdMode, IpProtocol, Ipv4Repr, Ipv4View};
+use crate::options::OptionLayout;
+use crate::tcp::{TcpFlags, TcpRepr, TcpView};
+use crate::udp::{UdpRepr, UdpView};
+use crate::{checksum, WireError};
+use std::net::Ipv4Addr;
+
+/// ZMap's default source-port range base.
+pub const DEFAULT_SPORT_BASE: u16 = 32768;
+/// ZMap's default source-port range size (32768–61000).
+pub const DEFAULT_SPORT_COUNT: u16 = 28233;
+
+/// Builds probe frames for one scan (fixed L2 addressing, key, layout).
+#[derive(Debug, Clone)]
+pub struct ProbeBuilder {
+    /// Scanner MAC.
+    pub src_mac: MacAddr,
+    /// Gateway MAC.
+    pub gw_mac: MacAddr,
+    /// Scanner source address.
+    pub src_ip: Ipv4Addr,
+    /// TCP option layout for SYN probes.
+    pub layout: OptionLayout,
+    /// IP identification policy.
+    pub ip_id: IpIdMode,
+    /// IP TTL (ZMap sends 255).
+    pub ttl: u8,
+    /// Source-port range base.
+    pub sport_base: u16,
+    /// Source-port range size.
+    pub sport_count: u16,
+    /// Validation key (per scan).
+    pub key: ValidationKey,
+}
+
+impl ProbeBuilder {
+    /// A builder with ZMap defaults, deriving MACs/key from `seed`.
+    pub fn new(src_ip: Ipv4Addr, seed: u64) -> Self {
+        ProbeBuilder {
+            src_mac: MacAddr::local(seed as u32),
+            gw_mac: MacAddr::local((seed >> 32) as u32 ^ 0xFFFF),
+            src_ip,
+            layout: OptionLayout::default(),
+            ip_id: IpIdMode::default(),
+            ttl: 255,
+            sport_base: DEFAULT_SPORT_BASE,
+            sport_count: DEFAULT_SPORT_COUNT,
+            key: ValidationKey::from_seed(seed),
+        }
+    }
+
+    /// The source port this scan uses for `(dst_ip, dst_port)`.
+    pub fn source_port(&self, dst_ip: Ipv4Addr, dst_port: u16) -> u16 {
+        self.key
+            .source_port(self.sport_base, self.sport_count, u32::from(dst_ip), dst_port)
+    }
+
+    /// Whether `port` falls in this scan's source-port range.
+    pub fn owns_source_port(&self, port: u16) -> bool {
+        let off = port.wrapping_sub(self.sport_base);
+        off < self.sport_count
+    }
+
+    /// A complete Ethernet frame carrying a TCP SYN probe.
+    ///
+    /// `ip_id_entropy` supplies the per-packet randomness for
+    /// [`IpIdMode::Random`] (the engine passes RNG output; tests pass
+    /// constants).
+    pub fn tcp_syn(&self, dst_ip: Ipv4Addr, dst_port: u16, ip_id_entropy: u16) -> Vec<u8> {
+        let sport = self.source_port(dst_ip, dst_port);
+        let seq = self
+            .key
+            .tcp_seq(u32::from(self.src_ip), u32::from(dst_ip), sport, dst_port);
+        let tcp = TcpRepr {
+            src_port: sport,
+            dst_port,
+            seq,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 65535,
+            options: self.layout.bytes(),
+        };
+        let tcp_len = tcp.header_len() as u16;
+        let mut buf = Vec::with_capacity(14 + 20 + tcp.header_len());
+        EthernetRepr {
+            dst: self.gw_mac,
+            src: self.src_mac,
+            ethertype: EtherType::Ipv4,
+        }
+        .emit(&mut buf);
+        Ipv4Repr {
+            src: self.src_ip,
+            dst: dst_ip,
+            protocol: IpProtocol::Tcp,
+            id: self.ip_id.resolve(ip_id_entropy),
+            ttl: self.ttl,
+            payload_len: tcp_len,
+        }
+        .emit(&mut buf);
+        let pseudo = checksum::pseudo_header(
+            u32::from(self.src_ip),
+            u32::from(dst_ip),
+            IpProtocol::Tcp.into(),
+            tcp_len,
+        );
+        tcp.emit(pseudo, &[], &mut buf);
+        buf
+    }
+
+    /// A data-bearing ACK completing a handshake and delivering an L7
+    /// request (the second phase of two-phase scanning): seq continues
+    /// our SYN cookie (+1), ack acknowledges the server's SYN-ACK
+    /// (`server_seq + 1`).
+    pub fn tcp_ack_data(
+        &self,
+        dst_ip: Ipv4Addr,
+        dst_port: u16,
+        server_seq: u32,
+        payload: &[u8],
+        ip_id_entropy: u16,
+    ) -> Vec<u8> {
+        let sport = self.source_port(dst_ip, dst_port);
+        let seq = self
+            .key
+            .tcp_seq(u32::from(self.src_ip), u32::from(dst_ip), sport, dst_port)
+            .wrapping_add(1);
+        let tcp = TcpRepr {
+            src_port: sport,
+            dst_port,
+            seq,
+            ack: server_seq.wrapping_add(1),
+            flags: TcpFlags::PSH.union(TcpFlags::ACK),
+            window: 65535,
+            options: vec![],
+        };
+        let tcp_len = (tcp.header_len() + payload.len()) as u16;
+        let mut buf = Vec::with_capacity(14 + 20 + usize::from(tcp_len));
+        EthernetRepr {
+            dst: self.gw_mac,
+            src: self.src_mac,
+            ethertype: EtherType::Ipv4,
+        }
+        .emit(&mut buf);
+        Ipv4Repr {
+            src: self.src_ip,
+            dst: dst_ip,
+            protocol: IpProtocol::Tcp,
+            id: self.ip_id.resolve(ip_id_entropy),
+            ttl: self.ttl,
+            payload_len: tcp_len,
+        }
+        .emit(&mut buf);
+        let pseudo = checksum::pseudo_header(
+            u32::from(self.src_ip),
+            u32::from(dst_ip),
+            IpProtocol::Tcp.into(),
+            tcp_len,
+        );
+        tcp.emit(pseudo, payload, &mut buf);
+        buf
+    }
+
+    /// Parses a frame as an L7 banner reply to a [`tcp_ack_data`]
+    /// (Self::tcp_ack_data) probe of `payload_len` bytes: validates
+    /// addressing, our recomputed source port, and the acknowledgment of
+    /// our data. Returns the banner bytes.
+    pub fn parse_banner(
+        &self,
+        frame: &[u8],
+        payload_len: usize,
+    ) -> Result<Option<(Ipv4Addr, u16, Vec<u8>)>, WireError> {
+        let eth = EthernetView::parse(frame)?;
+        if eth.ethertype() != EtherType::Ipv4 {
+            return Ok(None);
+        }
+        let ip = Ipv4View::parse(eth.payload())?;
+        if ip.dst() != self.src_ip {
+            return Ok(None);
+        }
+        if ip.protocol() != IpProtocol::Tcp {
+            return Ok(None);
+        }
+        let tcp = TcpView::parse(ip.payload())?;
+        if !self.owns_source_port(tcp.dst_port()) || tcp.payload().is_empty() {
+            return Ok(None);
+        }
+        let responder = ip.src();
+        // Our data seq was cookie+1; the server's ack must be
+        // cookie + 1 + payload_len.
+        let expected_ack = self
+            .key
+            .tcp_seq(
+                u32::from(self.src_ip),
+                u32::from(responder),
+                tcp.dst_port(),
+                tcp.src_port(),
+            )
+            .wrapping_add(1)
+            .wrapping_add(payload_len as u32);
+        if tcp.ack() != expected_ack
+            || tcp.dst_port() != self.source_port(responder, tcp.src_port())
+        {
+            return Ok(None);
+        }
+        Ok(Some((responder, tcp.src_port(), tcp.payload().to_vec())))
+    }
+
+    /// A complete Ethernet frame carrying an ICMP echo request probe.
+    pub fn icmp_echo(&self, dst_ip: Ipv4Addr, ip_id_entropy: u16) -> Vec<u8> {
+        let (id, seq) = self.key.icmp_id_seq(u32::from(self.src_ip), u32::from(dst_ip));
+        let icmp = IcmpRepr {
+            icmp_type: IcmpType::EchoRequest,
+            id,
+            seq,
+        };
+        let payload = [0u8; 8];
+        let mut buf = Vec::with_capacity(14 + 20 + 8 + payload.len());
+        EthernetRepr {
+            dst: self.gw_mac,
+            src: self.src_mac,
+            ethertype: EtherType::Ipv4,
+        }
+        .emit(&mut buf);
+        Ipv4Repr {
+            src: self.src_ip,
+            dst: dst_ip,
+            protocol: IpProtocol::Icmp,
+            id: self.ip_id.resolve(ip_id_entropy),
+            ttl: self.ttl,
+            payload_len: (8 + payload.len()) as u16,
+        }
+        .emit(&mut buf);
+        icmp.emit(&payload, &mut buf);
+        buf
+    }
+
+    /// A complete Ethernet frame carrying a UDP probe with `payload`
+    /// prefixed by the 8-byte validation tag.
+    pub fn udp(&self, dst_ip: Ipv4Addr, dst_port: u16, payload: &[u8], ip_id_entropy: u16) -> Vec<u8> {
+        let sport = self.source_port(dst_ip, dst_port);
+        let tag = self
+            .key
+            .udp_tag(u32::from(self.src_ip), u32::from(dst_ip), sport, dst_port);
+        let mut body = Vec::with_capacity(8 + payload.len());
+        body.extend_from_slice(&tag);
+        body.extend_from_slice(payload);
+        let udp_len = (8 + body.len()) as u16;
+        let mut buf = Vec::with_capacity(14 + 20 + usize::from(udp_len));
+        EthernetRepr {
+            dst: self.gw_mac,
+            src: self.src_mac,
+            ethertype: EtherType::Ipv4,
+        }
+        .emit(&mut buf);
+        Ipv4Repr {
+            src: self.src_ip,
+            dst: dst_ip,
+            protocol: IpProtocol::Udp,
+            id: self.ip_id.resolve(ip_id_entropy),
+            ttl: self.ttl,
+            payload_len: udp_len,
+        }
+        .emit(&mut buf);
+        let pseudo = checksum::pseudo_header(
+            u32::from(self.src_ip),
+            u32::from(dst_ip),
+            IpProtocol::Udp.into(),
+            udp_len,
+        );
+        UdpRepr {
+            src_port: sport,
+            dst_port,
+        }
+        .emit(pseudo, &body, &mut buf);
+        buf
+    }
+
+    /// Parses and validates a received frame against this scan.
+    ///
+    /// Returns `Ok(None)` for frames that are well-formed but not for us
+    /// (wrong destination IP, source port outside our range, cookie
+    /// mismatch) — the common case on a busy interface — and `Err` for
+    /// malformed packets.
+    pub fn parse_response(&self, frame: &[u8]) -> Result<Option<Response>, WireError> {
+        let eth = EthernetView::parse(frame)?;
+        if eth.ethertype() != EtherType::Ipv4 {
+            return Ok(None);
+        }
+        let ip = Ipv4View::parse(eth.payload())?;
+        if ip.dst() != self.src_ip {
+            return Ok(None);
+        }
+        let responder = ip.src();
+        match ip.protocol() {
+            IpProtocol::Tcp => {
+                let tcp = TcpView::parse(ip.payload())?;
+                if !self.owns_source_port(tcp.dst_port()) {
+                    return Ok(None);
+                }
+                // Recompute the probe cookie for this 4-tuple (probe went
+                // scanner:dport_of_response → responder:sport_of_response).
+                let valid = self.key.tcp_validate(
+                    u32::from(self.src_ip),
+                    u32::from(responder),
+                    tcp.dst_port(),
+                    tcp.src_port(),
+                    tcp.ack(),
+                ) && tcp.dst_port()
+                    == self.source_port(responder, tcp.src_port());
+                if !valid {
+                    return Ok(None);
+                }
+                let kind = if tcp.flags().syn() && tcp.flags().ack() {
+                    ResponseKind::SynAck
+                } else if tcp.flags().rst() {
+                    ResponseKind::Rst
+                } else {
+                    ResponseKind::OtherTcp(tcp.flags())
+                };
+                Ok(Some(Response {
+                    ip: responder,
+                    port: tcp.src_port(),
+                    kind,
+                    ttl: ip.ttl(),
+                    seq: tcp.seq(),
+                }))
+            }
+            IpProtocol::Icmp => {
+                let icmp = IcmpView::parse(ip.payload())?;
+                match icmp.icmp_type() {
+                    IcmpType::EchoReply => {
+                        if !self.key.icmp_validate(
+                            u32::from(self.src_ip),
+                            u32::from(responder),
+                            icmp.id(),
+                            icmp.seq(),
+                        ) {
+                            return Ok(None);
+                        }
+                        Ok(Some(Response {
+                            ip: responder,
+                            port: 0,
+                            kind: ResponseKind::EchoReply,
+                            ttl: ip.ttl(),
+                            seq: 0,
+                        }))
+                    }
+                    IcmpType::DestUnreachable(code) => {
+                        // The payload quotes our probe's IPv4 header +
+                        // ≥8 L4 bytes; validate via the quoted header.
+                        let quoted = Ipv4View::parse_quoted(icmp.payload())?;
+                        if quoted.src() != self.src_ip {
+                            return Ok(None);
+                        }
+                        let l4 = quoted.payload();
+                        if l4.len() < 4 {
+                            return Err(WireError::Truncated);
+                        }
+                        let dport = u16::from_be_bytes([l4[2], l4[3]]);
+                        Ok(Some(Response {
+                            ip: quoted.dst(), // the *probed* host
+                            port: dport,
+                            kind: ResponseKind::Unreachable {
+                                code,
+                                via: responder,
+                            },
+                            ttl: ip.ttl(),
+                            seq: 0,
+                        }))
+                    }
+                    _ => Ok(None),
+                }
+            }
+            IpProtocol::Udp => {
+                let udp = UdpView::parse(ip.payload())?;
+                if !self.owns_source_port(udp.dst_port()) {
+                    return Ok(None);
+                }
+                let tag = self.key.udp_tag(
+                    u32::from(self.src_ip),
+                    u32::from(responder),
+                    udp.dst_port(),
+                    udp.src_port(),
+                );
+                // Services echo our payload (or at least respond from the
+                // probed port); accept either an echoed tag or a matching
+                // stateless source-port recomputation.
+                let tag_ok = udp.payload().len() >= 8 && udp.payload()[..8] == tag;
+                let port_ok =
+                    udp.dst_port() == self.source_port(responder, udp.src_port());
+                if !(tag_ok || port_ok) {
+                    return Ok(None);
+                }
+                Ok(Some(Response {
+                    ip: responder,
+                    port: udp.src_port(),
+                    kind: ResponseKind::UdpData(udp.payload().len()),
+                    ttl: ip.ttl(),
+                    seq: 0,
+                }))
+            }
+            IpProtocol::Other(_) => Ok(None),
+        }
+    }
+}
+
+/// A validated response attributed to a probed target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Response {
+    /// The probed host (for ICMP errors, the original destination).
+    pub ip: Ipv4Addr,
+    /// The probed port (0 for ICMP echo).
+    pub port: u16,
+    /// What came back.
+    pub kind: ResponseKind,
+    /// TTL observed on the response (distance fingerprinting).
+    pub ttl: u8,
+    /// The responder's TCP sequence number (0 for non-TCP) — needed to
+    /// acknowledge a SYN-ACK in two-phase scanning.
+    pub seq: u32,
+}
+
+/// Classification of a validated response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseKind {
+    /// TCP SYN-ACK: port open.
+    SynAck,
+    /// TCP RST: port closed (host alive).
+    Rst,
+    /// Unexpected TCP flags (middlebox oddities).
+    OtherTcp(TcpFlags),
+    /// ICMP echo reply: host alive.
+    EchoReply,
+    /// ICMP destination unreachable, from `via` (possibly a router).
+    Unreachable {
+        code: UnreachCode,
+        via: Ipv4Addr,
+    },
+    /// UDP data of the given length: service answered.
+    UdpData(usize),
+}
+
+impl ResponseKind {
+    /// Whether this response indicates an open/answering service
+    /// (ZMap's "success" classification for hit-rate purposes).
+    pub fn is_success(&self) -> bool {
+        matches!(
+            self,
+            ResponseKind::SynAck | ResponseKind::EchoReply | ResponseKind::UdpData(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builder() -> ProbeBuilder {
+        ProbeBuilder::new(Ipv4Addr::new(192, 0, 2, 9), 0xABCD)
+    }
+
+    /// Craft the SYN-ACK a live host would send for `probe`.
+    fn synthesize_synack(b: &ProbeBuilder, probe: &[u8]) -> Vec<u8> {
+        let eth = EthernetView::parse(probe).unwrap();
+        let ip = Ipv4View::parse(eth.payload()).unwrap();
+        let tcp = TcpView::parse(ip.payload()).unwrap();
+        let reply_tcp = TcpRepr {
+            src_port: tcp.dst_port(),
+            dst_port: tcp.src_port(),
+            seq: 0x11223344,
+            ack: tcp.seq().wrapping_add(1),
+            flags: TcpFlags::SYN_ACK,
+            window: 14600,
+            options: crate::options::OptionLayout::Linux.bytes(),
+        };
+        let tcp_len = reply_tcp.header_len() as u16;
+        let mut buf = Vec::new();
+        EthernetRepr {
+            dst: b.src_mac,
+            src: MacAddr::local(77),
+            ethertype: EtherType::Ipv4,
+        }
+        .emit(&mut buf);
+        Ipv4Repr {
+            src: ip.dst(),
+            dst: ip.src(),
+            protocol: IpProtocol::Tcp,
+            id: 0x1111,
+            ttl: 55,
+            payload_len: tcp_len,
+        }
+        .emit(&mut buf);
+        let pseudo = checksum::pseudo_header(
+            u32::from(ip.dst()),
+            u32::from(ip.src()),
+            6,
+            tcp_len,
+        );
+        reply_tcp.emit(pseudo, &[], &mut buf);
+        buf
+    }
+
+    #[test]
+    fn syn_probe_has_expected_shape() {
+        let b = builder();
+        let frame = b.tcp_syn(Ipv4Addr::new(203, 0, 113, 5), 80, 7);
+        assert_eq!(frame.len(), 14 + 20 + 20 + 4); // MSS-only default
+        let eth = EthernetView::parse(&frame).unwrap();
+        let ip = Ipv4View::parse(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+        assert_eq!(ip.ttl(), 255);
+        let tcp = TcpView::parse(ip.payload()).unwrap();
+        assert!(tcp.verify_checksum(ip.pseudo_sum()));
+        assert!(tcp.flags().syn() && !tcp.flags().ack());
+        assert!(b.owns_source_port(tcp.src_port()));
+    }
+
+    #[test]
+    fn static_ip_id_default_is_random() {
+        let b = builder();
+        let f1 = b.tcp_syn(Ipv4Addr::new(203, 0, 113, 5), 80, 1000);
+        let f2 = b.tcp_syn(Ipv4Addr::new(203, 0, 113, 5), 80, 2000);
+        let id1 = Ipv4View::parse(EthernetView::parse(&f1).unwrap().payload()).unwrap().id();
+        let id2 = Ipv4View::parse(EthernetView::parse(&f2).unwrap().payload()).unwrap().id();
+        assert_eq!(id1, 1000);
+        assert_eq!(id2, 2000);
+
+        let mut b = builder();
+        b.ip_id = IpIdMode::Static;
+        let f = b.tcp_syn(Ipv4Addr::new(203, 0, 113, 5), 80, 1000);
+        let id = Ipv4View::parse(EthernetView::parse(&f).unwrap().payload()).unwrap().id();
+        assert_eq!(id, 54321);
+    }
+
+    #[test]
+    fn valid_synack_is_accepted() {
+        let b = builder();
+        let dst = Ipv4Addr::new(203, 0, 113, 5);
+        let probe = b.tcp_syn(dst, 443, 7);
+        let reply = synthesize_synack(&b, &probe);
+        let resp = b.parse_response(&reply).unwrap().unwrap();
+        assert_eq!(resp.ip, dst);
+        assert_eq!(resp.port, 443);
+        assert_eq!(resp.kind, ResponseKind::SynAck);
+        assert!(resp.kind.is_success());
+        assert_eq!(resp.ttl, 55);
+    }
+
+    #[test]
+    fn wrong_ack_is_rejected() {
+        let b = builder();
+        let probe = b.tcp_syn(Ipv4Addr::new(203, 0, 113, 5), 443, 7);
+        let mut reply = synthesize_synack(&b, &probe);
+        // Corrupt the ACK (and fix no checksums — validation should fail
+        // on cookie before checksums matter here).
+        reply[14 + 20 + 8] ^= 0x55;
+        assert_eq!(b.parse_response(&reply).unwrap(), None);
+    }
+
+    #[test]
+    fn response_to_other_scanner_is_ignored() {
+        let b1 = builder();
+        let b2 = ProbeBuilder::new(Ipv4Addr::new(192, 0, 2, 9), 0x9999); // same IP, other key
+        let probe = b1.tcp_syn(Ipv4Addr::new(203, 0, 113, 5), 80, 7);
+        let reply = synthesize_synack(&b1, &probe);
+        assert_eq!(b2.parse_response(&reply).unwrap(), None, "cookie must not validate");
+    }
+
+    #[test]
+    fn frame_for_other_host_is_ignored() {
+        let b = builder();
+        let other = ProbeBuilder::new(Ipv4Addr::new(192, 0, 2, 10), 0xABCD);
+        let probe = other.tcp_syn(Ipv4Addr::new(203, 0, 113, 5), 80, 7);
+        let reply = synthesize_synack(&other, &probe);
+        assert_eq!(b.parse_response(&reply).unwrap(), None);
+    }
+
+    #[test]
+    fn icmp_echo_roundtrip() {
+        let b = builder();
+        let dst = Ipv4Addr::new(198, 51, 100, 77);
+        let probe = b.icmp_echo(dst, 3);
+        // Synthesize the reply: swap addresses, type 0, same id/seq.
+        let eth = EthernetView::parse(&probe).unwrap();
+        let ip = Ipv4View::parse(eth.payload()).unwrap();
+        let icmp = IcmpView::parse(ip.payload()).unwrap();
+        let mut buf = Vec::new();
+        EthernetRepr {
+            dst: b.src_mac,
+            src: MacAddr::local(5),
+            ethertype: EtherType::Ipv4,
+        }
+        .emit(&mut buf);
+        Ipv4Repr {
+            src: dst,
+            dst: b.src_ip,
+            protocol: IpProtocol::Icmp,
+            id: 9,
+            ttl: 61,
+            payload_len: (8 + icmp.payload().len()) as u16,
+        }
+        .emit(&mut buf);
+        IcmpRepr {
+            icmp_type: IcmpType::EchoReply,
+            id: icmp.id(),
+            seq: icmp.seq(),
+        }
+        .emit(icmp.payload(), &mut buf);
+        let resp = b.parse_response(&buf).unwrap().unwrap();
+        assert_eq!(resp.kind, ResponseKind::EchoReply);
+        assert_eq!(resp.ip, dst);
+    }
+
+    #[test]
+    fn udp_probe_and_echoed_response() {
+        let b = builder();
+        let dst = Ipv4Addr::new(198, 51, 100, 3);
+        let probe = b.udp(dst, 53, b"hello", 1);
+        let eth = EthernetView::parse(&probe).unwrap();
+        let ip = Ipv4View::parse(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+        let udp = UdpView::parse(ip.payload()).unwrap();
+        assert!(udp.verify_checksum(ip.pseudo_sum()));
+        assert_eq!(&udp.payload()[8..], b"hello");
+
+        // Service echoes the payload back.
+        let mut buf = Vec::new();
+        EthernetRepr {
+            dst: b.src_mac,
+            src: MacAddr::local(5),
+            ethertype: EtherType::Ipv4,
+        }
+        .emit(&mut buf);
+        let udp_len = (8 + udp.payload().len()) as u16;
+        Ipv4Repr {
+            src: dst,
+            dst: b.src_ip,
+            protocol: IpProtocol::Udp,
+            id: 2,
+            ttl: 60,
+            payload_len: udp_len,
+        }
+        .emit(&mut buf);
+        let pseudo = checksum::pseudo_header(u32::from(dst), u32::from(b.src_ip), 17, udp_len);
+        UdpRepr {
+            src_port: 53,
+            dst_port: udp.src_port(),
+        }
+        .emit(pseudo, udp.payload(), &mut buf);
+        let resp = b.parse_response(&buf).unwrap().unwrap();
+        assert_eq!(resp.kind, ResponseKind::UdpData(13));
+        assert_eq!(resp.port, 53);
+    }
+
+    #[test]
+    fn icmp_unreachable_attributes_to_probed_target() {
+        let b = builder();
+        let dst = Ipv4Addr::new(198, 51, 100, 99);
+        let probe = b.tcp_syn(dst, 8080, 7);
+        // A router at 10.0.0.1 reports host-unreachable quoting our probe.
+        let router = Ipv4Addr::new(10, 0, 0, 1);
+        let quoted = &probe[14..]; // our IP packet
+        let mut buf = Vec::new();
+        EthernetRepr {
+            dst: b.src_mac,
+            src: MacAddr::local(6),
+            ethertype: EtherType::Ipv4,
+        }
+        .emit(&mut buf);
+        Ipv4Repr {
+            src: router,
+            dst: b.src_ip,
+            protocol: IpProtocol::Icmp,
+            id: 5,
+            ttl: 62,
+            payload_len: (8 + quoted.len()) as u16,
+        }
+        .emit(&mut buf);
+        IcmpRepr {
+            icmp_type: IcmpType::DestUnreachable(UnreachCode::Host),
+            id: 0,
+            seq: 0,
+        }
+        .emit(quoted, &mut buf);
+        let resp = b.parse_response(&buf).unwrap().unwrap();
+        assert_eq!(resp.ip, dst, "attributed to probed host, not router");
+        assert_eq!(resp.port, 8080);
+        assert!(matches!(
+            resp.kind,
+            ResponseKind::Unreachable { code: UnreachCode::Host, via } if via == router
+        ));
+        assert!(!resp.kind.is_success());
+    }
+
+    #[test]
+    fn non_ip_frames_are_ignored() {
+        let b = builder();
+        let mut frame = vec![0u8; 60];
+        frame[12] = 0x08;
+        frame[13] = 0x06; // ARP
+        assert_eq!(b.parse_response(&frame).unwrap(), None);
+    }
+
+    #[test]
+    fn source_port_stability_for_validation() {
+        // The receive path recomputes the expected source port — these
+        // must agree between TX and RX for every target.
+        let b = builder();
+        for i in 0..200u32 {
+            let dst = Ipv4Addr::from(0xC6336400u32 + (i % 250));
+            let port = 1 + (i as u16 * 7) % 1000;
+            let frame = b.tcp_syn(dst, port, 0);
+            let eth = EthernetView::parse(&frame).unwrap();
+            let ip = Ipv4View::parse(eth.payload()).unwrap();
+            let tcp = TcpView::parse(ip.payload()).unwrap();
+            assert_eq!(tcp.src_port(), b.source_port(dst, port));
+        }
+    }
+}

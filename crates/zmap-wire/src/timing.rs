@@ -1,0 +1,129 @@
+//! Ethernet line-rate arithmetic (paper §4.3).
+//!
+//! The maximum packet rate of a link is a pure function of frame size:
+//! each frame occupies `preamble (8) + frame (≥64, incl. FCS) + interframe
+//! gap (12)` byte times on the wire. A minimal 60-byte SYN probe (54 bytes
+//! of headers + 6 pad) rides at 1 GbE's famous 1.488 Mpps; adding the
+//! 20-byte Linux option block drops that to 1.276 Mpps, Windows' 12 bytes
+//! to 1.389 Mpps. These constants are what Figure 7's "scan rate" column
+//! reports, and the benches compute them from real frames.
+
+/// Preamble + start-of-frame delimiter, bytes.
+pub const PREAMBLE: u64 = 8;
+/// Minimum inter-frame gap, bytes.
+pub const IFG: u64 = 12;
+/// Frame check sequence appended by the MAC, bytes.
+pub const FCS: u64 = 4;
+/// Minimum Ethernet frame including FCS, bytes.
+pub const MIN_FRAME: u64 = 64;
+
+/// Link speeds for rate math.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkSpeed {
+    /// 1 GbE.
+    Gbe1,
+    /// 10 GbE.
+    Gbe10,
+    /// 40 GbE.
+    Gbe40,
+    /// Arbitrary bits/second.
+    Custom(u64),
+}
+
+impl LinkSpeed {
+    /// Bits per second.
+    pub fn bits_per_second(&self) -> u64 {
+        match self {
+            LinkSpeed::Gbe1 => 1_000_000_000,
+            LinkSpeed::Gbe10 => 10_000_000_000,
+            LinkSpeed::Gbe40 => 40_000_000_000,
+            LinkSpeed::Custom(bps) => *bps,
+        }
+    }
+}
+
+/// Bytes a frame occupies on the wire, given its length *without* FCS
+/// (what a software scanner hands the NIC). Applies minimum-frame padding.
+pub fn wire_bytes(frame_len_no_fcs: usize) -> u64 {
+    let framed = (frame_len_no_fcs as u64 + FCS).max(MIN_FRAME);
+    PREAMBLE + framed + IFG
+}
+
+/// Wire time of one frame in nanoseconds (exact rational, rounded).
+pub fn frame_time_ns(frame_len_no_fcs: usize, speed: LinkSpeed) -> f64 {
+    wire_bytes(frame_len_no_fcs) as f64 * 8.0 * 1e9 / speed.bits_per_second() as f64
+}
+
+/// Maximum packets per second for back-to-back frames of this size.
+pub fn line_rate_pps(frame_len_no_fcs: usize, speed: LinkSpeed) -> f64 {
+    speed.bits_per_second() as f64 / (wire_bytes(frame_len_no_fcs) as f64 * 8.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Frame length (sans FCS) of an Ethernet+IPv4+TCP SYN with `opt`
+    /// option bytes: 14 + 20 + 20 + opt.
+    fn syn_frame(opt: usize) -> usize {
+        54 + opt
+    }
+
+    #[test]
+    fn minimal_syn_hits_1488_mpps() {
+        // The canonical 1 GbE figure: 1,488,095 pps for minimum frames.
+        let pps = line_rate_pps(syn_frame(0), LinkSpeed::Gbe1);
+        assert!((pps - 1_488_095.0).abs() < 1.0, "{pps}");
+    }
+
+    #[test]
+    fn mss_only_still_minimum_frame() {
+        // 58 bytes + FCS = 62 < 64 ⇒ padded; same line rate as no options.
+        assert_eq!(wire_bytes(syn_frame(4)), wire_bytes(syn_frame(0)));
+        let pps = line_rate_pps(syn_frame(4), LinkSpeed::Gbe1);
+        assert!((pps - 1_488_095.0).abs() < 1.0, "{pps}");
+    }
+
+    #[test]
+    fn windows_layout_1389_mpps() {
+        // 12 option bytes ⇒ 66-byte frame ⇒ 1.389 Mpps (paper §4.3).
+        let pps = line_rate_pps(syn_frame(12), LinkSpeed::Gbe1);
+        assert!((pps / 1.0e6 - 1.389).abs() < 0.001, "{pps}");
+    }
+
+    #[test]
+    fn linux_layout_1276_mpps() {
+        // 20 option bytes ⇒ 74-byte frame ⇒ 1.276 Mpps (paper §4.3).
+        let pps = line_rate_pps(syn_frame(20), LinkSpeed::Gbe1);
+        assert!((pps / 1.0e6 - 1.276).abs() < 0.001, "{pps}");
+    }
+
+    #[test]
+    fn ten_gbe_scales_by_ten() {
+        let one = line_rate_pps(60, LinkSpeed::Gbe1);
+        let ten = line_rate_pps(60, LinkSpeed::Gbe10);
+        assert!((ten / one - 10.0).abs() < 1e-9);
+        // 10 GbE minimum-frame line rate ≈ 14.88 Mpps (Adrian et al. 2014).
+        assert!((ten - 14_880_952.0).abs() < 10.0, "{ten}");
+    }
+
+    #[test]
+    fn frame_time_matches_rate() {
+        for len in [54usize, 60, 74, 1514] {
+            let t = frame_time_ns(len, LinkSpeed::Gbe1);
+            let pps = line_rate_pps(len, LinkSpeed::Gbe1);
+            assert!((t * pps / 1e9 - 1.0).abs() < 1e-12, "len={len}");
+        }
+    }
+
+    #[test]
+    fn big_frames_are_not_padded() {
+        assert_eq!(wire_bytes(1514), 8 + 1518 + 12);
+    }
+
+    #[test]
+    fn custom_speed() {
+        let pps = line_rate_pps(60, LinkSpeed::Custom(100_000_000)); // 100 Mb
+        assert!((pps - 148_809.5).abs() < 0.1, "{pps}");
+    }
+}

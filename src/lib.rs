@@ -1,0 +1,45 @@
+//! # zmap-rs — *Ten Years of ZMap*, reproduced in Rust
+//!
+//! Umbrella crate re-exporting the whole workspace: the scanner library
+//! ([`core`]), its substrates (target generation, wire formats,
+//! deduplication), the simulated-Internet evaluation environment
+//! ([`netsim`], [`telescope`]), and the Masscan baseline ([`masscan`]).
+//!
+//! Start with [`core::Scanner`] and the `examples/` directory
+//! (`cargo run --example quickstart`). DESIGN.md maps every paper
+//! figure/table to the module and bench that regenerates it.
+
+/// Number-theoretic primitives (cyclic groups, primality, factoring).
+pub use zmap_math as math;
+
+/// Target generation: cyclic-group permutation, sharding, constraints.
+pub use zmap_targets as targets;
+
+/// Packet construction/parsing, TCP option layouts, validation cookies.
+pub use zmap_wire as wire;
+
+/// Response deduplication: paged bitmap, Judy-style set, sliding window.
+pub use zmap_dedup as dedup;
+
+/// The deterministic simulated IPv4 Internet.
+pub use zmap_netsim as netsim;
+
+/// Network-telescope attribution pipeline (Figures 1–4, 8).
+pub use zmap_telescope as telescope;
+
+/// The scanner engine and its four output streams.
+pub use zmap_core as core;
+
+/// Masscan-style baseline scanner (Blackrock randomization).
+pub use zmap_masscan as masscan;
+
+/// Most-used types, one import away.
+pub mod prelude {
+    pub use zmap_core::{
+        Classification, DedupMethod, OutputFormat, ProbeKind, ScanConfig, ScanResult,
+        ScanSummary, Scanner, SimNet, Transport,
+    };
+    pub use zmap_netsim::{ServiceModel, World, WorldConfig};
+    pub use zmap_targets::{Constraint, ShardAlgorithm, Target, TargetGenerator};
+    pub use zmap_wire::{IpIdMode, OptionLayout};
+}

@@ -1,0 +1,95 @@
+//! Integration: the CLI wrapper end to end — parse argv, run a scan,
+//! verify all four output streams land where they should.
+
+use zmap_cli::{parse_args, run_scan};
+
+fn args(s: &str) -> Vec<String> {
+    s.split_whitespace().map(String::from).collect()
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("zmap-it-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn jsonl_scan_end_to_end() {
+    let dir = tmpdir("jsonl");
+    let out = dir.join("out.jsonl");
+    let md = dir.join("md.json");
+    let opts = parse_args(&args(&format!(
+        "--subnet 66.10.0.0/22 -p 80,443 -r 200000 --seed 9 --sim-seed 2 \
+         --sim-live-fraction 0.5 --cooldown-secs 1 -O jsonl -q \
+         -o {} --metadata-file {}",
+        out.display(),
+        md.display()
+    )))
+    .unwrap();
+    assert_eq!(run_scan(opts).unwrap(), 0);
+
+    // Data stream: one JSON object per line, stable schema.
+    let data = std::fs::read_to_string(&out).unwrap();
+    let mut n = 0;
+    for line in data.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert!(v["saddr"].as_str().unwrap().starts_with("66.10."));
+        let port = v["sport"].as_u64().unwrap();
+        assert!(port == 80 || port == 443, "{port}");
+        assert_eq!(v["classification"], "synack");
+        assert_eq!(v["success"], true);
+        n += 1;
+    }
+    assert!(n > 50, "expected plenty of results, got {n}");
+
+    // Metadata stream: valid JSON with the counters.
+    let meta: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&md).unwrap()).unwrap();
+    assert_eq!(meta["counters"]["sent"], 2048);
+    assert_eq!(meta["config"]["ports"], serde_json::json!([80, 443]));
+    assert!(meta["permutation"]["group_prime"].as_u64().unwrap() > 2048);
+}
+
+#[test]
+fn text_output_is_ip_port_lines() {
+    let dir = tmpdir("text");
+    let out = dir.join("out.txt");
+    let opts = parse_args(&args(&format!(
+        "--subnet 66.20.0.0/24 -r 100000 --sim-live-fraction 1.0 \
+         --cooldown-secs 1 -q -o {}",
+        out.display()
+    )))
+    .unwrap();
+    assert_eq!(run_scan(opts).unwrap(), 0);
+    let data = std::fs::read_to_string(&out).unwrap();
+    for line in data.lines() {
+        let (ip, port) = line.split_once(':').expect("ip:port format");
+        assert!(ip.parse::<std::net::Ipv4Addr>().is_ok(), "{ip}");
+        assert_eq!(port, "80");
+    }
+    assert!(data.lines().count() > 10);
+}
+
+#[test]
+fn invalid_config_is_a_clean_error() {
+    // Allowlisting reserved space that the default blocklist removes
+    // leaves zero targets: exit code 2, no panic.
+    let opts = parse_args(&args("--subnet 10.0.0.0/24 -q")).unwrap();
+    assert_eq!(run_scan(opts).unwrap(), 2);
+}
+
+#[test]
+fn deterministic_given_seeds() {
+    let run = || {
+        let dir = tmpdir("det");
+        let out = dir.join("out.txt");
+        let opts = parse_args(&args(&format!(
+            "--subnet 66.30.0.0/24 --seed 4 --sim-seed 4 --cooldown-secs 1 -q -o {}",
+            out.display()
+        )))
+        .unwrap();
+        run_scan(opts).unwrap();
+        std::fs::read_to_string(&out).unwrap()
+    };
+    assert_eq!(run(), run());
+}

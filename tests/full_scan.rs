@@ -1,0 +1,138 @@
+//! Integration: complete scans over the simulated Internet, checking the
+//! engine-level invariants the paper's methodology depends on.
+
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+use zmap::prelude::*;
+use zmap_netsim::loss::LossModel;
+use zmap_netsim::profile::{host_profile, port_open};
+
+fn sparse_world(seed: u64) -> WorldConfig {
+    let mut model = ServiceModel::default();
+    model.live_fraction = 0.2;
+    // Ground-truth accounting below enumerates hosts only; keep packed
+    // middlebox prefixes out of this world (they are exercised by the
+    // L7 tests and exp_l4_l7).
+    model.middlebox_fraction = 0.0;
+    WorldConfig {
+        seed,
+        model,
+        loss: LossModel::NONE,
+        ..WorldConfig::default()
+    }
+}
+
+fn scan(world: WorldConfig, seed: u64, ports: &[u16]) -> ScanSummary {
+    let net = SimNet::new(world);
+    let src = Ipv4Addr::new(192, 0, 2, 1);
+    let mut cfg = ScanConfig::new(src);
+    cfg.allowlist_prefix(Ipv4Addr::new(55, 44, 0, 0), 17);
+    cfg.apply_default_blocklist = false;
+    cfg.ports = ports.to_vec();
+    cfg.rate_pps = 1_000_000;
+    cfg.seed = seed;
+    cfg.cooldown_secs = 2;
+    Scanner::new(cfg, net.transport(src)).unwrap().run()
+}
+
+#[test]
+fn scan_results_match_ground_truth_exactly() {
+    // With no loss, the scanner must find exactly the hosts the
+    // procedural population says are live with the port open and
+    // reachable by an MSS-bearing SYN.
+    let world = sparse_world(9);
+    let summary = scan(world.clone(), 3, &[80]);
+
+    let mut expected = HashSet::new();
+    for i in 0..(1u32 << 15) {
+        let ip = 0x372C0000u32 + i; // 55.44.0.0/17
+        if let Some(p) = host_profile(world.seed, ip, &world.model) {
+            if port_open(world.seed, ip, 80, &world.model) {
+                // MSS-only probes carry one option: only the multi-option
+                // and OS-ordering tails won't answer.
+                use zmap_netsim::profile::OptionSensitivity::*;
+                match p.sensitivity {
+                    AcceptsAny | RequiresAnyOption => {
+                        expected.insert(Ipv4Addr::from(ip));
+                    }
+                    RequiresMultiOption | RequiresOsOrdering => {}
+                }
+            }
+        }
+    }
+    let found: HashSet<Ipv4Addr> = summary.results.iter().map(|r| r.saddr).collect();
+    assert_eq!(found, expected, "scanner output must equal ground truth");
+    assert_eq!(summary.sent, 1 << 15);
+}
+
+#[test]
+fn hitrates_are_internet_plausible() {
+    // Default model, default ports: hitrate should be ~1% (port 80 on
+    // the real Internet is ~1.2-1.5% of all IPv4).
+    let summary = scan(
+        WorldConfig {
+            seed: 4,
+            loss: LossModel::NONE,
+            ..WorldConfig::default()
+        },
+        1,
+        &[80],
+    );
+    let hit = summary.hitrate();
+    assert!(hit > 0.005 && hit < 0.03, "hitrate {hit}");
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let a = scan(sparse_world(5), 2, &[80, 443]);
+    let b = scan(sparse_world(5), 2, &[80, 443]);
+    assert_eq!(a.sent, b.sent);
+    assert_eq!(a.unique_successes, b.unique_successes);
+    let ra: Vec<_> = a.results.iter().map(|r| (r.saddr, r.sport, r.ts_ns)).collect();
+    let rb: Vec<_> = b.results.iter().map(|r| (r.saddr, r.sport, r.ts_ns)).collect();
+    assert_eq!(ra, rb, "identical seeds must replay identically");
+}
+
+#[test]
+fn no_duplicate_targets_in_output() {
+    let summary = scan(sparse_world(6), 7, &[80, 443, 8080]);
+    let mut seen = HashSet::new();
+    for r in &summary.results {
+        assert!(seen.insert((r.saddr, r.sport)), "{}:{} twice", r.saddr, r.sport);
+    }
+}
+
+#[test]
+fn icmp_and_tcp_find_consistent_populations() {
+    // Echo scan finds live hosts; SYN scan finds live hosts with the
+    // port open — a strict subset (all respond in a lossless world).
+    let world = sparse_world(8);
+    let tcp = scan(world.clone(), 1, &[80]);
+    let net = SimNet::new(world);
+    let src = Ipv4Addr::new(192, 0, 2, 1);
+    let mut cfg = ScanConfig::new(src);
+    cfg.allowlist_prefix(Ipv4Addr::new(55, 44, 0, 0), 17);
+    cfg.apply_default_blocklist = false;
+    cfg.probe = ProbeKind::IcmpEcho;
+    cfg.rate_pps = 1_000_000;
+    cfg.cooldown_secs = 2;
+    let icmp = Scanner::new(cfg, net.transport(src)).unwrap().run();
+    assert!(
+        icmp.unique_successes > tcp.unique_successes,
+        "more hosts answer ping ({}) than have port 80 open ({})",
+        icmp.unique_successes,
+        tcp.unique_successes
+    );
+}
+
+#[test]
+fn loss_shapes_match_wan_et_al() {
+    // Single-probe scan under the default loss model misses ~2.7%.
+    let world_lossless = sparse_world(12);
+    let truth = scan(world_lossless, 3, &[80]).unique_successes as f64;
+    let mut lossy_world = sparse_world(12);
+    lossy_world.loss = LossModel::default();
+    let found = scan(lossy_world, 3, &[80]).unique_successes as f64;
+    let miss = 1.0 - found / truth;
+    assert!(miss > 0.015 && miss < 0.045, "miss rate {miss}");
+}

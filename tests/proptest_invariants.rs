@@ -1,0 +1,167 @@
+//! Property-based tests (proptest) over the core data structures: the
+//! invariants the whole methodology rests on.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use zmap::dedup::SlidingWindow;
+use zmap::masscan::Blackrock;
+use zmap::targets::{Constraint, Cycle, CyclicGroup, ShardAlgorithm, ShardIter, ShardSpec};
+use zmap::wire::checksum;
+use zmap::wire::cookie::ValidationKey;
+use zmap::wire::options;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cyclic-group walk is a bijection of [1, p) for every seed.
+    #[test]
+    fn cycle_walk_is_bijective(seed in any::<u64>()) {
+        let group = CyclicGroup::new(257).unwrap();
+        let cycle = Cycle::new(group, seed);
+        let mut seen = HashSet::new();
+        let mut x = cycle.element_at_position(0);
+        for _ in 0..256 {
+            prop_assert!(x >= 1 && x < 257);
+            prop_assert!(seen.insert(x));
+            x = cycle.step(x);
+        }
+        prop_assert_eq!(x, cycle.element_at_position(0));
+    }
+
+    /// Shards partition the group exactly for any (N, T) and algorithm.
+    #[test]
+    fn shards_partition_group(
+        num_shards in 1u32..12,
+        num_subshards in 1u32..5,
+        seed in any::<u64>(),
+        pizza in any::<bool>(),
+    ) {
+        let alg = if pizza { ShardAlgorithm::Pizza } else { ShardAlgorithm::Interleaved };
+        let group = CyclicGroup::new(65537).unwrap();
+        let cycle = Cycle::new(group, seed);
+        let mut seen = HashSet::new();
+        let mut total = 0u64;
+        for shard in 0..num_shards {
+            for subshard in 0..num_subshards {
+                let spec = ShardSpec { shard, num_shards, subshard, num_subshards };
+                for e in ShardIter::new(&cycle, spec, alg).unwrap() {
+                    prop_assert!(seen.insert(e), "duplicate element {}", e);
+                    total += 1;
+                }
+            }
+        }
+        prop_assert_eq!(total, 65536);
+    }
+
+    /// Constraint index→address lookup is a strictly increasing bijection
+    /// onto the allowed set.
+    #[test]
+    fn constraint_lookup_bijective(
+        prefixes in prop::collection::vec((any::<u32>(), 8u8..=28, any::<bool>()), 1..8),
+    ) {
+        let mut c = Constraint::new(false);
+        for (addr, len, allow) in prefixes {
+            c.set_prefix(addr, len, allow);
+        }
+        c.finalize();
+        let n = c.allowed_count();
+        // Sample up to 2000 indices (sets can be huge).
+        let step = (n / 2000).max(1);
+        let mut prev: Option<u32> = None;
+        let mut i = 0u64;
+        while i < n {
+            let a = c.lookup(i).expect("index in range");
+            prop_assert!(c.is_allowed(a));
+            if step == 1 {
+                if let Some(p) = prev {
+                    prop_assert!(a > p);
+                }
+                prev = Some(a);
+            }
+            i += step;
+        }
+        prop_assert!(c.lookup(n).is_none());
+    }
+
+    /// Blackrock (fixed) is a permutation for arbitrary ranges and seeds.
+    #[test]
+    fn blackrock_is_permutation(range in 1u64..30_000, seed in any::<u64>()) {
+        let br = Blackrock::new(range, seed);
+        let mut seen = HashSet::new();
+        for i in 0..range {
+            let y = br.shuffle(i);
+            prop_assert!(y < range);
+            prop_assert!(seen.insert(y));
+        }
+    }
+
+    /// Internet checksum: any single-bit corruption is detected.
+    #[test]
+    fn checksum_detects_bit_flips(
+        mut data in prop::collection::vec(any::<u8>(), 2..64),
+        bit in any::<u16>(),
+    ) {
+        // Even length keeps the flip away from implicit padding concerns.
+        if data.len() % 2 == 1 { data.push(0); }
+        let c = checksum::checksum(&data);
+        let pos = usize::from(bit) % (data.len() * 8);
+        data[pos / 8] ^= 1 << (pos % 8);
+        let c2 = checksum::checksum(&data);
+        prop_assert_ne!(c, c2, "flip at {} undetected", pos);
+    }
+
+    /// TCP option decode never panics and roundtrips valid encodings.
+    #[test]
+    fn options_decode_is_total(data in prop::collection::vec(any::<u8>(), 0..40)) {
+        let _ = options::decode(&data); // must not panic
+    }
+
+    /// Validation cookies only validate the exact probe tuple.
+    #[test]
+    fn cookie_is_tuple_exact(
+        seed in any::<u64>(),
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        wrong_ack in any::<u32>(),
+    ) {
+        let key = ValidationKey::from_seed(seed);
+        let seq = key.tcp_seq(src, dst, sport, dport);
+        prop_assert!(key.tcp_validate(src, dst, sport, dport, seq.wrapping_add(1)));
+        if wrong_ack != seq.wrapping_add(1) {
+            prop_assert!(!key.tcp_validate(src, dst, sport, dport, wrong_ack));
+        }
+        if dst != dst.wrapping_add(1) {
+            prop_assert!(!key.tcp_validate(src, dst.wrapping_add(1), sport, dport, seq.wrapping_add(1)));
+        }
+    }
+
+    /// Sliding window: never suppresses a first sighting; always
+    /// suppresses a repeat within window distance.
+    #[test]
+    fn window_dedup_contract(
+        cap in 1usize..500,
+        stream in prop::collection::vec(0u64..200, 1..800),
+    ) {
+        let mut w = SlidingWindow::new(cap);
+        let mut last_seen_at: std::collections::HashMap<u64, (usize, usize)> =
+            std::collections::HashMap::new(); // key -> (stream idx, distinct-insert count)
+        let mut inserts = 0usize;
+        for (i, &k) in stream.iter().enumerate() {
+            let fresh = w.check_and_insert(k);
+            if let Some(&(_, at_inserts)) = last_seen_at.get(&k) {
+                let distance = inserts - at_inserts;
+                if distance < cap {
+                    prop_assert!(!fresh, "repeat of {} within window suppressed", k);
+                }
+            } else {
+                prop_assert!(fresh, "first sighting of {} must pass", k);
+            }
+            if fresh {
+                inserts += 1;
+                last_seen_at.insert(k, (i, inserts));
+            }
+        }
+    }
+}
