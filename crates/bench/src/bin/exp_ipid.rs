@@ -12,8 +12,10 @@ use zmap_netsim::{ServiceModel, WorldConfig};
 use zmap_wire::ipv4::IpIdMode;
 
 fn world(seed: u64) -> WorldConfig {
-    let mut model = ServiceModel::default();
-    model.live_fraction = 0.10;
+    let model = ServiceModel {
+        live_fraction: 0.10,
+        ..ServiceModel::default()
+    };
     WorldConfig {
         seed,
         model,

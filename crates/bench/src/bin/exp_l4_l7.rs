@@ -22,10 +22,12 @@ use zmap_wire::options::OptionLayout;
 use zmap_wire::probe::ProbeBuilder;
 
 fn world() -> WorldConfig {
-    let mut model = ServiceModel::default();
-    model.live_fraction = 0.08;
     // Packed prefixes: 1% of /24s front a SYN-ACK-everything middlebox.
-    model.middlebox_fraction = 0.01;
+    let model = ServiceModel {
+        live_fraction: 0.08,
+        middlebox_fraction: 0.01,
+        ..ServiceModel::default()
+    };
     WorldConfig {
         seed: 61,
         model,

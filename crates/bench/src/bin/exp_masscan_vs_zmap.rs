@@ -22,8 +22,10 @@ const PREFIX: u32 = 0x33400000; // 51.64.0.0
 const LEN: u8 = 14;
 
 fn world() -> WorldConfig {
-    let mut model = ServiceModel::default();
-    model.live_fraction = 0.10;
+    let model = ServiceModel {
+        live_fraction: 0.10,
+        ..ServiceModel::default()
+    };
     WorldConfig {
         seed: 47,
         model,

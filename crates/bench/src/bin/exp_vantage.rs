@@ -17,8 +17,10 @@ const PREFIX: Ipv4Addr = Ipv4Addr::new(51, 64, 0, 0);
 const LEN: u8 = 14; // 256k addresses
 
 fn world(loss: LossModel) -> WorldConfig {
-    let mut model = ServiceModel::default();
-    model.live_fraction = 0.10;
+    let model = ServiceModel {
+        live_fraction: 0.10,
+        ..ServiceModel::default()
+    };
     WorldConfig {
         seed: 31,
         model,

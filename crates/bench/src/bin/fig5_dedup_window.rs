@@ -17,8 +17,11 @@ use zmap_core::DedupMethod;
 use zmap_netsim::{ServiceModel, WorldConfig};
 
 fn world() -> WorldConfig {
-    let mut model = ServiceModel::default();
-    model.live_fraction = 0.30; // dense-ish so the /16 yields ~5k responders
+    // Dense-ish so the /16 yields ~5k responders.
+    let mut model = ServiceModel {
+        live_fraction: 0.30,
+        ..ServiceModel::default()
+    };
     // Blowback-heavy population: 5% of responders re-send, tails to 2000
     // duplicates — the adversarial case for small windows.
     model.blowback_fraction = 0.05;

@@ -24,8 +24,10 @@ use zmap_wire::timing::{line_rate_pps, LinkSpeed};
 const AMP: f64 = 50.0;
 
 fn world() -> WorldConfig {
-    let mut model = ServiceModel::default();
-    model.live_fraction = 0.10;
+    let mut model = ServiceModel {
+        live_fraction: 0.10,
+        ..ServiceModel::default()
+    };
     model.requires_multi_option *= AMP; // 1e-4 → 5e-3
     model.requires_os_ordering *= AMP; // 2.3e-5 → 1.15e-3
     WorldConfig {

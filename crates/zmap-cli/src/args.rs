@@ -26,6 +26,8 @@ pub struct CliOptions {
     pub sim_seed: u64,
     /// Simulated live-host fraction override.
     pub sim_live_fraction: Option<f64>,
+    /// Path to a fault-plan JSON file injected into the simulated world.
+    pub fault_plan_path: Option<String>,
     /// Print help and exit.
     pub help: bool,
 }
@@ -78,6 +80,8 @@ PROBES
 RATE & SHARDING
   -r, --rate PPS           probes per second (default 10000)
   --cooldown-secs N        post-send listen time (default 8)
+  --retries N              resend attempts after EAGAIN-style send
+                           failures before dropping a probe (default 3)
   --seed N                 scan seed (permutation + validation key)
   --shard I --shards N     this machine's shard (default 0 of 1)
   --threads T              send subshards (default 1)
@@ -97,6 +101,8 @@ OUTPUT (four streams: data, logs, status, metadata)
 SIMULATION (this build scans a simulated Internet)
   --sim-seed N             world seed (default 1)
   --sim-live-fraction F    fraction of addresses that are live hosts
+  --fault-plan FILE        JSON fault plan (loss bursts, duplication,
+                           corruption, blackouts, ICMP storms)
   --source-ip IP           scanner address (default 192.0.2.9)
   -h, --help               this text
 ";
@@ -124,6 +130,7 @@ pub fn parse_args(argv: &[String]) -> Result<CliOptions, CliError> {
         verbose: false,
         sim_seed: 1,
         sim_live_fraction: None,
+        fault_plan_path: None,
         help: false,
     };
     let mut it = argv.iter().peekable();
@@ -207,6 +214,9 @@ pub fn parse_args(argv: &[String]) -> Result<CliOptions, CliError> {
                 opts.config.cooldown_secs =
                     parse_num("--cooldown-secs", &need(&mut it, "--cooldown-secs")?)?
             }
+            "--retries" => {
+                opts.config.max_retries = parse_num("--retries", &need(&mut it, "--retries")?)?
+            }
             "--seed" => opts.config.seed = parse_num("--seed", &need(&mut it, "--seed")?)?,
             "--shard" => opts.config.shard = parse_num("--shard", &need(&mut it, "--shard")?)?,
             "--shards" => {
@@ -249,6 +259,7 @@ pub fn parse_args(argv: &[String]) -> Result<CliOptions, CliError> {
                     &need(&mut it, "--sim-live-fraction")?,
                 )?)
             }
+            "--fault-plan" => opts.fault_plan_path = Some(need(&mut it, "--fault-plan")?),
             "--source-ip" => {
                 let v = need(&mut it, "--source-ip")?;
                 opts.config.source_ip = v.parse().map_err(|_| {
@@ -343,6 +354,18 @@ mod tests {
         assert!(parse_args(&args("-h")).unwrap().help);
         assert!(USAGE.contains("--subnet"));
         assert!(USAGE.contains("four streams"));
+    }
+
+    #[test]
+    fn fault_injection_flags() {
+        let o = parse_args(&args("--retries 7 --fault-plan plan.json")).unwrap();
+        assert_eq!(o.config.max_retries, 7);
+        assert_eq!(o.fault_plan_path.as_deref(), Some("plan.json"));
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o.config.max_retries, 3, "default retry budget");
+        assert!(o.fault_plan_path.is_none());
+        assert!(USAGE.contains("--retries"));
+        assert!(USAGE.contains("--fault-plan"));
     }
 
     #[test]

@@ -7,7 +7,7 @@ use zmap_core::log::{Level, Logger};
 use zmap_core::output::OutputModule;
 use zmap_core::transport::SimNet;
 use zmap_core::Scanner;
-use zmap_netsim::{ServiceModel, WorldConfig};
+use zmap_netsim::{FaultPlan, ServiceModel, WorldConfig};
 
 /// Runs the scan described by `opts`. Returns the process exit code.
 pub fn run_scan(opts: CliOptions) -> io::Result<i32> {
@@ -16,9 +16,23 @@ pub fn run_scan(opts: CliOptions) -> io::Result<i32> {
     if let Some(f) = opts.sim_live_fraction {
         model.live_fraction = f.clamp(0.0, 1.0);
     }
+    let faults = match &opts.fault_plan_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            match FaultPlan::from_json_str(&text) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    eprintln!("ERROR invalid fault plan {path}: {e}");
+                    return Ok(2);
+                }
+            }
+        }
+        None => FaultPlan::none(),
+    };
     let net = SimNet::new(WorldConfig {
         seed: opts.sim_seed,
         model,
+        faults,
         ..WorldConfig::default()
     });
     let transport = net.transport(opts.config.source_ip);
@@ -52,10 +66,20 @@ pub fn run_scan(opts: CliOptions) -> io::Result<i32> {
     // Stream 3: status (replayed at completion in this offline build).
     if !opts.quiet {
         for s in &summary.status {
-            eprintln!(
+            let mut line = format!(
                 "{}s: sent {} ({:.0} pps), {} results, {} dups, {:.1}% done",
                 s.t_secs, s.sent, s.send_rate, s.successes, s.duplicates, s.percent_complete
             );
+            if s.retries > 0 || s.send_failures > 0 {
+                line.push_str(&format!(
+                    ", {} retries ({} failed)",
+                    s.retries, s.send_failures
+                ));
+            }
+            if s.corrupted > 0 {
+                line.push_str(&format!(", {} corrupt", s.corrupted));
+            }
+            eprintln!("{line}");
         }
     }
 
@@ -103,5 +127,52 @@ mod tests {
         let meta: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(&md).unwrap()).unwrap();
         assert_eq!(meta["counters"]["sent"], 256);
+    }
+
+    #[test]
+    fn fault_plan_scan_surfaces_counters_in_metadata() {
+        let dir = std::env::temp_dir().join("zmap-cli-fault-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = dir.join("plan.json");
+        std::fs::write(
+            &plan,
+            r#"{"send_failure_fraction": 0.3, "duplicate_fraction": 0.10}"#,
+        )
+        .unwrap();
+        let out = dir.join("results.txt");
+        let md = dir.join("meta.json");
+        let opts = parse_args(&args(&format!(
+            "--subnet 11.23.0.0/24 -p 80 -r 100000 --seed 3 --sim-seed 5 \
+             --sim-live-fraction 1.0 --cooldown-secs 1 --retries 6 -q \
+             --fault-plan {} -o {} --metadata-file {}",
+            plan.display(),
+            out.display(),
+            md.display()
+        )))
+        .unwrap();
+        let code = super::run_scan(opts).unwrap();
+        assert_eq!(code, 0);
+        let meta: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&md).unwrap()).unwrap();
+        // A generous retry budget absorbs every transient failure.
+        assert_eq!(meta["counters"]["sent"], 256);
+        assert!(meta["counters"]["send_retries"].as_u64().unwrap() > 0);
+        assert_eq!(meta["counters"]["sendto_failures"], 0);
+        assert!(meta["counters"]["duplicates_suppressed"].as_u64().unwrap() > 0);
+        assert_eq!(meta["config"]["max_retries"], 6);
+    }
+
+    #[test]
+    fn malformed_fault_plan_is_a_config_error() {
+        let dir = std::env::temp_dir().join("zmap-cli-badplan-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = dir.join("bad.json");
+        std::fs::write(&plan, r#"{"duplicate_fraction": 2.5}"#).unwrap();
+        let opts = parse_args(&args(&format!(
+            "--subnet 11.23.0.0/28 -q --fault-plan {}",
+            plan.display()
+        )))
+        .unwrap();
+        assert_eq!(super::run_scan(opts).unwrap(), 2);
     }
 }

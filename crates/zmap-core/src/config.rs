@@ -76,6 +76,10 @@ pub struct ScanConfig {
     /// Report RST/unreachable (host-alive-but-closed) results too, not
     /// just successes (ZMap's default reports only successes).
     pub report_failures: bool,
+    /// Retries per probe when the transport reports a transient send
+    /// failure (EAGAIN), each after an exponential virtual-time backoff.
+    /// A probe whose retries are exhausted is counted as a send drop.
+    pub max_retries: u32,
     /// Internal: whether `allowlist_prefix` has replaced the default
     /// allow-all constraint yet.
     allowlist_started: bool,
@@ -105,6 +109,7 @@ impl ScanConfig {
             ip_id: IpIdMode::Random,
             dedup: DedupMethod::Window(1_000_000),
             report_failures: false,
+            max_retries: 3,
             allowlist_started: false,
         }
     }

@@ -65,8 +65,11 @@ pub fn interrogate<T: Transport>(
         l4_confirmed: false,
         banner: None,
     };
-    // Phase A: fresh handshake.
-    transport.send_frame(&builder.tcp_syn(ip, port, 0));
+    // Phase A: fresh handshake. A refused send (transient NIC failure)
+    // aborts this target; the two-phase driver treats it as unresponsive.
+    if transport.send_frame(&builder.tcp_syn(ip, port, 0)).is_err() {
+        return result;
+    }
     let deadline = transport.now() + cfg.timeout_secs * 1_000_000_000;
     let server_seq = loop {
         match wait_step(transport, deadline) {
@@ -92,7 +95,12 @@ pub fn interrogate<T: Transport>(
     result.l4_confirmed = true;
 
     // Phase B: deliver the application request on the same "connection".
-    transport.send_frame(&builder.tcp_ack_data(ip, port, server_seq, &cfg.request, 0));
+    if transport
+        .send_frame(&builder.tcp_ack_data(ip, port, server_seq, &cfg.request, 0))
+        .is_err()
+    {
+        return result;
+    }
     let deadline = transport.now() + cfg.timeout_secs * 1_000_000_000;
     loop {
         match wait_step(transport, deadline) {

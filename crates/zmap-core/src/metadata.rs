@@ -42,6 +42,7 @@ pub struct ConfigEcho {
     pub option_layout: String,
     pub ip_id: String,
     pub dedup: String,
+    pub max_retries: u32,
 }
 
 /// Cyclic-group walk parameters.
@@ -62,6 +63,12 @@ pub struct Counters {
     pub duplicates_suppressed: u64,
     pub unique_successes: u64,
     pub unique_failures: u64,
+    /// Send attempts retried after a transient transport failure.
+    pub send_retries: u64,
+    /// Probes abandoned after exhausting retries (never sent).
+    pub sendto_failures: u64,
+    /// Responses rejected by checksum validation (bit errors in flight).
+    pub responses_corrupted: u64,
 }
 
 impl ConfigEcho {
@@ -82,6 +89,7 @@ impl ConfigEcho {
             option_layout: format!("{:?}", cfg.option_layout),
             ip_id: format!("{:?}", cfg.ip_id),
             dedup: format!("{:?}", cfg.dedup),
+            max_retries: cfg.max_retries,
         }
     }
 }
@@ -117,6 +125,9 @@ mod tests {
                 duplicates_suppressed: 1,
                 unique_successes: 30,
                 unique_failures: 6,
+                send_retries: 4,
+                sendto_failures: 1,
+                responses_corrupted: 2,
             },
             duration_ns: 5_000_000_000,
         };
@@ -126,6 +137,10 @@ mod tests {
         assert_eq!(v["permutation"]["group_prime"], 4_294_967_311u64);
         assert_eq!(v["counters"]["unique_successes"], 30);
         assert_eq!(v["config"]["rate_pps"], 10_000);
+        assert_eq!(v["counters"]["send_retries"], 4);
+        assert_eq!(v["counters"]["sendto_failures"], 1);
+        assert_eq!(v["counters"]["responses_corrupted"], 2);
+        assert!(v["config"]["max_retries"].is_u64());
         assert!(v["version"].as_str().unwrap().contains('.'));
     }
 

@@ -1,6 +1,7 @@
 //! Real-time status updates — stream #3: per-second send/receive/drop
 //! rates, as ZMap prints while a scan runs.
 
+use crate::metadata::Counters;
 use serde::Serialize;
 
 /// One per-second status sample.
@@ -18,6 +19,12 @@ pub struct StatusUpdate {
     pub successes: u64,
     /// Duplicates suppressed so far.
     pub duplicates: u64,
+    /// Send attempts retried after a transient failure so far.
+    pub retries: u64,
+    /// Probes abandoned after exhausting retries so far.
+    pub send_failures: u64,
+    /// Responses rejected by checksum validation so far.
+    pub corrupted: u64,
     /// Percent of targets completed (0–100).
     pub percent_complete: f64,
 }
@@ -40,34 +47,28 @@ impl Monitor {
     }
 
     /// Called by the engine as time advances; emits a sample per elapsed
-    /// second boundary.
-    #[allow(clippy::too_many_arguments)]
-    pub fn tick(
-        &mut self,
-        now_ns: u64,
-        sent: u64,
-        received: u64,
-        successes: u64,
-        duplicates: u64,
-        total_targets: u64,
-    ) {
+    /// second boundary from the running counters.
+    pub fn tick(&mut self, now_ns: u64, c: &Counters, total_targets: u64) {
         while now_ns >= self.next_tick {
             let t_secs = self.next_tick / TICK_NS;
-            let send_rate = (sent - self.last_sent) as f64;
+            let send_rate = (c.sent - self.last_sent) as f64;
             self.samples.push(StatusUpdate {
                 t_secs,
-                sent,
+                sent: c.sent,
                 send_rate,
-                received,
-                successes,
-                duplicates,
+                received: c.responses_validated,
+                successes: c.unique_successes,
+                duplicates: c.duplicates_suppressed,
+                retries: c.send_retries,
+                send_failures: c.sendto_failures,
+                corrupted: c.responses_corrupted,
                 percent_complete: if total_targets == 0 {
                     100.0
                 } else {
-                    100.0 * sent as f64 / total_targets as f64
+                    100.0 * c.sent as f64 / total_targets as f64
                 },
             });
-            self.last_sent = sent;
+            self.last_sent = c.sent;
             self.next_tick += TICK_NS;
         }
     }
@@ -77,13 +78,25 @@ impl Monitor {
         &self.samples
     }
 
-    /// Renders the latest sample in ZMap's one-line status style.
+    /// Renders the latest sample in ZMap's one-line status style. Fault
+    /// counters appear only once nonzero, keeping the clean-network line
+    /// identical to classic output.
     pub fn status_line(&self) -> Option<String> {
         self.samples.last().map(|s| {
-            format!(
+            let mut line = format!(
                 "{}s; send: {} ({:.0} pps); recv: {} ({} app success); drops: {} dup",
                 s.t_secs, s.sent, s.send_rate, s.received, s.successes, s.duplicates
-            )
+            );
+            if s.retries > 0 || s.send_failures > 0 {
+                line.push_str(&format!(
+                    "; retries: {} ({} failed)",
+                    s.retries, s.send_failures
+                ));
+            }
+            if s.corrupted > 0 {
+                line.push_str(&format!("; corrupt: {}", s.corrupted));
+            }
+            line
         })
     }
 }
@@ -92,13 +105,23 @@ impl Monitor {
 mod tests {
     use super::*;
 
+    fn counts(sent: u64, received: u64, successes: u64, duplicates: u64) -> Counters {
+        Counters {
+            sent,
+            responses_validated: received,
+            unique_successes: successes,
+            duplicates_suppressed: duplicates,
+            ..Counters::default()
+        }
+    }
+
     #[test]
     fn one_sample_per_second() {
         let mut m = Monitor::new();
-        m.tick(0, 0, 0, 0, 0, 1000); // t=0 boundary
-        m.tick(500_000_000, 5000, 10, 8, 0, 1000);
-        m.tick(1_000_000_000, 10_000, 25, 20, 1, 1000);
-        m.tick(3_000_000_000, 30_000, 70, 60, 2, 1000);
+        m.tick(0, &counts(0, 0, 0, 0), 1000); // t=0 boundary
+        m.tick(500_000_000, &counts(5000, 10, 8, 0), 1000);
+        m.tick(1_000_000_000, &counts(10_000, 25, 20, 1), 1000);
+        m.tick(3_000_000_000, &counts(30_000, 70, 60, 2), 1000);
         let s = m.samples();
         // Boundaries at t=0,1,2,3.
         assert_eq!(s.len(), 4);
@@ -112,10 +135,10 @@ mod tests {
     #[test]
     fn percent_complete() {
         let mut m = Monitor::new();
-        m.tick(0, 250, 0, 0, 0, 1000);
+        m.tick(0, &counts(250, 0, 0, 0), 1000);
         assert!((m.samples()[0].percent_complete - 25.0).abs() < 1e-9);
         let mut m = Monitor::new();
-        m.tick(0, 0, 0, 0, 0, 0);
+        m.tick(0, &counts(0, 0, 0, 0), 0);
         assert_eq!(m.samples()[0].percent_complete, 100.0);
     }
 
@@ -123,9 +146,35 @@ mod tests {
     fn status_line_renders() {
         let mut m = Monitor::new();
         assert!(m.status_line().is_none());
-        m.tick(1_000_000_000, 9000, 100, 90, 3, 10_000);
+        m.tick(1_000_000_000, &counts(9000, 100, 90, 3), 10_000);
         let line = m.status_line().unwrap();
         assert!(line.contains("send: 9000"));
         assert!(line.contains("90 app success"));
+        assert!(!line.contains("retries"), "clean scan omits fault counters");
+    }
+
+    #[test]
+    fn status_line_shows_fault_counters_when_nonzero() {
+        let mut m = Monitor::new();
+        let mut c = counts(9000, 100, 90, 3);
+        c.send_retries = 17;
+        c.sendto_failures = 2;
+        c.responses_corrupted = 5;
+        m.tick(1_000_000_000, &c, 10_000);
+        let line = m.status_line().unwrap();
+        assert!(line.contains("retries: 17 (2 failed)"), "{line}");
+        assert!(line.contains("corrupt: 5"), "{line}");
+    }
+
+    #[test]
+    fn samples_carry_fault_counters() {
+        let mut m = Monitor::new();
+        let mut c = counts(10, 1, 1, 0);
+        c.send_retries = 3;
+        c.responses_corrupted = 1;
+        m.tick(0, &c, 100);
+        assert_eq!(m.samples()[0].retries, 3);
+        assert_eq!(m.samples()[0].corrupted, 1);
+        assert_eq!(m.samples()[0].send_failures, 0);
     }
 }

@@ -12,13 +12,12 @@ use crate::config::{ProbeKind, ScanConfig};
 use crate::output::ScanResult;
 use crate::probe_mod;
 use crate::ratecontrol::RateController;
-use parking_lot::Mutex;
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use zmap_dedup::{target_key, SlidingWindow};
-use zmap_netsim::{EndpointId, World};
+use zmap_netsim::{EndpointId, SendError, World};
 use zmap_targets::generator::BuildError;
 use zmap_targets::TargetGenerator;
 use zmap_wire::probe::ProbeBuilder;
@@ -28,7 +27,8 @@ pub trait SharedTransport: Send + Sync {
     /// Nanoseconds since the transport's epoch.
     fn now(&self) -> u64;
     /// Emits one frame (called concurrently from send threads).
-    fn send_frame(&self, frame: &[u8]);
+    /// `Err(WouldBlock)` means the frame was not sent; callers retry.
+    fn send_frame(&self, frame: &[u8]) -> Result<(), SendError>;
     /// Drains frames received so far (single consumer).
     fn recv_frames(&self) -> Vec<(u64, Vec<u8>)>;
 }
@@ -43,7 +43,7 @@ pub struct SharedSimTransport {
 impl SharedSimTransport {
     /// Wraps a world (typically freshly built) and attaches at `ip`.
     pub fn new(world: Arc<Mutex<World>>, ip: Ipv4Addr) -> Self {
-        let ep = world.lock().attach(ip);
+        let ep = world.lock().unwrap().attach(ip);
         SharedSimTransport {
             world,
             ep,
@@ -57,14 +57,14 @@ impl SharedTransport for SharedSimTransport {
         self.epoch.elapsed().as_nanos() as u64
     }
 
-    fn send_frame(&self, frame: &[u8]) {
+    fn send_frame(&self, frame: &[u8]) -> Result<(), SendError> {
         let now = self.now();
-        self.world.lock().send(self.ep, frame, now);
+        self.world.lock().unwrap().send(self.ep, frame, now)
     }
 
     fn recv_frames(&self) -> Vec<(u64, Vec<u8>)> {
         let now = self.now();
-        self.world.lock().recv_ready(self.ep, now)
+        self.world.lock().unwrap().recv_ready(self.ep, now)
     }
 }
 
@@ -75,6 +75,12 @@ pub struct ParallelSummary {
     pub responses_validated: u64,
     pub duplicates_suppressed: u64,
     pub unique_successes: u64,
+    /// Send attempts retried after transient transport failures.
+    pub send_retries: u64,
+    /// Probes abandoned after exhausting retries.
+    pub sendto_failures: u64,
+    /// Responses rejected by checksum validation.
+    pub responses_corrupted: u64,
     pub results: Vec<ScanResult>,
     /// Wall-clock duration, nanoseconds.
     pub duration_ns: u64,
@@ -83,8 +89,8 @@ pub struct ParallelSummary {
 /// Runs `cfg` with `cfg.subshards` real send threads over `transport`.
 ///
 /// The receive loop runs on the calling thread until all senders finish
-/// plus the cooldown. Uses crossbeam scoped threads so the generator and
-/// transport borrow safely.
+/// plus the cooldown. Uses scoped threads so the generator and transport
+/// borrow safely.
 pub fn run_parallel<T: SharedTransport>(
     cfg: &ScanConfig,
     transport: &T,
@@ -106,6 +112,8 @@ pub fn run_parallel<T: SharedTransport>(
     builder.ip_id = cfg.ip_id;
 
     let sent = AtomicU64::new(0);
+    let retries = AtomicU64::new(0);
+    let send_failures = AtomicU64::new(0);
     let finished_senders = AtomicU64::new(0);
     let start = transport.now();
     let threads = cfg.subshards.max(1);
@@ -116,20 +124,26 @@ pub fn run_parallel<T: SharedTransport>(
         responses_validated: 0,
         duplicates_suppressed: 0,
         unique_successes: 0,
+        send_retries: 0,
+        sendto_failures: 0,
+        responses_corrupted: 0,
         results: Vec::new(),
         duration_ns: 0,
     };
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for t in 0..threads {
             let gen = &gen;
             let builder = &builder;
             let sent = &sent;
+            let retries = &retries;
+            let send_failures = &send_failures;
             let finished = &finished_senders;
             let transport = &*transport;
             let probe = cfg.probe.clone();
             let shard = cfg.shard;
-            scope.spawn(move |_| {
+            let max_retries = cfg.max_retries;
+            scope.spawn(move || {
                 let mut rc = RateController::new(0, per_thread_rate);
                 let mut entropy: u16 = t as u16;
                 for target in gen.iter_shard(shard, t) {
@@ -149,8 +163,28 @@ pub fn run_parallel<T: SharedTransport>(
                     entropy = entropy.wrapping_add(0x9E37);
                     let frame =
                         probe_mod::build_probe(&probe, builder, target.ip, target.port, entropy);
-                    transport.send_frame(&frame);
-                    sent.fetch_add(1, Ordering::Relaxed);
+                    // Retry EAGAIN-style failures with real backoff; an
+                    // exhausted probe is dropped like any lost packet.
+                    let mut attempt = 0u32;
+                    loop {
+                        match transport.send_frame(&frame) {
+                            Ok(()) => {
+                                sent.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Err(_) if attempt < max_retries => {
+                                retries.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(std::time::Duration::from_micros(
+                                    50u64 << attempt.min(10),
+                                ));
+                                attempt += 1;
+                            }
+                            Err(_) => {
+                                send_failures.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
                 }
                 finished.fetch_add(1, Ordering::Release);
             });
@@ -162,24 +196,30 @@ pub fn run_parallel<T: SharedTransport>(
         let mut done_at: Option<u64> = None;
         loop {
             for (ts, frame) in transport.recv_frames() {
-                if let Ok(Some(resp)) = builder.parse_response(&frame) {
-                    summary.responses_validated += 1;
-                    if !dedup.check_and_insert(target_key(u32::from(resp.ip), resp.port)) {
-                        summary.duplicates_suppressed += 1;
-                        continue;
+                match builder.parse_response(&frame) {
+                    Ok(Some(resp)) => {
+                        summary.responses_validated += 1;
+                        if !dedup.check_and_insert(target_key(u32::from(resp.ip), resp.port)) {
+                            summary.duplicates_suppressed += 1;
+                            continue;
+                        }
+                        let success = probe_mod::is_success(&resp);
+                        if success {
+                            summary.unique_successes += 1;
+                            summary.results.push(ScanResult {
+                                ts_ns: ts.saturating_sub(start),
+                                saddr: resp.ip,
+                                sport: resp.port,
+                                classification: probe_mod::classify(&resp),
+                                ttl: resp.ttl,
+                                success,
+                            });
+                        }
                     }
-                    let success = probe_mod::is_success(&resp);
-                    if success {
-                        summary.unique_successes += 1;
-                        summary.results.push(ScanResult {
-                            ts_ns: ts.saturating_sub(start),
-                            saddr: resp.ip,
-                            sport: resp.port,
-                            classification: probe_mod::classify(&resp),
-                            ttl: resp.ttl,
-                            success,
-                        });
+                    Err(zmap_wire::WireError::BadChecksum) => {
+                        summary.responses_corrupted += 1;
                     }
+                    Ok(None) | Err(_) => {}
                 }
             }
             // All senders done? Then keep listening for the cooldown.
@@ -192,10 +232,11 @@ pub fn run_parallel<T: SharedTransport>(
             }
             std::thread::sleep(std::time::Duration::from_micros(200));
         }
-    })
-    .expect("scan threads must not panic");
+    });
 
     summary.sent = sent.load(Ordering::Relaxed);
+    summary.send_retries = retries.load(Ordering::Relaxed);
+    summary.sendto_failures = send_failures.load(Ordering::Relaxed);
     summary.duration_ns = transport.now() - start;
     Ok(summary)
 }

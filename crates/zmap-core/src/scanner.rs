@@ -33,6 +33,12 @@ pub struct ScanSummary {
     pub unique_successes: u64,
     /// Unique failed targets (RST/unreachable).
     pub unique_failures: u64,
+    /// Send attempts retried after transient transport failures.
+    pub send_retries: u64,
+    /// Probes abandoned after exhausting retries.
+    pub sendto_failures: u64,
+    /// Responses rejected by checksum validation.
+    pub responses_corrupted: u64,
     /// Virtual scan duration (ns), including cooldown.
     pub duration_ns: u64,
     /// The success records (plus failures when `report_failures`).
@@ -124,7 +130,7 @@ impl<T: Transport> Scanner<T> {
             gen.cycle().generator(),
         ));
         Ok(Scanner {
-            rng: StdRng::seed_from_u64(cfg.seed ^ 0x5EED_1D),
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x005E_ED1D),
             cfg,
             transport,
             builder,
@@ -207,8 +213,7 @@ impl<T: Transport> Scanner<T> {
                 transport.advance_to(at);
                 let entropy: u16 = rng.gen();
                 let frame = probe_mod::build_probe(&cfg.probe, &builder, ip, port, entropy);
-                transport.send_frame(&frame);
-                counters.sent += 1;
+                send_with_retries(&mut transport, &frame, cfg.max_retries, &mut counters);
             }
 
             drain_rx(
@@ -223,10 +228,7 @@ impl<T: Transport> Scanner<T> {
             );
             monitor.tick(
                 transport.now().saturating_sub(start),
-                counters.sent,
-                counters.responses_validated,
-                counters.unique_successes,
-                counters.duplicates_suppressed,
+                &counters,
                 shard_targets * u64::from(cfg.probes_per_target.max(1)),
             );
 
@@ -273,10 +275,7 @@ impl<T: Transport> Scanner<T> {
         // at 100% complete).
         monitor.tick(
             transport.now().saturating_sub(start),
-            counters.sent,
-            counters.responses_validated,
-            counters.unique_successes,
-            counters.duplicates_suppressed,
+            &counters,
             counters.sent.max(1),
         );
 
@@ -312,6 +311,9 @@ impl<T: Transport> Scanner<T> {
             duplicates_suppressed: counters.duplicates_suppressed,
             unique_successes: counters.unique_successes,
             unique_failures: counters.unique_failures,
+            send_retries: counters.send_retries,
+            sendto_failures: counters.sendto_failures,
+            responses_corrupted: counters.responses_corrupted,
             duration_ns,
             results,
             status: monitor.samples().to_vec(),
@@ -319,6 +321,39 @@ impl<T: Transport> Scanner<T> {
         }
     }
 
+}
+
+/// Sends one frame, retrying transient transport failures (EAGAIN) up to
+/// `max_retries` times with exponential virtual-time backoff (50 µs, then
+/// doubling — ZMap's sendto retry shape). Exhausted probes count as
+/// `sendto_failures` and are never re-queued: a single-pass scanner
+/// treats them like any other lost probe.
+fn send_with_retries<T: Transport>(
+    transport: &mut T,
+    frame: &[u8],
+    max_retries: u32,
+    counters: &mut Counters,
+) {
+    let mut attempt = 0u32;
+    loop {
+        match transport.send_frame(frame) {
+            Ok(()) => {
+                counters.sent += 1;
+                return;
+            }
+            Err(_) if attempt < max_retries => {
+                counters.send_retries += 1;
+                let backoff = 50_000u64 << attempt.min(10);
+                let t = transport.now() + backoff;
+                transport.advance_to(t);
+                attempt += 1;
+            }
+            Err(_) => {
+                counters.sendto_failures += 1;
+                return;
+            }
+        }
+    }
 }
 
 /// Receive-path processing shared by the send loop and cooldown.
@@ -362,6 +397,10 @@ fn drain_rx<T: Transport>(
             }
             Ok(None) => {
                 counters.responses_discarded += 1;
+            }
+            Err(zmap_wire::WireError::BadChecksum) => {
+                counters.responses_corrupted += 1;
+                logger.log(Level::Debug, format_args!("checksum mismatch: frame dropped"));
             }
             Err(e) => {
                 counters.responses_discarded += 1;

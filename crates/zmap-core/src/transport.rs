@@ -5,15 +5,19 @@
 //! generic over it, which is what keeps the library testable and lets the
 //! whole evaluation run against the simulated Internet.
 //!
+//! Sends are fallible: a transport may refuse a frame transiently
+//! ([`SendError::WouldBlock`], the simulator's EAGAIN), and the engine is
+//! responsible for retrying with backoff.
+//!
 //! * [`SimTransport`] — couples a scanner to a shared
 //!   [`zmap_netsim::World`]; time is virtual and owned by the scanner.
 //! * [`LoopbackTransport`] — frames sent are scripted/inspected directly
-//!   (engine unit tests).
+//!   (engine unit tests); send failures can be scripted per attempt.
 
 use std::cell::RefCell;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
-use zmap_netsim::{EndpointId, World, WorldConfig};
+use zmap_netsim::{EndpointId, SendError, World, WorldConfig};
 
 /// A scanner's view of the network.
 pub trait Transport {
@@ -23,8 +27,9 @@ pub trait Transport {
     /// Advances the clock to `t` (no-op if `t` is in the past).
     fn advance_to(&mut self, t: u64);
 
-    /// Emits one frame at the current time.
-    fn send_frame(&mut self, frame: &[u8]);
+    /// Emits one frame at the current time. `Err(WouldBlock)` means the
+    /// frame was not sent and the caller may retry after a backoff.
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), SendError>;
 
     /// All frames received up to the current time, with receive
     /// timestamps.
@@ -87,8 +92,8 @@ impl Transport for SimTransport {
         }
     }
 
-    fn send_frame(&mut self, frame: &[u8]) {
-        self.world.borrow_mut().send(self.ep, frame, self.now);
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), SendError> {
+        self.world.borrow_mut().send(self.ep, frame, self.now)
     }
 
     fn recv_frames(&mut self) -> Vec<(u64, Vec<u8>)> {
@@ -101,7 +106,7 @@ impl Transport for SimTransport {
 }
 
 /// In-memory transport for engine unit tests: records what the engine
-/// sends; tests push frames to be received.
+/// sends; tests push frames to be received and may script send failures.
 #[derive(Default)]
 pub struct LoopbackTransport {
     now: u64,
@@ -109,6 +114,10 @@ pub struct LoopbackTransport {
     pub sent: Vec<(u64, Vec<u8>)>,
     /// Frames queued for the engine, with receive timestamps.
     pub inbox: Vec<(u64, Vec<u8>)>,
+    /// Attempt numbers (0-based, counting every `send_frame` call) that
+    /// fail with `WouldBlock` — scripts EAGAIN bursts for retry tests.
+    pub fail_attempts: Vec<u64>,
+    attempts: u64,
 }
 
 impl LoopbackTransport {
@@ -129,8 +138,14 @@ impl Transport for LoopbackTransport {
         }
     }
 
-    fn send_frame(&mut self, frame: &[u8]) {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), SendError> {
+        let attempt = self.attempts;
+        self.attempts += 1;
+        if self.fail_attempts.contains(&attempt) {
+            return Err(SendError::WouldBlock);
+        }
         self.sent.push((self.now, frame.to_vec()));
+        Ok(())
     }
 
     fn recv_frames(&mut self) -> Vec<(u64, Vec<u8>)> {
@@ -172,6 +187,18 @@ mod tests {
     }
 
     #[test]
+    fn loopback_scripts_send_failures() {
+        let mut t = LoopbackTransport::new();
+        t.fail_attempts = vec![0, 2];
+        assert_eq!(t.send_frame(&[1]), Err(SendError::WouldBlock));
+        assert_eq!(t.send_frame(&[2]), Ok(()));
+        assert_eq!(t.send_frame(&[3]), Err(SendError::WouldBlock));
+        assert_eq!(t.send_frame(&[3]), Ok(()));
+        let frames: Vec<u8> = t.sent.iter().map(|(_, f)| f[0]).collect();
+        assert_eq!(frames, vec![2, 3], "failed attempts record nothing");
+    }
+
+    #[test]
     fn sim_transport_roundtrip() {
         use zmap_netsim::{loss::LossModel, ServiceModel};
         use zmap_wire::probe::ProbeBuilder;
@@ -183,7 +210,7 @@ mod tests {
         let src = Ipv4Addr::new(192, 0, 2, 5);
         let mut t = net.transport(src);
         let b = ProbeBuilder::new(src, 7);
-        t.send_frame(&b.tcp_syn(Ipv4Addr::new(7, 7, 7, 7), 80, 0));
+        t.send_frame(&b.tcp_syn(Ipv4Addr::new(7, 7, 7, 7), 80, 0)).unwrap();
         assert!(t.recv_frames().is_empty(), "response takes RTT");
         let rx_at = t.next_rx_at().expect("scheduled");
         t.advance_to(rx_at);

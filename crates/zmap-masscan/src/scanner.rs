@@ -171,8 +171,11 @@ impl<T: Transport> MasscanScanner<T> {
             );
             let ip_id = crate_masscan_ip_id(u32::from(ip), port, seq);
             let frame = self.builder.tcp_syn(ip, port, ip_id);
-            self.transport.send_frame(&frame);
-            sum.sent += 1;
+            // No retry logic: Masscan shrugs off transient send failures
+            // (part of the §3 robustness contrast with ZMap's engine).
+            if self.transport.send_frame(&frame).is_ok() {
+                sum.sent += 1;
+            }
             self.drain(&mut dedup, &mut sum);
         }
         let cooldown_end = self.transport.now() + self.cfg.cooldown_secs * 1_000_000_000;

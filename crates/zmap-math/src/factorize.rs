@@ -113,7 +113,7 @@ pub fn factor(mut n: u64) -> Vec<u64> {
     // Strip small primes by trial division first: cheap, and leaves rho an
     // odd cofactor.
     for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47] {
-        while n % p == 0 {
+        while n.is_multiple_of(p) {
             out.push(p);
             n /= p;
         }

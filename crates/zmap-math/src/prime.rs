@@ -20,7 +20,7 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
@@ -116,7 +116,7 @@ mod tests {
             }
             let mut d = 2;
             while d * d <= n {
-                if n % d == 0 {
+                if n.is_multiple_of(d) {
                     return false;
                 }
                 d += 1;

@@ -25,6 +25,7 @@
 
 pub mod banner;
 pub mod blowback;
+pub mod faults;
 pub mod geo;
 pub mod loss;
 pub mod pcap;
@@ -35,6 +36,7 @@ pub mod responder;
 pub mod services;
 pub mod world;
 
+pub use faults::{FaultPlan, SendError};
 pub use geo::Country;
 pub use profile::{HostProfile, OptionSensitivity, StackOs};
 pub use services::ServiceModel;

@@ -111,7 +111,7 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let bytes = vec![0u8; 24];
+        let bytes = [0u8; 24];
         assert!(read_pcap(&bytes[..]).is_err());
     }
 }

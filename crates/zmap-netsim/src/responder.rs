@@ -430,8 +430,9 @@ fn build_rst(
 }
 
 /// An ICMP destination-unreachable from `router`, quoting the probe's IP
-/// header + 8 bytes (RFC 792).
-fn build_unreach(
+/// header + 8 bytes (RFC 792). Also used by the fault layer's ICMP
+/// rate-limit storms.
+pub(crate) fn build_unreach(
     eth: &EthernetView<'_>,
     ip: &Ipv4View<'_>,
     router: Ipv4Addr,

@@ -142,7 +142,7 @@ mod tests {
         let mut x = c.element_at_position(0);
         for _ in 0..c.group().order() {
             assert!(!seen[x as usize], "element {x} repeated");
-            assert!(x >= 1 && x < 257, "element {x} out of group");
+            assert!((1..257).contains(&x), "element {x} out of group");
             seen[x as usize] = true;
             x = c.step(x);
         }
@@ -215,6 +215,6 @@ mod tests {
         );
         // The walk must stay a valid group walk even near the modulus.
         let x = c.element_at_position(12345);
-        assert!(x >= 1 && x < (1u64 << 48) + 21);
+        assert!((1..(1u64 << 48) + 21).contains(&x));
     }
 }

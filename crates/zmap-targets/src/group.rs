@@ -60,7 +60,7 @@ impl CyclicGroup {
     /// exceeds the largest group order (2^48 + 20).
     pub fn for_target_count(num_targets: u64) -> Result<Self, GroupError> {
         for &p in &GROUP_MODULI {
-            if p - 1 >= num_targets {
+            if p > num_targets {
                 // Moduli in the ladder are known primes; construction
                 // cannot fail.
                 return Self::new(p);

@@ -88,7 +88,7 @@ mod tests {
         // data". The per-topic rows sum to 316 because papers can span
         // topics; the sum must be in that neighborhood and ≥ 307.
         let zmap_papers = papers_using_zmap_data();
-        assert!(zmap_papers >= 307 && zmap_papers <= 330, "{zmap_papers}");
+        assert!((307..=330).contains(&zmap_papers), "{zmap_papers}");
         assert_eq!(total_categorized(), zmap_papers + 53);
     }
 

@@ -291,7 +291,9 @@ impl ProbeBuilder {
     /// Returns `Ok(None)` for frames that are well-formed but not for us
     /// (wrong destination IP, source port outside our range, cookie
     /// mismatch) — the common case on a busy interface — and `Err` for
-    /// malformed packets.
+    /// malformed packets, including [`WireError::BadChecksum`] for frames
+    /// addressed to us whose IP or transport checksum does not verify
+    /// (bit errors in flight must never become scan results).
     pub fn parse_response(&self, frame: &[u8]) -> Result<Option<Response>, WireError> {
         let eth = EthernetView::parse(frame)?;
         if eth.ethertype() != EtherType::Ipv4 {
@@ -301,10 +303,16 @@ impl ProbeBuilder {
         if ip.dst() != self.src_ip {
             return Ok(None);
         }
+        if !ip.verify_checksum() {
+            return Err(WireError::BadChecksum);
+        }
         let responder = ip.src();
         match ip.protocol() {
             IpProtocol::Tcp => {
                 let tcp = TcpView::parse(ip.payload())?;
+                if !tcp.verify_checksum(ip.pseudo_sum()) {
+                    return Err(WireError::BadChecksum);
+                }
                 if !self.owns_source_port(tcp.dst_port()) {
                     return Ok(None);
                 }
@@ -338,6 +346,9 @@ impl ProbeBuilder {
             }
             IpProtocol::Icmp => {
                 let icmp = IcmpView::parse(ip.payload())?;
+                if !icmp.verify_checksum() {
+                    return Err(WireError::BadChecksum);
+                }
                 match icmp.icmp_type() {
                     IcmpType::EchoReply => {
                         if !self.key.icmp_validate(
@@ -384,6 +395,9 @@ impl ProbeBuilder {
             }
             IpProtocol::Udp => {
                 let udp = UdpView::parse(ip.payload())?;
+                if !udp.verify_checksum(ip.pseudo_sum()) {
+                    return Err(WireError::BadChecksum);
+                }
                 if !self.owns_source_port(udp.dst_port()) {
                     return Ok(None);
                 }
@@ -472,6 +486,12 @@ mod tests {
 
     /// Craft the SYN-ACK a live host would send for `probe`.
     fn synthesize_synack(b: &ProbeBuilder, probe: &[u8]) -> Vec<u8> {
+        synthesize_synack_with_ack_delta(b, probe, 1)
+    }
+
+    /// A SYN-ACK with valid checksums acknowledging `seq + delta` — a
+    /// delta other than 1 makes the cookie validation fail.
+    fn synthesize_synack_with_ack_delta(b: &ProbeBuilder, probe: &[u8], delta: u32) -> Vec<u8> {
         let eth = EthernetView::parse(probe).unwrap();
         let ip = Ipv4View::parse(eth.payload()).unwrap();
         let tcp = TcpView::parse(ip.payload()).unwrap();
@@ -479,7 +499,7 @@ mod tests {
             src_port: tcp.dst_port(),
             dst_port: tcp.src_port(),
             seq: 0x11223344,
-            ack: tcp.seq().wrapping_add(1),
+            ack: tcp.seq().wrapping_add(delta),
             flags: TcpFlags::SYN_ACK,
             window: 14600,
             options: crate::options::OptionLayout::Linux.bytes(),
@@ -561,11 +581,34 @@ mod tests {
     fn wrong_ack_is_rejected() {
         let b = builder();
         let probe = b.tcp_syn(Ipv4Addr::new(203, 0, 113, 5), 443, 7);
-        let mut reply = synthesize_synack(&b, &probe);
-        // Corrupt the ACK (and fix no checksums — validation should fail
-        // on cookie before checksums matter here).
-        reply[14 + 20 + 8] ^= 0x55;
+        // Well-formed reply (checksums valid) acknowledging the wrong
+        // sequence number: the cookie must not validate.
+        let reply = synthesize_synack_with_ack_delta(&b, &probe, 0x5501);
         assert_eq!(b.parse_response(&reply).unwrap(), None);
+    }
+
+    #[test]
+    fn bit_error_is_rejected_by_checksum() {
+        let b = builder();
+        let probe = b.tcp_syn(Ipv4Addr::new(203, 0, 113, 5), 443, 7);
+        let good = synthesize_synack(&b, &probe);
+        // Flip the low bit of the TCP ack field: the cookie still
+        // validates numerically only with astronomically small odds, but
+        // more importantly the checksum no longer matches, which is what
+        // must stop the frame first.
+        let mut reply = good.clone();
+        reply[14 + 20 + 8] ^= 0x01;
+        assert_eq!(b.parse_response(&reply), Err(WireError::BadChecksum));
+        // Any single-bit flip past the Ethernet header is caught.
+        for byte in [14, 14 + 10, 14 + 20 + 13, good.len() - 1] {
+            let mut r = good.clone();
+            r[byte] ^= 0x80;
+            let verdict = b.parse_response(&r);
+            assert!(
+                !matches!(verdict, Ok(Some(_))),
+                "flip at byte {byte} must not validate: {verdict:?}"
+            );
+        }
     }
 
     #[test]

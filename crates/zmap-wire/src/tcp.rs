@@ -85,7 +85,10 @@ impl TcpRepr {
     /// Panics if the options are not 4-byte aligned or exceed 40 bytes
     /// (both unrepresentable in the data-offset field).
     pub fn emit(&self, pseudo: u32, payload: &[u8], buf: &mut Vec<u8>) {
-        assert!(self.options.len() % 4 == 0, "options must be word-aligned");
+        assert!(
+            self.options.len().is_multiple_of(4),
+            "options must be word-aligned"
+        );
         assert!(self.options.len() <= 40, "options exceed 40 bytes");
         let start = buf.len();
         buf.extend_from_slice(&self.src_port.to_be_bytes());

@@ -39,7 +39,7 @@ pub mod prelude {
         Classification, DedupMethod, OutputFormat, ProbeKind, ScanConfig, ScanResult,
         ScanSummary, Scanner, SimNet, Transport,
     };
-    pub use zmap_netsim::{ServiceModel, World, WorldConfig};
+    pub use zmap_netsim::{FaultPlan, SendError, ServiceModel, World, WorldConfig};
     pub use zmap_targets::{Constraint, ShardAlgorithm, Target, TargetGenerator};
     pub use zmap_wire::{IpIdMode, OptionLayout};
 }

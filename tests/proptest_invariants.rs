@@ -3,7 +3,10 @@
 
 use proptest::prelude::*;
 use std::collections::HashSet;
+use std::net::Ipv4Addr;
 use zmap::dedup::SlidingWindow;
+use zmap::netsim::loss::LossModel;
+use zmap::prelude::*;
 use zmap::masscan::Blackrock;
 use zmap::targets::{Constraint, Cycle, CyclicGroup, ShardAlgorithm, ShardIter, ShardSpec};
 use zmap::wire::checksum;
@@ -21,7 +24,7 @@ proptest! {
         let mut seen = HashSet::new();
         let mut x = cycle.element_at_position(0);
         for _ in 0..256 {
-            prop_assert!(x >= 1 && x < 257);
+            prop_assert!((1..257).contains(&x));
             prop_assert!(seen.insert(x));
             x = cycle.step(x);
         }
@@ -163,5 +166,102 @@ proptest! {
                 last_seen_at.insert(k, (i, inserts));
             }
         }
+    }
+}
+
+/// Runs a small scan (a /26, 64 targets) against a faulted dense world.
+fn faulted_scan(world_seed: u64, scan_seed: u64, plan: FaultPlan, max_retries: u32) -> ScanSummary {
+    let net = SimNet::new(WorldConfig {
+        seed: world_seed,
+        model: ServiceModel::dense(&[80]),
+        loss: LossModel::NONE,
+        faults: plan,
+        ..WorldConfig::default()
+    });
+    let src = Ipv4Addr::new(192, 0, 2, 1);
+    let mut cfg = ScanConfig::new(src);
+    cfg.allowlist_prefix(Ipv4Addr::new(55, 60, 0, 0), 26);
+    cfg.apply_default_blocklist = false;
+    cfg.rate_pps = 1_000_000;
+    cfg.seed = scan_seed;
+    cfg.cooldown_secs = 2;
+    cfg.max_retries = max_retries;
+    Scanner::new(cfg, net.transport(src)).unwrap().run()
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        0.0..0.3f64,
+        0.0..0.3f64,
+        0.0..0.3f64,
+        0.0..0.3f64,
+    )
+        .prop_map(|(salt, send_f, dup, reorder, corrupt)| {
+            FaultPlan::builder()
+                .salt(salt)
+                .send_failures(send_f)
+                .duplicate(dup)
+                .reorder(reorder, 5_000_000)
+                .corrupt(corrupt)
+                .build()
+        })
+}
+
+proptest! {
+    // Each case runs whole scans; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A seeded fault plan perturbs the world deterministically: two
+    /// runs with identical seeds produce identical summaries, down to
+    /// the per-result timestamps and the per-second status stream.
+    #[test]
+    fn faulted_scans_replay_identically(
+        world_seed in any::<u64>(),
+        scan_seed in any::<u64>(),
+        plan in arb_plan(),
+    ) {
+        let a = faulted_scan(world_seed, scan_seed, plan.clone(), 4);
+        let b = faulted_scan(world_seed, scan_seed, plan, 4);
+        prop_assert_eq!(a.sent, b.sent);
+        prop_assert_eq!(a.send_retries, b.send_retries);
+        prop_assert_eq!(a.sendto_failures, b.sendto_failures);
+        prop_assert_eq!(a.responses_validated, b.responses_validated);
+        prop_assert_eq!(a.duplicates_suppressed, b.duplicates_suppressed);
+        prop_assert_eq!(a.responses_corrupted, b.responses_corrupted);
+        prop_assert_eq!(a.unique_successes, b.unique_successes);
+        let ra: Vec<_> = a.results.iter().map(|r| (r.saddr, r.sport, r.ts_ns)).collect();
+        let rb: Vec<_> = b.results.iter().map(|r| (r.saddr, r.sport, r.ts_ns)).collect();
+        prop_assert_eq!(ra, rb);
+        prop_assert_eq!(a.status, b.status);
+    }
+
+    /// With a bounded failure rate and a generous retry budget, no probe
+    /// is ever abandoned: every target leaves the NIC.
+    #[test]
+    fn retries_cover_all_targets(
+        world_seed in any::<u64>(),
+        send_f in 0.0..0.3f64,
+        salt in any::<u64>(),
+    ) {
+        let plan = FaultPlan::builder().salt(salt).send_failures(send_f).build();
+        // P(single probe exhausted) <= 0.3^11 — negligible over 64 targets.
+        let s = faulted_scan(world_seed, 7, plan, 10);
+        prop_assert_eq!(s.sendto_failures, 0, "budget of 10 must absorb f <= 0.3");
+        prop_assert_eq!(s.sent, s.targets_total);
+    }
+
+    /// Response accounting never leaks: every validated response is a
+    /// first sighting (success or failure) or a suppressed duplicate.
+    #[test]
+    fn validated_responses_are_fully_accounted(
+        world_seed in any::<u64>(),
+        plan in arb_plan(),
+    ) {
+        let s = faulted_scan(world_seed, 13, plan, 4);
+        prop_assert!(
+            s.duplicates_suppressed + s.unique_successes + s.unique_failures
+                <= s.responses_validated
+        );
     }
 }

@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde` (serialization half).
+//!
+//! Implements the serde data-model traits this workspace actually touches:
+//! [`Serialize`], [`Serializer`], the `SerializeSeq`/`SerializeStruct`
+//! compound builders, and a `#[derive(Serialize)]` macro (re-exported from
+//! the vendored `serde_derive`). The trait signatures mirror upstream so
+//! user code — manual `impl Serialize` blocks included — compiles
+//! unchanged against either crate.
+
+pub use serde_derive::Serialize;
+
+pub mod ser;
+
+pub use ser::{Serialize, Serializer};

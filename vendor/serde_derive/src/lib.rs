@@ -1,0 +1,238 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the shapes this workspace uses —
+//! non-generic structs with named fields and enums — without `syn`/`quote`:
+//! the input item is parsed from its token string. Struct fields serialize
+//! through `Serializer::serialize_struct`; enums serialize as their variant
+//! name (payloads are configuration detail echoed elsewhere via `Debug`).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let src = input.to_string();
+    let item = parse_item(&src)
+        .unwrap_or_else(|e| panic!("#[derive(Serialize)] shim could not parse item: {e}\n{src}"));
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let mut body = format!(
+                "let mut st = ::serde::Serializer::serialize_struct(serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for f in &fields {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut st, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(st)\n");
+            wrap_impl(&name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let pat = match v.kind {
+                    VariantKind::Unit => format!("{name}::{}", v.name),
+                    VariantKind::Tuple => format!("{name}::{}(..)", v.name),
+                    VariantKind::Struct => format!("{name}::{} {{ .. }}", v.name),
+                };
+                arms.push_str(&format!("{pat} => \"{}\",\n", v.name));
+            }
+            let body = format!(
+                "let variant = match self {{\n{arms}}};\n\
+                 ::serde::Serializer::serialize_str(serializer, variant)\n"
+            );
+            wrap_impl(&name, &body)
+        }
+    };
+    code.parse().expect("derive shim generated invalid Rust")
+}
+
+fn wrap_impl(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 {body}\
+             }}\n\
+         }}\n"
+    )
+}
+
+enum VariantKind {
+    Unit,
+    Tuple,
+    Struct,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Strips `#[...]` attribute groups and `//`-style comment lines (doc
+/// comments can surface either way in the token stream's string form).
+fn strip_attrs(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if chars[i] == '#' {
+            let mut j = i + 1;
+            while j < chars.len() && chars[j].is_whitespace() {
+                j += 1;
+            }
+            if j < chars.len() && chars[j] == '[' {
+                // Skip to the matching close bracket (strings inside doc
+                // attributes may contain brackets; track them).
+                let mut depth = 0i32;
+                let mut in_str = false;
+                let mut escaped = false;
+                while j < chars.len() {
+                    let c = chars[j];
+                    if in_str {
+                        if escaped {
+                            escaped = false;
+                        } else if c == '\\' {
+                            escaped = true;
+                        } else if c == '"' {
+                            in_str = false;
+                        }
+                    } else if c == '"' {
+                        in_str = true;
+                    } else if c == '[' {
+                        depth += 1;
+                    } else if c == ']' {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        out.push(chars[i]);
+        i += 1;
+    }
+    out
+}
+
+/// Splits `body` on commas at the top nesting level.
+fn split_top_level(body: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in body.chars() {
+        match c {
+            '(' | '[' | '{' | '<' => depth += 1,
+            ')' | ']' | '}' | '>' => depth -= 1,
+            ',' if depth == 0 => {
+                parts.push(cur.trim().to_string());
+                cur.clear();
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur.trim().to_string());
+    }
+    parts
+}
+
+fn parse_item(src: &str) -> Result<Item, String> {
+    let clean = strip_attrs(src);
+    let tokens: Vec<&str> = clean.split_whitespace().collect();
+    let mut idx = 0;
+    while idx < tokens.len() && (tokens[idx] == "pub" || tokens[idx].starts_with("pub(")) {
+        idx += 1;
+    }
+    let kind = *tokens.get(idx).ok_or("missing struct/enum keyword")?;
+    let name = tokens
+        .get(idx + 1)
+        .ok_or("missing item name")?
+        .trim_end_matches(|c: char| !c.is_alphanumeric() && c != '_')
+        .to_string();
+    if name.is_empty() {
+        return Err("empty item name".into());
+    }
+    // Body = text between the first top-level '{' and its matching '}'.
+    let open = clean.find('{').ok_or("derive shim supports brace-bodied items only")?;
+    let mut depth = 0i32;
+    let mut close = None;
+    for (off, c) in clean[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(open + off);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let close = close.ok_or("unbalanced braces")?;
+    let body = &clean[open + 1..close];
+
+    match kind {
+        "struct" => {
+            let mut fields = Vec::new();
+            for part in split_top_level(body) {
+                let part = part.trim_start_matches("pub ").trim();
+                let fname = part
+                    .split(':')
+                    .next()
+                    .ok_or("field without type")?
+                    .trim()
+                    .trim_start_matches("pub")
+                    .trim();
+                if fname.is_empty() {
+                    return Err(format!("unparseable field: {part}"));
+                }
+                fields.push(fname.to_string());
+            }
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let mut variants = Vec::new();
+            for part in split_top_level(body) {
+                let part = part.trim();
+                let vname: String = part
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if vname.is_empty() {
+                    return Err(format!("unparseable variant: {part}"));
+                }
+                let rest = part[vname.len()..].trim_start();
+                let kind = if rest.starts_with('(') {
+                    VariantKind::Tuple
+                } else if rest.starts_with('{') {
+                    VariantKind::Struct
+                } else {
+                    VariantKind::Unit
+                };
+                variants.push(Variant { name: vname, kind });
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("unsupported item kind {other}")),
+    }
+}

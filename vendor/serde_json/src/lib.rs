@@ -1,0 +1,69 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides the subset this workspace uses: [`Value`] with indexing and
+//! `as_*` accessors, [`from_str`] (a strict recursive-descent parser),
+//! [`to_string`] (drives any [`serde::Serialize`] type into compact JSON,
+//! preserving struct field order), and the [`json!`] macro.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub mod value;
+pub use value::{Map, Number, Value};
+
+mod parse;
+mod write;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl Error {
+    pub(crate) fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+/// Parses a JSON document into a [`Value`].
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    parse::parse(s)
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    write::to_string(value)
+}
+
+/// Builds a [`Value`] from a JSON-like literal.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $( $elem:tt ),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $( $key:tt : $val:tt ),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert(String::from($key), $crate::json!($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Used by `Value::Object`; alias keeps call sites (`as_object().keys()`)
+/// source-compatible with the real crate's `Map`.
+pub type ObjectMap = BTreeMap<String, Value>;

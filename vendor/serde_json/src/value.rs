@@ -1,0 +1,288 @@
+//! The JSON value tree.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Index;
+
+/// Object representation: sorted map, like the real crate with the
+/// `preserve_order` feature off.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON number. Integers keep full 64-bit precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            Number::NegInt(v) => u64::try_from(v).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::PosInt(v) => Some(v as f64),
+            Number::NegInt(v) => Some(v as f64),
+            Number::Float(v) => Some(v),
+        }
+    }
+}
+
+/// Any JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn is_u64(&self) -> bool {
+        self.as_u64().is_some()
+    }
+
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    pub fn is_boolean(&self) -> bool {
+        matches!(self, Value::Bool(_))
+    }
+
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::to_string(self).map_err(|_| fmt::Error)?)
+    }
+}
+
+// ---- From conversions (json! literal arguments) ----
+
+macro_rules! impl_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::PosInt(v as u64)) }
+        }
+    )*};
+}
+impl_from_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v as i64))
+                }
+            }
+        }
+    )*};
+}
+impl_from_int!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+// ---- PartialEq against literals (assert_eq!(v["k"], 443) etc.) ----
+
+macro_rules! impl_eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            // The temporary is two words; this mirrors upstream's shape.
+            #[allow(clippy::cmp_owned)]
+            fn eq(&self, other: &$t) -> bool {
+                *self == Value::from(*other)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            #[allow(clippy::cmp_owned)]
+            fn eq(&self, other: &Value) -> bool {
+                Value::from(*self) == *other
+            }
+        }
+    )*};
+}
+impl_eq_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, bool);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl serde::Serialize for Value {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::{SerializeMap, SerializeSeq};
+        match self {
+            Value::Null => serializer.serialize_unit(),
+            Value::Bool(b) => serializer.serialize_bool(*b),
+            Value::Number(Number::PosInt(v)) => serializer.serialize_u64(*v),
+            Value::Number(Number::NegInt(v)) => serializer.serialize_i64(*v),
+            Value::Number(Number::Float(v)) => serializer.serialize_f64(*v),
+            Value::String(s) => serializer.serialize_str(s),
+            Value::Array(a) => {
+                let mut seq = serializer.serialize_seq(Some(a.len()))?;
+                for item in a {
+                    seq.serialize_element(item)?;
+                }
+                seq.end()
+            }
+            Value::Object(m) => {
+                let mut map = serializer.serialize_map(Some(m.len()))?;
+                for (k, v) in m {
+                    map.serialize_entry(k, v)?;
+                }
+                map.end()
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Compact JSON writer: a `serde::Serializer` that appends directly to a
+//! `String`, preserving struct field order.
+
+use crate::Error;
+use serde::ser::{SerializeMap, SerializeSeq, SerializeStruct};
+use serde::{Serialize, Serializer};
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(JsonWriter { out: &mut out })?;
+    Ok(out)
+}
+
+struct JsonWriter<'a> {
+    out: &'a mut String,
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, v: f64) -> Result<(), Error> {
+    if !v.is_finite() {
+        return Err(Error::msg("JSON cannot represent NaN or infinity"));
+    }
+    // Keep integral floats distinguishable from ints, like the real crate.
+    if v == v.trunc() && v.abs() < 1e15 {
+        out.push_str(&format!("{v:.1}"));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+    Ok(())
+}
+
+impl<'a> Serializer for JsonWriter<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = SeqWriter<'a>;
+    type SerializeStruct = StructWriter<'a>;
+    type SerializeMap = MapWriter<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        write_f64(self.out, v)
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        write_escaped(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<SeqWriter<'a>, Error> {
+        self.out.push('[');
+        Ok(SeqWriter { out: self.out, first: true })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<StructWriter<'a>, Error> {
+        self.out.push('{');
+        Ok(StructWriter { out: self.out, first: true })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<MapWriter<'a>, Error> {
+        self.out.push('{');
+        Ok(MapWriter { out: self.out, first: true })
+    }
+}
+
+pub struct SeqWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> SerializeSeq for SeqWriter<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        value.serialize(JsonWriter { out: self.out })
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.out.push(']');
+        Ok(())
+    }
+}
+
+pub struct StructWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> SerializeStruct for StructWriter<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        write_escaped(self.out, name);
+        self.out.push(':');
+        value.serialize(JsonWriter { out: self.out })
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.out.push('}');
+        Ok(())
+    }
+}
+
+pub struct MapWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> SerializeMap for MapWriter<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Error> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        // JSON keys must be strings: serialize the key, then require that
+        // it produced a quoted string.
+        let start = self.out.len();
+        key.serialize(JsonWriter { out: self.out })?;
+        if !self.out[start..].starts_with('"') {
+            let rendered = self.out.split_off(start);
+            write_escaped(self.out, &rendered);
+        }
+        self.out.push(':');
+        value.serialize(JsonWriter { out: self.out })
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.out.push('}');
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{from_str, json, to_string};
+
+    #[test]
+    fn writer_output_reparses() {
+        let v = json!({"name": "zmap", "ports": [80, 443], "frac": 2.5, "ok": true});
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn escapes_are_symmetric() {
+        let v = json!({"s": "a\"b\\c\nd"});
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str(&s).unwrap(), v);
+    }
+}
