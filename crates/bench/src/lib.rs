@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared infrastructure for the experiment binaries (`src/bin/fig*.rs`,
 //! `src/bin/exp_*.rs`) and Criterion benches.
 //!

@@ -1,0 +1,169 @@
+//! The suppression baseline: a checked-in TOML file of findings the
+//! workspace has accepted, each carrying a lint ID, a path, and a
+//! human-readable reason. The analyzer subtracts baselined findings
+//! before deciding its exit code, and reports *stale* entries (ones
+//! that no longer match anything) so the baseline can only shrink.
+//!
+//! Only the TOML subset the baseline needs is parsed — `[[suppress]]`
+//! array-of-tables headers and `key = "string"` pairs — keeping the
+//! crate dependency-free.
+
+use crate::lints::Finding;
+
+/// One accepted finding class: all findings of `lint` in `path`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    pub lint: String,
+    pub path: String,
+    pub reason: String,
+    /// Line in the baseline file (for stale-entry reporting).
+    pub defined_at: u32,
+}
+
+/// Result of subtracting a baseline from a finding set.
+#[derive(Debug)]
+pub struct Applied {
+    /// Findings not covered by any suppression.
+    pub kept: Vec<Finding>,
+    /// Number of findings a suppression absorbed.
+    pub suppressed: usize,
+    /// Baseline entries that matched nothing (must be deleted).
+    pub stale: Vec<Suppression>,
+}
+
+/// Parses the baseline format. Errors carry a line number and reason.
+pub fn parse(text: &str) -> Result<Vec<Suppression>, String> {
+    let mut entries: Vec<Suppression> = Vec::new();
+    let mut current: Option<Suppression> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[suppress]]" {
+            if let Some(done) = current.take() {
+                entries.push(validated(done)?);
+            }
+            current = Some(Suppression {
+                lint: String::new(),
+                path: String::new(),
+                reason: String::new(),
+                defined_at: lineno,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = \"value\"`, got `{line}`"));
+        };
+        let entry = current
+            .as_mut()
+            .ok_or_else(|| format!("line {lineno}: key outside a [[suppress]] table"))?;
+        let value = value.trim();
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("line {lineno}: value must be a double-quoted string"))?;
+        match key.trim() {
+            "lint" => entry.lint = value.to_string(),
+            "path" => entry.path = value.to_string(),
+            "reason" => entry.reason = value.to_string(),
+            other => return Err(format!("line {lineno}: unknown key `{other}`")),
+        }
+    }
+    if let Some(done) = current.take() {
+        entries.push(validated(done)?);
+    }
+    Ok(entries)
+}
+
+fn validated(s: Suppression) -> Result<Suppression, String> {
+    for (field, value) in [("lint", &s.lint), ("path", &s.path), ("reason", &s.reason)] {
+        if value.is_empty() {
+            return Err(format!(
+                "suppression at line {}: missing required `{field}`",
+                s.defined_at
+            ));
+        }
+    }
+    Ok(s)
+}
+
+/// Subtracts `suppressions` from `findings`.
+pub fn apply(findings: Vec<Finding>, suppressions: &[Suppression]) -> Applied {
+    let mut used = vec![false; suppressions.len()];
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for f in findings {
+        let hit = suppressions
+            .iter()
+            .position(|s| s.lint == f.lint && s.path == f.path);
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => kept.push(f),
+        }
+    }
+    let stale = suppressions
+        .iter()
+        .zip(&used)
+        .filter(|(_, u)| !**u)
+        .map(|(s, _)| s.clone())
+        .collect();
+    Applied {
+        kept,
+        suppressed,
+        stale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: &'static str, path: &str, line: u32) -> Finding {
+        Finding {
+            lint,
+            path: path.to_string(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_multiple_entries_with_comments() {
+        let text = "# accepted debt\n\n[[suppress]]\nlint = \"no-unwrap-hot-path\"\n\
+                    path = \"crates/zmap-wire/src/tcp.rs\"\nreason = \"infallible\"\n\n\
+                    [[suppress]]\nlint = \"todo-fixme-gate\"\npath = \"src/lib.rs\"\n\
+                    reason = \"tracked\"\n";
+        let got = parse(text).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].lint, "no-unwrap-hot-path");
+        assert_eq!(got[1].path, "src/lib.rs");
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let text = "[[suppress]]\nlint = \"x\"\npath = \"y\"\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn apply_partitions_and_finds_stale() {
+        let sups = parse(
+            "[[suppress]]\nlint = \"a\"\npath = \"p.rs\"\nreason = \"r\"\n\
+             [[suppress]]\nlint = \"b\"\npath = \"q.rs\"\nreason = \"r\"\n",
+        )
+        .unwrap();
+        let findings = vec![finding("a", "p.rs", 1), finding("a", "p.rs", 9), finding("c", "p.rs", 2)];
+        let applied = apply(findings, &sups);
+        assert_eq!(applied.suppressed, 2, "both `a` findings in p.rs absorbed");
+        assert_eq!(applied.kept.len(), 1);
+        assert_eq!(applied.kept[0].lint, "c");
+        assert_eq!(applied.stale.len(), 1);
+        assert_eq!(applied.stale[0].lint, "b");
+    }
+}

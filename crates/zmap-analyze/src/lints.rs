@@ -1,0 +1,793 @@
+//! The lint pass: eight project-specific checks over the lexed token
+//! streams. Each lint exists because a paper invariant (determinism,
+//! statelessness, counter completeness) is only as strong as the
+//! codebase's discipline about it; see DESIGN.md §7 for the mapping.
+
+use crate::lexer::{LexedFile, Tok};
+use std::collections::BTreeMap;
+
+/// One lint violation, anchored to a workspace-relative `path:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub lint: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+}
+
+/// Lint IDs, in the order findings are documented.
+pub const LINT_IDS: [&str; 8] = [
+    "no-unwrap-hot-path",
+    "no-wallclock-in-engine",
+    "no-unseeded-rng",
+    "must-use-fallible-send",
+    "no-println-outside-cli",
+    "unsafe-needs-safety-comment",
+    "counter-wiring",
+    "todo-fixme-gate",
+];
+
+/// Crates whose code is allowed to read the wall clock and print to the
+/// console: the CLI front-end, the bench/experiment harness, and this
+/// analyzer itself (a build-time tool, never on a scan path).
+const FRONTEND_CRATES: [&str; 3] = ["zmap-cli", "bench", "zmap-analyze"];
+
+/// Runs every lint over the workspace file set.
+///
+/// `files` maps workspace-relative forward-slash paths to lexed sources.
+/// Findings come back sorted by (path, line, lint).
+pub fn run_lints(files: &BTreeMap<String, LexedFile>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (path, lexed) in files {
+        lint_unwrap_hot_path(path, lexed, &mut findings);
+        lint_wallclock(path, lexed, &mut findings);
+        lint_unseeded_rng(path, lexed, &mut findings);
+        lint_must_use_fallible(path, lexed, &mut findings);
+        lint_println(path, lexed, &mut findings);
+        lint_unsafe_comments(path, lexed, &mut findings);
+        lint_todo_fixme(path, lexed, &mut findings);
+    }
+    lint_unsafe_attestation(files, &mut findings);
+    lint_counter_wiring(files, &mut findings);
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.lint).cmp(&(b.path.as_str(), b.line, b.lint))
+    });
+    findings
+}
+
+fn crate_of(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("crates/")?;
+    rest.split('/').next()
+}
+
+fn is_tests_path(path: &str) -> bool {
+    path.starts_with("tests/") || path.contains("/tests/")
+}
+
+fn is_examples_path(path: &str) -> bool {
+    path.starts_with("examples/") || path.contains("/examples/")
+}
+
+fn basename(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+fn in_frontend_crate(path: &str) -> bool {
+    crate_of(path).is_some_and(|c| FRONTEND_CRATES.contains(&c))
+}
+
+// ---------------------------------------------------------------------
+// Token-stream geometry helpers.
+// ---------------------------------------------------------------------
+
+/// Index just past the `}` matching the `{` at `open`.
+fn skip_brace_block(lexed: &LexedFile, open: usize) -> usize {
+    debug_assert!(lexed.punct(open, '{'));
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < lexed.tokens.len() {
+        if lexed.punct(i, '{') {
+            depth += 1;
+        } else if lexed.punct(i, '}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    lexed.tokens.len()
+}
+
+/// Index just past the `]` matching the `[` at `open`.
+fn skip_bracket_group(lexed: &LexedFile, open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < lexed.tokens.len() {
+        if lexed.punct(i, '[') {
+            depth += 1;
+        } else if lexed.punct(i, ']') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    lexed.tokens.len()
+}
+
+/// True when the attribute group `[start..end)` (token indices spanning
+/// `[` … `]`) gates on `cfg(test)` — conservatively, "mentions `test`
+/// under `cfg` without a `not`".
+fn attr_is_cfg_test(lexed: &LexedFile, start: usize, end: usize) -> bool {
+    let mut saw_cfg = false;
+    for i in start..end {
+        match lexed.ident(i) {
+            Some("cfg") => saw_cfg = true,
+            Some("not") => return false,
+            Some("test") | Some("tests") if saw_cfg => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Token-index ranges covered by `#[cfg(test)]` items and `#[test]` fns.
+fn test_regions(lexed: &LexedFile) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < lexed.tokens.len() {
+        if lexed.punct(i, '#') && lexed.punct(i + 1, '[') {
+            let attr_end = skip_bracket_group(lexed, i + 1);
+            let is_test_attr = attr_is_cfg_test(lexed, i + 1, attr_end)
+                || (attr_end == i + 3 && lexed.ident(i + 2) == Some("test"));
+            let mut j = attr_end;
+            // Skip any further attributes on the same item.
+            while lexed.punct(j, '#') && lexed.punct(j + 1, '[') {
+                j = skip_bracket_group(lexed, j + 1);
+            }
+            if is_test_attr {
+                // Find the item's body: the first `{` before a `;`.
+                let mut k = j;
+                while k < lexed.tokens.len() {
+                    if lexed.punct(k, ';') {
+                        break;
+                    }
+                    if lexed.punct(k, '{') {
+                        let end = skip_brace_block(lexed, k);
+                        regions.push((i, end));
+                        i = end;
+                        break;
+                    }
+                    k += 1;
+                }
+                if i <= k {
+                    i = k.max(j);
+                }
+            }
+            i = i.max(attr_end);
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+fn in_regions(regions: &[(usize, usize)], idx: usize) -> bool {
+    regions.iter().any(|&(s, e)| idx >= s && idx < e)
+}
+
+/// Body ranges (token indices inside the braces) of `trait … { … }`
+/// declarations, with the nesting depth tracked so only direct trait
+/// items are inspected by callers.
+fn trait_bodies(lexed: &LexedFile) -> Vec<(usize, usize)> {
+    let mut bodies = Vec::new();
+    let mut i = 0usize;
+    while i < lexed.tokens.len() {
+        if lexed.ident(i) == Some("trait") {
+            let mut k = i + 1;
+            while k < lexed.tokens.len() {
+                if lexed.punct(k, ';') {
+                    break;
+                }
+                if lexed.punct(k, '{') {
+                    bodies.push((k + 1, skip_brace_block(lexed, k) - 1));
+                    break;
+                }
+                k += 1;
+            }
+            i = k;
+        }
+        i += 1;
+    }
+    bodies
+}
+
+/// Fields `(name, line)` of `struct name { … }` in declaration order.
+pub fn struct_fields(lexed: &LexedFile, name: &str) -> Vec<(String, u32)> {
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < lexed.tokens.len() {
+        if lexed.ident(i) == Some("struct") && lexed.ident(i + 1) == Some(name) {
+            let mut k = i + 2;
+            while k < lexed.tokens.len() && !lexed.punct(k, '{') {
+                if lexed.punct(k, ';') {
+                    return fields; // tuple/unit struct: no named fields
+                }
+                k += 1;
+            }
+            let end = skip_brace_block(lexed, k);
+            let mut depth = 0i32;
+            for j in k..end {
+                if lexed.punct(j, '{') {
+                    depth += 1;
+                } else if lexed.punct(j, '}') {
+                    depth -= 1;
+                } else if depth == 1 {
+                    // A field name: ident directly followed by a single
+                    // `:` (not a `::` path segment).
+                    if let Some(id) = lexed.ident(j) {
+                        let follows = lexed.punct(j + 1, ':') && !lexed.punct(j + 2, ':');
+                        let preceded_by_path = j > 0 && lexed.punct(j - 1, ':');
+                        let prev_ok = j == 0
+                            || lexed.punct(j - 1, '{')
+                            || lexed.punct(j - 1, ',')
+                            || lexed.punct(j - 1, ']')
+                            || lexed.punct(j - 1, ')')
+                            || lexed.ident(j - 1) == Some("pub");
+                        if follows && !preceded_by_path && prev_ok {
+                            fields.push((id.to_string(), lexed.line(j)));
+                        }
+                    }
+                }
+            }
+            return fields;
+        }
+        i += 1;
+    }
+    fields
+}
+
+/// Count of `ident` occurrences outside token range `excl`.
+fn ident_occurrences_outside(lexed: &LexedFile, ident: &str, excl: (usize, usize)) -> usize {
+    lexed
+        .tokens
+        .iter()
+        .enumerate()
+        .filter(|(i, t)| {
+            !(excl.0..excl.1).contains(i) && matches!(&t.tok, Tok::Ident(s) if s == ident)
+        })
+        .count()
+}
+
+/// Token range of `struct name { … }` (from `struct` to past `}`).
+fn struct_decl_range(lexed: &LexedFile, name: &str) -> Option<(usize, usize)> {
+    let mut i = 0usize;
+    while i + 1 < lexed.tokens.len() {
+        if lexed.ident(i) == Some("struct") && lexed.ident(i + 1) == Some(name) {
+            let mut k = i + 2;
+            while k < lexed.tokens.len() && !lexed.punct(k, '{') {
+                if lexed.punct(k, ';') {
+                    return Some((i, k + 1));
+                }
+                k += 1;
+            }
+            return Some((i, skip_brace_block(lexed, k)));
+        }
+        i += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Lint 1: no-unwrap-hot-path
+// ---------------------------------------------------------------------
+
+fn is_hot_path_file(path: &str) -> bool {
+    if is_tests_path(path) || is_examples_path(path) {
+        return false;
+    }
+    matches!(basename(path), "scanner.rs" | "parallel.rs" | "transport.rs")
+        || path.starts_with("crates/zmap-wire/src/")
+        || path == "crates/zmap-netsim/src/world.rs"
+}
+
+fn lint_unwrap_hot_path(path: &str, lexed: &LexedFile, out: &mut Vec<Finding>) {
+    if !is_hot_path_file(path) {
+        return;
+    }
+    let tests = test_regions(lexed);
+    for i in 1..lexed.tokens.len() {
+        let Some(id) = lexed.ident(i) else { continue };
+        if (id == "unwrap" || id == "expect")
+            && lexed.punct(i - 1, '.')
+            && lexed.punct(i + 1, '(')
+            && !in_regions(&tests, i)
+        {
+            out.push(Finding {
+                lint: "no-unwrap-hot-path",
+                path: path.to_string(),
+                line: lexed.line(i),
+                message: format!(
+                    "`.{id}()` on the TX/RX hot path can panic a live scan; \
+                     propagate the error or recover (see parallel::lock_world)"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lint 2: no-wallclock-in-engine
+// ---------------------------------------------------------------------
+
+fn lint_wallclock(path: &str, lexed: &LexedFile, out: &mut Vec<Finding>) {
+    if in_frontend_crate(path) {
+        return;
+    }
+    for i in 0..lexed.tokens.len() {
+        let clock = match lexed.ident(i) {
+            Some("Instant") => "Instant",
+            Some("SystemTime") => "SystemTime",
+            _ => continue,
+        };
+        if lexed.punct(i + 1, ':') && lexed.punct(i + 2, ':') && lexed.ident(i + 3) == Some("now")
+        {
+            out.push(Finding {
+                lint: "no-wallclock-in-engine",
+                path: path.to_string(),
+                line: lexed.line(i),
+                message: format!(
+                    "`{clock}::now` reads the host clock; engine code must take time \
+                     from its Transport so replays are byte-identical"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lint 3: no-unseeded-rng
+// ---------------------------------------------------------------------
+
+fn lint_unseeded_rng(path: &str, lexed: &LexedFile, out: &mut Vec<Finding>) {
+    for i in 0..lexed.tokens.len() {
+        let Some(id) = lexed.ident(i) else { continue };
+        if matches!(id, "thread_rng" | "from_entropy" | "OsRng") {
+            out.push(Finding {
+                lint: "no-unseeded-rng",
+                path: path.to_string(),
+                line: lexed.line(i),
+                message: format!(
+                    "`{id}` draws OS entropy; every randomized path must derive from \
+                     an explicit u64 seed (StdRng::seed_from_u64) to stay replayable"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lint 4: must-use-fallible-send
+// ---------------------------------------------------------------------
+
+/// True when the attributes/modifiers immediately before the `fn` at
+/// `fn_idx` include `#[must_use]`. `floor` bounds the backward walk.
+fn has_must_use_attr(lexed: &LexedFile, fn_idx: usize, floor: usize) -> bool {
+    let modifiers = ["pub", "unsafe", "async", "const", "default", "extern", "crate", "super", "self", "in"];
+    let mut j = fn_idx;
+    while j > floor {
+        let prev = j - 1;
+        if lexed.ident(prev).is_some_and(|id| modifiers.contains(&id)) {
+            j = prev;
+        } else if lexed.punct(prev, ')') {
+            // pub(crate) and friends: walk to the opening paren.
+            let mut k = prev;
+            let mut depth = 0i32;
+            while k > floor {
+                if lexed.punct(k, ')') {
+                    depth += 1;
+                } else if lexed.punct(k, '(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k -= 1;
+            }
+            j = k;
+        } else if lexed.punct(prev, ']') {
+            // An attribute group: scan its contents, then continue past.
+            let mut k = prev;
+            let mut depth = 0i32;
+            while k > floor {
+                if lexed.punct(k, ']') {
+                    depth += 1;
+                } else if lexed.punct(k, '[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k -= 1;
+            }
+            for t in k..prev {
+                if lexed.ident(t) == Some("must_use") {
+                    return true;
+                }
+            }
+            // Step over the leading `#`.
+            j = k.saturating_sub(1).max(floor);
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+fn lint_must_use_fallible(path: &str, lexed: &LexedFile, out: &mut Vec<Finding>) {
+    if is_tests_path(path) || is_examples_path(path) {
+        return;
+    }
+    for &(body_start, body_end) in &trait_bodies(lexed) {
+        let mut depth = 0i32;
+        let mut i = body_start;
+        while i < body_end {
+            if lexed.punct(i, '{') {
+                depth += 1;
+            } else if lexed.punct(i, '}') {
+                depth -= 1;
+            } else if depth == 0 && lexed.ident(i) == Some("fn") {
+                let Some(name) = lexed.ident(i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                if name.starts_with("send") || name.starts_with("recv") {
+                    // Signature: tokens until the body `{` or the `;`.
+                    let mut k = i + 2;
+                    let mut saw_arrow = false;
+                    let mut returns_result = false;
+                    while k < body_end && !lexed.punct(k, '{') && !lexed.punct(k, ';') {
+                        if lexed.punct(k, '-') && lexed.punct(k + 1, '>') {
+                            saw_arrow = true;
+                        }
+                        if saw_arrow && lexed.ident(k) == Some("Result") {
+                            returns_result = true;
+                        }
+                        k += 1;
+                    }
+                    if returns_result && !has_must_use_attr(lexed, i, body_start) {
+                        out.push(Finding {
+                            lint: "must-use-fallible-send",
+                            path: path.to_string(),
+                            line: lexed.line(i),
+                            message: format!(
+                                "fallible trait method `{name}` returns Result but is not \
+                                 `#[must_use]`; a dropped send/recv error is a silently \
+                                 lost probe"
+                            ),
+                        });
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lint 5: no-println-outside-cli
+// ---------------------------------------------------------------------
+
+fn lint_println(path: &str, lexed: &LexedFile, out: &mut Vec<Finding>) {
+    if in_frontend_crate(path) || is_tests_path(path) || is_examples_path(path) {
+        return;
+    }
+    let tests = test_regions(lexed);
+    for i in 0..lexed.tokens.len() {
+        let Some(id) = lexed.ident(i) else { continue };
+        if matches!(id, "println" | "eprintln" | "print" | "eprint" | "dbg")
+            && lexed.punct(i + 1, '!')
+            && !in_regions(&tests, i)
+        {
+            out.push(Finding {
+                lint: "no-println-outside-cli",
+                path: path.to_string(),
+                line: lexed.line(i),
+                message: format!(
+                    "`{id}!` in library code bypasses the four output streams; \
+                     route through Logger or return data to the caller"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lint 6: unsafe-needs-safety-comment (+ forbid attestation)
+// ---------------------------------------------------------------------
+
+fn lint_unsafe_comments(path: &str, lexed: &LexedFile, out: &mut Vec<Finding>) {
+    for i in 0..lexed.tokens.len() {
+        if lexed.ident(i) != Some("unsafe") {
+            continue;
+        }
+        let line = lexed.line(i);
+        let documented = lexed
+            .comments
+            .iter()
+            .any(|c| c.text.contains("SAFETY") && c.line + 3 >= line && c.line <= line);
+        if !documented {
+            out.push(Finding {
+                lint: "unsafe-needs-safety-comment",
+                path: path.to_string(),
+                line,
+                message: "`unsafe` without a `// SAFETY:` comment in the preceding \
+                          3 lines; state the invariant that makes this sound"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Crates with zero `unsafe` tokens in `src/` must attest with
+/// `#![forbid(unsafe_code)]` in their crate root, so the zero-unsafe
+/// state is compiler-enforced rather than accidental.
+fn lint_unsafe_attestation(files: &BTreeMap<String, LexedFile>, out: &mut Vec<Finding>) {
+    // crate key -> src dir prefix
+    let mut crates: BTreeMap<String, String> = BTreeMap::new();
+    for path in files.keys() {
+        if let Some(name) = crate_of(path) {
+            crates.insert(format!("crates/{name}"), format!("crates/{name}/src/"));
+        } else if path.starts_with("src/") {
+            crates.insert(String::new(), "src/".to_string());
+        }
+    }
+    for (crate_dir, src_prefix) in crates {
+        let src_files: Vec<(&String, &LexedFile)> = files
+            .iter()
+            .filter(|(p, _)| p.starts_with(src_prefix.as_str()))
+            .collect();
+        let has_unsafe = src_files.iter().any(|(_, f)| {
+            f.tokens
+                .iter()
+                .any(|t| matches!(&t.tok, Tok::Ident(s) if s == "unsafe"))
+        });
+        if has_unsafe {
+            continue;
+        }
+        let root = ["lib.rs", "main.rs"]
+            .iter()
+            .map(|f| format!("{src_prefix}{f}"))
+            .find(|p| files.contains_key(p));
+        let Some(root) = root else { continue };
+        let lexed = &files[&root];
+        let mut attested = false;
+        for i in 0..lexed.tokens.len() {
+            if lexed.ident(i) == Some("forbid")
+                && lexed.punct(i + 1, '(')
+                && lexed.ident(i + 2) == Some("unsafe_code")
+            {
+                attested = true;
+                break;
+            }
+        }
+        if !attested {
+            let display = if crate_dir.is_empty() { "the umbrella crate" } else { &crate_dir };
+            out.push(Finding {
+                lint: "unsafe-needs-safety-comment",
+                path: root.clone(),
+                line: 1,
+                message: format!(
+                    "{display} contains no unsafe code but its root lacks \
+                     `#![forbid(unsafe_code)]`; attest so regressions are \
+                     compile errors"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lint 7: counter-wiring
+// ---------------------------------------------------------------------
+
+const COUNTERS_FILE: &str = "crates/zmap-core/src/metadata.rs";
+const MONITOR_FILE: &str = "crates/zmap-core/src/monitor.rs";
+const CLI_STATUS_FILE: &str = "crates/zmap-cli/src/run.rs";
+
+/// Cross-file completeness: every field of `Counters` (the canonical
+/// counter registry, serialized into scan metadata) must be mirrored as
+/// a `StatusUpdate` field, populated in the monitor, and rendered on the
+/// CLI status path. PR 1 wired three fault counters through all of these
+/// by hand; this lint makes forgetting one a CI failure.
+fn lint_counter_wiring(files: &BTreeMap<String, LexedFile>, out: &mut Vec<Finding>) {
+    let (Some(meta), Some(monitor), Some(cli)) = (
+        files.get(COUNTERS_FILE),
+        files.get(MONITOR_FILE),
+        files.get(CLI_STATUS_FILE),
+    ) else {
+        return;
+    };
+    let counters = struct_fields(meta, "Counters");
+    if counters.is_empty() {
+        return;
+    }
+    let status_fields = struct_fields(monitor, "StatusUpdate");
+    let status_decl = struct_decl_range(monitor, "StatusUpdate").unwrap_or((0, 0));
+    for (field, line) in &counters {
+        if !status_fields.iter().any(|(f, _)| f == field) {
+            out.push(Finding {
+                lint: "counter-wiring",
+                path: COUNTERS_FILE.to_string(),
+                line: *line,
+                message: format!(
+                    "counter `{field}` is not a StatusUpdate field; live status \
+                     (stream #3) must surface every counter the metadata reports"
+                ),
+            });
+            continue;
+        }
+        if ident_occurrences_outside(monitor, field, status_decl) == 0 {
+            out.push(Finding {
+                lint: "counter-wiring",
+                path: COUNTERS_FILE.to_string(),
+                line: *line,
+                message: format!(
+                    "counter `{field}` is declared in StatusUpdate but never \
+                     populated in monitor.rs (Monitor::tick must copy it)"
+                ),
+            });
+            continue;
+        }
+        if ident_occurrences_outside(cli, field, (0, 0)) == 0 {
+            out.push(Finding {
+                lint: "counter-wiring",
+                path: COUNTERS_FILE.to_string(),
+                line: *line,
+                message: format!(
+                    "counter `{field}` never reaches the CLI status path \
+                     ({CLI_STATUS_FILE}); render it in the status line"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lint 8: todo-fixme-gate
+// ---------------------------------------------------------------------
+
+fn lint_todo_fixme(path: &str, lexed: &LexedFile, out: &mut Vec<Finding>) {
+    for c in &lexed.comments {
+        for marker in ["TODO", "FIXME", "XXX"] {
+            if c.text.contains(marker) {
+                out.push(Finding {
+                    lint: "todo-fixme-gate",
+                    path: path.to_string(),
+                    line: c.line,
+                    message: format!(
+                        "comment carries `{marker}`; deferred work must live in the \
+                         baseline (with a reason) or in ROADMAP.md, not in code"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn files_of(entries: &[(&str, &str)]) -> BTreeMap<String, LexedFile> {
+        entries
+            .iter()
+            .map(|(p, s)| (p.to_string(), lex(s)))
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_module_is_exempt() {
+        let src = "fn hot() { x.lock().unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\n";
+        let files = files_of(&[("crates/zmap-core/src/parallel.rs", src)]);
+        let f: Vec<_> = run_lints(&files)
+            .into_iter()
+            .filter(|f| f.lint == "no-unwrap-hot-path")
+            .collect();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn trait_fields_and_regions_parse() {
+        let src = "pub struct S { pub a: u64, pub b: Vec<(u64, u8)>, c: f64 }";
+        let lexed = lex(src);
+        let names: Vec<_> = struct_fields(&lexed, "S").into_iter().map(|f| f.0).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn must_use_attr_detected_through_other_attrs() {
+        let src = "trait T {\n #[doc(hidden)]\n #[must_use]\n fn send_x(&self) -> Result<(), E>;\n\
+                   fn send_y(&self) -> Result<(), E>;\n fn recv_ok(&self) -> u64;\n}";
+        let files = files_of(&[("crates/zmap-core/src/x.rs", src)]);
+        let f: Vec<_> = run_lints(&files)
+            .into_iter()
+            .filter(|f| f.lint == "must-use-fallible-send")
+            .collect();
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("send_y"));
+    }
+
+    #[test]
+    fn wallclock_allowed_in_frontend_crates_only() {
+        let src = "fn f() { let t = Instant::now(); }";
+        let files = files_of(&[
+            ("crates/zmap-core/src/engine.rs", src),
+            ("crates/zmap-cli/src/run.rs", src),
+            ("crates/bench/src/lib.rs", src),
+        ]);
+        let f: Vec<_> = run_lints(&files)
+            .into_iter()
+            .filter(|f| f.lint == "no-wallclock-in-engine")
+            .collect();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].path, "crates/zmap-core/src/engine.rs");
+    }
+
+    #[test]
+    fn attestation_requires_forbid_only_when_unsafe_free() {
+        let clean = "pub fn f() {}";
+        let attested = "#![forbid(unsafe_code)]\npub fn f() {}";
+        let has_unsafe = "pub fn f() { unsafe { g() } }"; // no SAFETY comment
+        let files = files_of(&[
+            ("crates/a/src/lib.rs", clean),
+            ("crates/b/src/lib.rs", attested),
+            ("crates/c/src/lib.rs", has_unsafe),
+        ]);
+        let fs = run_lints(&files);
+        let attest: Vec<_> = fs
+            .iter()
+            .filter(|f| f.message.contains("forbid"))
+            .collect();
+        assert_eq!(attest.len(), 1);
+        assert_eq!(attest[0].path, "crates/a/src/lib.rs");
+        let safety: Vec<_> = fs
+            .iter()
+            .filter(|f| f.message.contains("SAFETY"))
+            .collect();
+        assert_eq!(safety.len(), 1);
+        assert_eq!(safety[0].path, "crates/c/src/lib.rs");
+    }
+
+    #[test]
+    fn counter_wiring_catches_each_break() {
+        let meta = "pub struct Counters { pub ok_one: u64, pub missing_status: u64, \
+                    pub unpopulated: u64, pub missing_cli: u64 }";
+        let monitor = "pub struct StatusUpdate { pub ok_one: u64, pub unpopulated: u64, \
+                       pub missing_cli: u64 }\n\
+                       fn tick(c: &Counters) { let _ = c.ok_one; let _ = c.missing_cli; }";
+        let cli = "fn status(s: &StatusUpdate) { render(s.ok_one); }";
+        let files = files_of(&[
+            ("crates/zmap-core/src/metadata.rs", meta),
+            ("crates/zmap-core/src/monitor.rs", monitor),
+            ("crates/zmap-cli/src/run.rs", cli),
+        ]);
+        let f: Vec<_> = run_lints(&files)
+            .into_iter()
+            .filter(|f| f.lint == "counter-wiring")
+            .collect();
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().any(|f| f.message.contains("missing_status")
+            && f.message.contains("not a StatusUpdate field")));
+        assert!(f.iter().any(|f| f.message.contains("unpopulated")
+            && f.message.contains("populated in monitor.rs")));
+        assert!(f.iter().any(|f| f.message.contains("missing_cli")
+            && f.message.contains("CLI status path")));
+    }
+}

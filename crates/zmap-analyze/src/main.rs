@@ -1,0 +1,105 @@
+#![forbid(unsafe_code)]
+//! CLI: `zmap-analyze check [--deny] [--json] [--baseline <file>]
+//! [--root <dir>]`.
+//!
+//! Exit codes: 0 clean (or report-only mode), 1 findings or stale
+//! baseline entries under `--deny`, 2 usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use zmap_analyze::{analyze_root, baseline, default_root, report};
+
+struct Options {
+    deny: bool,
+    json: bool,
+    baseline_path: Option<PathBuf>,
+    root: PathBuf,
+}
+
+const USAGE: &str = "usage: zmap-analyze check [--deny] [--json] \
+                     [--baseline <file>] [--root <dir>]";
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        deny: false,
+        json: false,
+        baseline_path: None,
+        root: default_root(),
+    };
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("check") => {}
+        Some(other) => return Err(format!("unknown command `{other}`\n{USAGE}")),
+        None => return Err(USAGE.to_string()),
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => opts.deny = true,
+            "--json" => opts.json = true,
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline requires a file argument")?;
+                opts.baseline_path = Some(PathBuf::from(v));
+            }
+            "--root" => {
+                let v = it.next().ok_or("--root requires a directory argument")?;
+                opts.root = PathBuf::from(v);
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<ExitCode, String> {
+    let findings =
+        analyze_root(&opts.root).map_err(|e| format!("walking {}: {e}", opts.root.display()))?;
+
+    // Default baseline: <root>/analyze-baseline.toml when present.
+    let baseline_path = opts
+        .baseline_path
+        .clone()
+        .or_else(|| {
+            let p = opts.root.join("analyze-baseline.toml");
+            p.exists().then_some(p)
+        });
+    let suppressions = match &baseline_path {
+        Some(p) => {
+            let text =
+                std::fs::read_to_string(p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+            baseline::parse(&text).map_err(|e| format!("{}: {e}", p.display()))?
+        }
+        None => Vec::new(),
+    };
+    let applied = baseline::apply(findings, &suppressions);
+
+    if opts.json {
+        println!("{}", report::json(&applied));
+    } else {
+        print!("{}", report::text(&applied));
+    }
+
+    let dirty = !applied.kept.is_empty() || !applied.stale.is_empty();
+    Ok(if opts.deny && dirty {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_options(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("zmap-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("zmap-analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

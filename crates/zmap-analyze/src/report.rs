@@ -1,0 +1,118 @@
+//! Rendering: human-readable text and machine-readable JSON, both
+//! deterministic (findings arrive pre-sorted from the lint pass).
+
+use crate::baseline::Applied;
+
+/// Renders the clippy-style text report.
+pub fn text(applied: &Applied) -> String {
+    let mut out = String::new();
+    for f in &applied.kept {
+        out.push_str(&format!("{}:{}: [{}] {}\n", f.path, f.line, f.lint, f.message));
+    }
+    for s in &applied.stale {
+        out.push_str(&format!(
+            "analyze-baseline.toml:{}: stale suppression [{}] for {} matches nothing; delete it\n",
+            s.defined_at, s.lint, s.path
+        ));
+    }
+    out.push_str(&format!(
+        "zmap-analyze: {} finding(s), {} suppressed by baseline, {} stale baseline entr{}\n",
+        applied.kept.len(),
+        applied.suppressed,
+        applied.stale.len(),
+        if applied.stale.len() == 1 { "y" } else { "ies" },
+    ));
+    out
+}
+
+/// Renders the single-line JSON report.
+pub fn json(applied: &Applied) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in applied.kept.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"lint\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+            escape(f.lint),
+            escape(&f.path),
+            f.line,
+            escape(&f.message)
+        ));
+    }
+    out.push_str("],\"stale_baseline\":[");
+    for (i, s) in applied.stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"lint\":{},\"path\":{},\"defined_at\":{}}}",
+            escape(&s.lint),
+            escape(&s.path),
+            s.defined_at
+        ));
+    }
+    out.push_str(&format!("],\"suppressed\":{}}}", applied.suppressed));
+    out
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{Applied, Suppression};
+    use crate::lints::Finding;
+
+    fn sample() -> Applied {
+        Applied {
+            kept: vec![Finding {
+                lint: "no-unseeded-rng",
+                path: "crates/x/src/lib.rs".to_string(),
+                line: 7,
+                message: "uses \"thread_rng\"".to_string(),
+            }],
+            suppressed: 2,
+            stale: vec![Suppression {
+                lint: "todo-fixme-gate".to_string(),
+                path: "src/lib.rs".to_string(),
+                reason: "r".to_string(),
+                defined_at: 4,
+            }],
+        }
+    }
+
+    #[test]
+    fn text_report_lists_findings_and_stale() {
+        let t = text(&sample());
+        assert!(t.contains("crates/x/src/lib.rs:7: [no-unseeded-rng]"));
+        assert!(t.contains("stale suppression [todo-fixme-gate]"));
+        assert!(t.contains("1 finding(s), 2 suppressed"));
+    }
+
+    #[test]
+    fn json_report_is_valid_and_escaped() {
+        let j = json(&sample());
+        assert!(j.contains("\"line\":7"));
+        assert!(j.contains("uses \\\"thread_rng\\\""));
+        assert!(j.contains("\"suppressed\":2"));
+        assert!(j.contains("\"defined_at\":4"));
+    }
+}

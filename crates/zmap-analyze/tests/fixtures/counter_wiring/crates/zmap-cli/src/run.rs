@@ -1,0 +1,5 @@
+//! Fixture: the status line renders only one of the counters.
+
+pub fn render(s: &StatusUpdate) -> String {
+    format!("sent {}", s.ok_one)
+}

@@ -1,0 +1,8 @@
+//! Fixture: counters breaking each of the three wiring rules.
+
+pub struct Counters {
+    pub ok_one: u64,
+    pub missing_status: u64,
+    pub unpopulated: u64,
+    pub missing_cli: u64,
+}

@@ -1,0 +1,12 @@
+//! Fixture: mirrors most — but not all — of the Counters registry.
+
+pub struct StatusUpdate {
+    pub ok_one: u64,
+    pub unpopulated: u64,
+    pub missing_cli: u64,
+}
+
+pub fn tick(c: &Counters, s: &mut StatusUpdate) {
+    s.ok_one = c.ok_one;
+    s.missing_cli = c.missing_cli;
+}

@@ -1,0 +1,18 @@
+//! Fixture: panics on the TX/RX hot path.
+
+pub fn drain(queue: &mut Vec<u8>) -> u8 {
+    queue.pop().unwrap()
+}
+
+pub fn peek(queue: &[u8]) -> u8 {
+    *queue.first().expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_here_is_exempt() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: fallible send/recv trait methods without `#[must_use]`.
+
+pub trait Wire {
+    fn now(&self) -> u64;
+
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), Error>;
+
+    #[must_use = "a dropped receive error loses responses"]
+    fn recv_frames(&mut self) -> Result<Vec<u8>, Error>;
+
+    fn recv_poll(&mut self) -> Result<usize, Error>;
+
+    fn send_count(&self) -> u64;
+}

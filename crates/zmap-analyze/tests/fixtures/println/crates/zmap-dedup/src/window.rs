@@ -1,0 +1,9 @@
+//! Fixture: console output from library code.
+
+pub fn note(hits: u64) {
+    println!("hits so far: {hits}");
+}
+
+pub fn spill(v: &[u8]) {
+    dbg!(v);
+}

@@ -1,0 +1,9 @@
+//! Fixture: deferred-work markers in comments.
+
+pub fn shard_count() -> u32 {
+    // TODO: derive from the core count.
+    8
+}
+
+/* FIXME: replace this whole module */
+pub fn placeholder() {}

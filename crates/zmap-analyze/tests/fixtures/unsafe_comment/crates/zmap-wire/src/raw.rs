@@ -1,0 +1,10 @@
+//! Fixture: undocumented `unsafe`.
+
+pub fn read_u32(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn read_u64(p: *const u64) -> u64 {
+    // SAFETY: caller guarantees p is valid, aligned, and initialized.
+    unsafe { *p }
+}

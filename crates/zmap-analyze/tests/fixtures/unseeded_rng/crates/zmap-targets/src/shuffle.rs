@@ -1,0 +1,11 @@
+//! Fixture: OS entropy in a randomized path.
+
+pub fn draw() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn seeded_badly() -> u64 {
+    let mut rng = StdRng::from_entropy();
+    rng.gen()
+}

@@ -1,0 +1,6 @@
+//! Fixture: the CLI front-end may read the wall clock.
+use std::time::Instant;
+
+pub fn started() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,10 @@
+//! Fixture: wall-clock reads inside the engine.
+use std::time::{Instant, SystemTime};
+
+pub fn t0() -> Instant {
+    Instant::now()
+}
+
+pub fn wall() -> SystemTime {
+    SystemTime::now()
+}

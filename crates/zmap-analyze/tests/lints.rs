@@ -1,0 +1,163 @@
+//! Each lint fires on its fixture tree at the exact `file:line`.
+//!
+//! The trees under `tests/fixtures/` are tiny fake workspaces (never
+//! compiled, never walked by the real `check` run — the walker skips
+//! directories named `fixtures`). Every test asserts the *complete*
+//! finding set for its tree, so both false negatives and accidental
+//! extra findings fail here.
+
+use std::path::PathBuf;
+use zmap_analyze::analyze_root;
+use zmap_analyze::lints::Finding;
+
+fn fixture(case: &str) -> Vec<Finding> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(case);
+    analyze_root(&root).unwrap_or_else(|e| panic!("walking fixture {case}: {e}"))
+}
+
+/// `(path, line)` spans of every finding for `lint`, in report order.
+fn spans(findings: &[Finding], lint: &str) -> Vec<(String, u32)> {
+    findings
+        .iter()
+        .filter(|f| f.lint == lint)
+        .map(|f| (f.path.clone(), f.line))
+        .collect()
+}
+
+#[test]
+fn hot_path_unwrap_and_expect_fire_outside_tests() {
+    let f = fixture("hot_unwrap");
+    assert_eq!(
+        spans(&f, "no-unwrap-hot-path"),
+        vec![
+            ("crates/zmap-core/src/scanner.rs".to_string(), 4),
+            ("crates/zmap-core/src/scanner.rs".to_string(), 8),
+        ],
+        "unwrap at L4 and expect at L8 fire; the unwrap in #[cfg(test)] is exempt"
+    );
+    assert_eq!(f.len(), 2, "no other lint fires on this tree: {f:?}");
+}
+
+#[test]
+fn wallclock_reads_fire_in_engine_but_not_cli() {
+    let f = fixture("wallclock");
+    assert_eq!(
+        spans(&f, "no-wallclock-in-engine"),
+        vec![
+            ("crates/zmap-core/src/engine.rs".to_string(), 5),
+            ("crates/zmap-core/src/engine.rs".to_string(), 9),
+        ],
+        "Instant::now at L5 and SystemTime::now at L9; the zmap-cli file is exempt"
+    );
+    assert_eq!(f.len(), 2, "{f:?}");
+}
+
+#[test]
+fn os_entropy_draws_fire() {
+    let f = fixture("unseeded_rng");
+    assert_eq!(
+        spans(&f, "no-unseeded-rng"),
+        vec![
+            ("crates/zmap-targets/src/shuffle.rs".to_string(), 4),
+            ("crates/zmap-targets/src/shuffle.rs".to_string(), 9),
+        ],
+        "thread_rng at L4 and from_entropy at L9"
+    );
+    assert_eq!(f.len(), 2, "{f:?}");
+}
+
+#[test]
+fn fallible_send_recv_without_must_use_fires() {
+    let f = fixture("must_use");
+    assert_eq!(
+        spans(&f, "must-use-fallible-send"),
+        vec![
+            ("crates/zmap-core/src/transport.rs".to_string(), 6),
+            ("crates/zmap-core/src/transport.rs".to_string(), 11),
+        ],
+        "send_frame (L6) and recv_poll (L11) return Result without #[must_use]; \
+         the attributed recv_frames and the infallible send_count are clean"
+    );
+    assert_eq!(f.len(), 2, "{f:?}");
+}
+
+#[test]
+fn console_output_in_library_code_fires() {
+    let f = fixture("println");
+    assert_eq!(
+        spans(&f, "no-println-outside-cli"),
+        vec![
+            ("crates/zmap-dedup/src/window.rs".to_string(), 4),
+            ("crates/zmap-dedup/src/window.rs".to_string(), 8),
+        ],
+        "println! at L4 and dbg! at L8"
+    );
+    assert_eq!(f.len(), 2, "{f:?}");
+}
+
+#[test]
+fn undocumented_unsafe_fires_and_safety_comment_clears() {
+    let f = fixture("unsafe_comment");
+    assert_eq!(
+        spans(&f, "unsafe-needs-safety-comment"),
+        vec![("crates/zmap-wire/src/raw.rs".to_string(), 4)],
+        "the L4 block has no SAFETY comment; the L9 block is documented at L8"
+    );
+    assert_eq!(f.len(), 1, "{f:?}");
+}
+
+#[test]
+fn unsafe_free_crate_must_attest_with_forbid() {
+    let f = fixture("unsafe_attestation");
+    assert_eq!(
+        spans(&f, "unsafe-needs-safety-comment"),
+        vec![("crates/zmap-math/src/lib.rs".to_string(), 1)]
+    );
+    assert!(f[0].message.contains("forbid(unsafe_code)"), "{:?}", f[0]);
+    assert_eq!(f.len(), 1, "{f:?}");
+}
+
+#[test]
+fn counter_wiring_flags_each_break_at_its_declaration() {
+    let f = fixture("counter_wiring");
+    assert_eq!(
+        spans(&f, "counter-wiring"),
+        vec![
+            ("crates/zmap-core/src/metadata.rs".to_string(), 5),
+            ("crates/zmap-core/src/metadata.rs".to_string(), 6),
+            ("crates/zmap-core/src/metadata.rs".to_string(), 7),
+        ],
+        "one finding per broken counter, anchored at its Counters declaration"
+    );
+    let msgs: Vec<&str> = f.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs[0].contains("missing_status") && msgs[0].contains("not a StatusUpdate field"));
+    assert!(msgs[1].contains("unpopulated") && msgs[1].contains("monitor.rs"));
+    assert!(msgs[2].contains("missing_cli") && msgs[2].contains("CLI status path"));
+    assert_eq!(f.len(), 3, "ok_one is fully wired and must stay silent: {f:?}");
+}
+
+#[test]
+fn deferred_work_markers_fire() {
+    let f = fixture("todo");
+    assert_eq!(
+        spans(&f, "todo-fixme-gate"),
+        vec![
+            ("crates/zmap-core/src/notes.rs".to_string(), 4),
+            ("crates/zmap-core/src/notes.rs".to_string(), 8),
+        ],
+        "line comment at L4, block comment at L8"
+    );
+    assert_eq!(f.len(), 2, "{f:?}");
+}
+
+#[test]
+fn findings_come_back_sorted_by_path_line_lint() {
+    let f = fixture("counter_wiring");
+    let mut sorted = f.clone();
+    sorted.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.lint).cmp(&(b.path.as_str(), b.line, b.lint))
+    });
+    assert_eq!(f, sorted);
+}

@@ -1,0 +1,82 @@
+//! The workspace must pass its own analyzer: `check --deny` with the
+//! shipped baseline exits 0, and the baseline carries no stale entries —
+//! so the suppression file can only shrink over time.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use zmap_analyze::{analyze_root, baseline};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/zmap-analyze sits two levels below the root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_clean_under_the_shipped_baseline() {
+    let root = workspace_root();
+    let findings = analyze_root(&root).expect("walk the workspace");
+    let text = std::fs::read_to_string(root.join("analyze-baseline.toml"))
+        .expect("the baseline ships with the repo");
+    let suppressions = baseline::parse(&text).expect("baseline parses");
+    let applied = baseline::apply(findings, &suppressions);
+    assert!(
+        applied.kept.is_empty(),
+        "unbaselined findings — fix them or baseline them with a reason:\n{}",
+        zmap_analyze::report::text(&applied)
+    );
+    assert!(
+        applied.stale.is_empty(),
+        "stale baseline entries — the finding is gone, delete the entry:\n{}",
+        zmap_analyze::report::text(&applied)
+    );
+    assert!(
+        applied.suppressed > 0,
+        "the shipped baseline should still be load-bearing"
+    );
+}
+
+fn run_check(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_zmap-analyze"))
+        .args(args)
+        .output()
+        .expect("spawn the analyzer binary")
+}
+
+#[test]
+fn deny_exits_zero_on_the_workspace() {
+    let root = workspace_root();
+    let out = run_check(&["check", "--deny", "--root", root.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn deny_exits_nonzero_when_violations_are_introduced() {
+    // Point the analyzer at a fixture tree full of violations, with no
+    // baseline: this is what a regression looks like in CI.
+    let bad = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/hot_unwrap");
+    let out = run_check(&["check", "--deny", "--root", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "findings under --deny exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no-unwrap-hot-path"), "{stdout}");
+}
+
+#[test]
+fn json_report_is_machine_readable() {
+    let root = workspace_root();
+    let out = run_check(&["check", "--json", "--root", root.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let v: serde_json::Value =
+        serde_json::from_str(stdout.trim()).expect("valid JSON on stdout");
+    assert_eq!(v["findings"].as_array().map(Vec::len), Some(0));
+    assert_eq!(v["stale_baseline"].as_array().map(Vec::len), Some(0));
+    assert!(v["suppressed"].as_u64().unwrap() > 0);
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Argument parsing and run orchestration for the `zmap` binary.
 //!
 //! Per the paper's "Library and Command Line Wrapper" lesson, everything

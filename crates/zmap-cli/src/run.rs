@@ -64,20 +64,39 @@ pub fn run_scan(opts: CliOptions) -> io::Result<i32> {
     out.finish()?;
 
     // Stream 3: status (replayed at completion in this offline build).
+    // Every Counters field is rendered here — quiet segments only when
+    // nonzero — so nothing the metadata reports is invisible while a
+    // scan runs (enforced by zmap-analyze's counter-wiring lint).
     if !opts.quiet {
         for s in &summary.status {
             let mut line = format!(
-                "{}s: sent {} ({:.0} pps), {} results, {} dups, {:.1}% done",
-                s.t_secs, s.sent, s.send_rate, s.successes, s.duplicates, s.percent_complete
+                "{}s: sent {}/{} ({:.0} pps), {} recv, {} results, {} dups, {:.1}% done",
+                s.t_secs,
+                s.sent,
+                s.targets_total,
+                s.send_rate,
+                s.responses_validated,
+                s.unique_successes,
+                s.duplicates_suppressed,
+                s.percent_complete
             );
-            if s.retries > 0 || s.send_failures > 0 {
+            if s.unique_failures > 0 {
+                line.push_str(&format!(", {} failures", s.unique_failures));
+            }
+            if s.responses_discarded > 0 {
+                line.push_str(&format!(", {} discarded", s.responses_discarded));
+            }
+            if s.send_retries > 0 || s.sendto_failures > 0 {
                 line.push_str(&format!(
                     ", {} retries ({} failed)",
-                    s.retries, s.send_failures
+                    s.send_retries, s.sendto_failures
                 ));
             }
-            if s.corrupted > 0 {
-                line.push_str(&format!(", {} corrupt", s.corrupted));
+            if s.responses_corrupted > 0 {
+                line.push_str(&format!(", {} corrupt", s.responses_corrupted));
+            }
+            if s.lock_poison_recoveries > 0 {
+                line.push_str(&format!(", {} lock-recovered", s.lock_poison_recoveries));
             }
             eprintln!("{line}");
         }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The ZMap scanner as a Rust library.
 //!
 //! *Ten Years of ZMap* (§5) closes with "If we were to implement ZMap

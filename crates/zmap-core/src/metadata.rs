@@ -69,6 +69,9 @@ pub struct Counters {
     pub sendto_failures: u64,
     /// Responses rejected by checksum validation (bit errors in flight).
     pub responses_corrupted: u64,
+    /// Poisoned world-lock acquisitions recovered instead of cascading
+    /// the panic (threaded engine only; always 0 single-threaded).
+    pub lock_poison_recoveries: u64,
 }
 
 impl ConfigEcho {
@@ -128,6 +131,7 @@ mod tests {
                 send_retries: 4,
                 sendto_failures: 1,
                 responses_corrupted: 2,
+                lock_poison_recoveries: 1,
             },
             duration_ns: 5_000_000_000,
         };
@@ -140,6 +144,7 @@ mod tests {
         assert_eq!(v["counters"]["send_retries"], 4);
         assert_eq!(v["counters"]["sendto_failures"], 1);
         assert_eq!(v["counters"]["responses_corrupted"], 2);
+        assert_eq!(v["counters"]["lock_poison_recoveries"], 1);
         assert!(v["config"]["max_retries"].is_u64());
         assert!(v["version"].as_str().unwrap().contains('.'));
     }

@@ -1,30 +1,45 @@
 //! Real-time status updates — stream #3: per-second send/receive/drop
 //! rates, as ZMap prints while a scan runs.
+//!
+//! Every field of [`Counters`] is mirrored here under the *same name*:
+//! the `counter-wiring` lint in zmap-analyze enforces that a counter
+//! added to the metadata document also reaches this live stream and the
+//! CLI status line, so a scan operator never learns about a new failure
+//! mode only after the scan completes.
 
 use crate::metadata::Counters;
 use serde::Serialize;
 
-/// One per-second status sample.
+/// One per-second status sample. Counter fields carry the identical
+/// names of their [`Counters`] sources (machine-checked).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct StatusUpdate {
     /// Seconds since scan start.
     pub t_secs: u64,
+    /// Targets walked so far.
+    pub targets_total: u64,
     /// Probes sent so far.
     pub sent: u64,
     /// Send rate over the last interval (pps).
     pub send_rate: f64,
     /// Validated responses so far.
-    pub received: u64,
-    /// Unique successes so far.
-    pub successes: u64,
+    pub responses_validated: u64,
+    /// Frames that parsed but failed validation / were not ours.
+    pub responses_discarded: u64,
     /// Duplicates suppressed so far.
-    pub duplicates: u64,
+    pub duplicates_suppressed: u64,
+    /// Unique successes so far.
+    pub unique_successes: u64,
+    /// Unique failed targets (RST/unreachable) so far.
+    pub unique_failures: u64,
     /// Send attempts retried after a transient failure so far.
-    pub retries: u64,
+    pub send_retries: u64,
     /// Probes abandoned after exhausting retries so far.
-    pub send_failures: u64,
+    pub sendto_failures: u64,
     /// Responses rejected by checksum validation so far.
-    pub corrupted: u64,
+    pub responses_corrupted: u64,
+    /// Poisoned world-lock acquisitions recovered so far.
+    pub lock_poison_recoveries: u64,
     /// Percent of targets completed (0–100).
     pub percent_complete: f64,
 }
@@ -47,25 +62,30 @@ impl Monitor {
     }
 
     /// Called by the engine as time advances; emits a sample per elapsed
-    /// second boundary from the running counters.
-    pub fn tick(&mut self, now_ns: u64, c: &Counters, total_targets: u64) {
+    /// second boundary from the running counters. `expected_targets` is
+    /// the denominator for progress (the shard's estimated probe count).
+    pub fn tick(&mut self, now_ns: u64, c: &Counters, expected_targets: u64) {
         while now_ns >= self.next_tick {
             let t_secs = self.next_tick / TICK_NS;
             let send_rate = (c.sent - self.last_sent) as f64;
             self.samples.push(StatusUpdate {
                 t_secs,
+                targets_total: c.targets_total,
                 sent: c.sent,
                 send_rate,
-                received: c.responses_validated,
-                successes: c.unique_successes,
-                duplicates: c.duplicates_suppressed,
-                retries: c.send_retries,
-                send_failures: c.sendto_failures,
-                corrupted: c.responses_corrupted,
-                percent_complete: if total_targets == 0 {
+                responses_validated: c.responses_validated,
+                responses_discarded: c.responses_discarded,
+                duplicates_suppressed: c.duplicates_suppressed,
+                unique_successes: c.unique_successes,
+                unique_failures: c.unique_failures,
+                send_retries: c.send_retries,
+                sendto_failures: c.sendto_failures,
+                responses_corrupted: c.responses_corrupted,
+                lock_poison_recoveries: c.lock_poison_recoveries,
+                percent_complete: if expected_targets == 0 {
                     100.0
                 } else {
-                    100.0 * c.sent as f64 / total_targets as f64
+                    100.0 * c.sent as f64 / expected_targets as f64
                 },
             });
             self.last_sent = c.sent;
@@ -85,16 +105,30 @@ impl Monitor {
         self.samples.last().map(|s| {
             let mut line = format!(
                 "{}s; send: {} ({:.0} pps); recv: {} ({} app success); drops: {} dup",
-                s.t_secs, s.sent, s.send_rate, s.received, s.successes, s.duplicates
+                s.t_secs,
+                s.sent,
+                s.send_rate,
+                s.responses_validated,
+                s.unique_successes,
+                s.duplicates_suppressed
             );
-            if s.retries > 0 || s.send_failures > 0 {
+            if s.unique_failures > 0 {
+                line.push_str(&format!("; failures: {}", s.unique_failures));
+            }
+            if s.responses_discarded > 0 {
+                line.push_str(&format!("; discarded: {}", s.responses_discarded));
+            }
+            if s.send_retries > 0 || s.sendto_failures > 0 {
                 line.push_str(&format!(
                     "; retries: {} ({} failed)",
-                    s.retries, s.send_failures
+                    s.send_retries, s.sendto_failures
                 ));
             }
-            if s.corrupted > 0 {
-                line.push_str(&format!("; corrupt: {}", s.corrupted));
+            if s.responses_corrupted > 0 {
+                line.push_str(&format!("; corrupt: {}", s.responses_corrupted));
+            }
+            if s.lock_poison_recoveries > 0 {
+                line.push_str(&format!("; lock-recovered: {}", s.lock_poison_recoveries));
             }
             line
         })
@@ -151,6 +185,7 @@ mod tests {
         assert!(line.contains("send: 9000"));
         assert!(line.contains("90 app success"));
         assert!(!line.contains("retries"), "clean scan omits fault counters");
+        assert!(!line.contains("lock-recovered"), "clean scan omits recoveries");
     }
 
     #[test]
@@ -160,10 +195,12 @@ mod tests {
         c.send_retries = 17;
         c.sendto_failures = 2;
         c.responses_corrupted = 5;
+        c.lock_poison_recoveries = 1;
         m.tick(1_000_000_000, &c, 10_000);
         let line = m.status_line().unwrap();
         assert!(line.contains("retries: 17 (2 failed)"), "{line}");
         assert!(line.contains("corrupt: 5"), "{line}");
+        assert!(line.contains("lock-recovered: 1"), "{line}");
     }
 
     #[test]
@@ -173,8 +210,34 @@ mod tests {
         c.send_retries = 3;
         c.responses_corrupted = 1;
         m.tick(0, &c, 100);
-        assert_eq!(m.samples()[0].retries, 3);
-        assert_eq!(m.samples()[0].corrupted, 1);
-        assert_eq!(m.samples()[0].send_failures, 0);
+        assert_eq!(m.samples()[0].send_retries, 3);
+        assert_eq!(m.samples()[0].responses_corrupted, 1);
+        assert_eq!(m.samples()[0].sendto_failures, 0);
+        assert_eq!(m.samples()[0].lock_poison_recoveries, 0);
+    }
+
+    #[test]
+    fn every_counter_field_is_mirrored() {
+        // The serialized sample must carry each Counters field by name;
+        // the zmap-analyze `counter-wiring` lint enforces the same at
+        // token level, this test enforces it at serde level.
+        let mut m = Monitor::new();
+        m.tick(0, &Counters::default(), 1);
+        let json = serde_json::to_string(&m.samples()[0]).unwrap();
+        for field in [
+            "targets_total",
+            "sent",
+            "responses_validated",
+            "responses_discarded",
+            "duplicates_suppressed",
+            "unique_successes",
+            "unique_failures",
+            "send_retries",
+            "sendto_failures",
+            "responses_corrupted",
+            "lock_poison_recoveries",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
     }
 }

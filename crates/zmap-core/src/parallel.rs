@@ -1,70 +1,122 @@
 //! Multi-threaded scanning: the engine shape real ZMap uses (Adrian et
 //! al. 2014) — N send threads, each owning one subshard of the cyclic
 //! group, plus one receive thread — here over a thread-safe transport
-//! paced by wall-clock time.
+//! paced by a *shared virtual clock*.
 //!
-//! The single-threaded [`crate::Scanner`] with virtual time remains the
-//! tool for experiments (deterministic); this module demonstrates and
-//! tests that the subshard partition composes with real concurrency, and
-//! it is the natural home for a future raw-socket transport.
+//! Two invariants from the single-threaded engine are preserved under
+//! real concurrency, and both are machine-checked by zmap-analyze:
+//!
+//! * **No wall clock.** Send threads advance a monotone [`AtomicU64`]
+//!   clock to each probe's scheduled (virtual) send time and stamp the
+//!   frame with that time, so probe ordering, delivery times, and the
+//!   summary are functions of the seed — never of host scheduling.
+//! * **No poison cascade.** The shared [`World`] sits behind a mutex; a
+//!   panicking worker must not take the whole scan down with it. Every
+//!   acquisition goes through [`lock_world`], which recovers poisoned
+//!   locks (the world's data is a simulation, always structurally
+//!   valid) and counts the recovery into the monitor stream.
 
 use crate::config::{ProbeKind, ScanConfig};
+use crate::metadata::Counters;
+use crate::monitor::{Monitor, StatusUpdate};
 use crate::output::ScanResult;
 use crate::probe_mod;
 use crate::ratecontrol::RateController;
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, MutexGuard};
 use zmap_dedup::{target_key, SlidingWindow};
 use zmap_netsim::{EndpointId, SendError, World};
 use zmap_targets::generator::BuildError;
 use zmap_targets::TargetGenerator;
 use zmap_wire::probe::ProbeBuilder;
 
-/// A transport shareable across send/receive threads. Wall-clock paced.
+/// A transport shareable across send/receive threads, timed by a shared
+/// virtual clock.
 pub trait SharedTransport: Send + Sync {
-    /// Nanoseconds since the transport's epoch.
+    /// Nanoseconds since the transport's epoch (virtual).
     fn now(&self) -> u64;
-    /// Emits one frame (called concurrently from send threads).
-    /// `Err(WouldBlock)` means the frame was not sent; callers retry.
-    fn send_frame(&self, frame: &[u8]) -> Result<(), SendError>;
+
+    /// Advances the shared clock to at least `t` (monotone; callers may
+    /// race, the clock only moves forward).
+    fn advance_to(&self, t: u64);
+
+    /// Emits one frame stamped at virtual time `at_ns` (called
+    /// concurrently from send threads). `Err(WouldBlock)` means the
+    /// frame was not sent; callers retry.
+    #[must_use = "an unchecked send error is a silently lost probe"]
+    fn send_frame_at(&self, frame: &[u8], at_ns: u64) -> Result<(), SendError>;
+
     /// Drains frames received so far (single consumer).
     fn recv_frames(&self) -> Vec<(u64, Vec<u8>)>;
+
+    /// Poisoned-lock acquisitions this transport has recovered.
+    fn poison_recoveries(&self) -> u64 {
+        0
+    }
 }
 
-/// The simulated Internet behind a lock, with a real-time clock.
+/// Acquires the world lock, recovering from poisoning instead of
+/// propagating the panic: a worker that died mid-`send` leaves the
+/// simulation in a consistent state (every [`World`] mutation is
+/// internally complete before control returns), so the right response
+/// is to keep scanning and surface the event as a counter — one faulted
+/// thread must not cascade into a lost scan.
+pub fn lock_world<'a>(
+    world: &'a Mutex<World>,
+    recoveries: &AtomicU64,
+) -> MutexGuard<'a, World> {
+    match world.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// The simulated Internet behind a lock, with a shared virtual clock.
 pub struct SharedSimTransport {
     world: Arc<Mutex<World>>,
     ep: EndpointId,
-    epoch: Instant,
+    clock: AtomicU64,
+    recoveries: AtomicU64,
 }
 
 impl SharedSimTransport {
     /// Wraps a world (typically freshly built) and attaches at `ip`.
     pub fn new(world: Arc<Mutex<World>>, ip: Ipv4Addr) -> Self {
-        let ep = world.lock().unwrap().attach(ip);
+        let recoveries = AtomicU64::new(0);
+        let ep = lock_world(&world, &recoveries).attach(ip);
         SharedSimTransport {
             world,
             ep,
-            epoch: Instant::now(),
+            clock: AtomicU64::new(0),
+            recoveries,
         }
     }
 }
 
 impl SharedTransport for SharedSimTransport {
     fn now(&self) -> u64 {
-        self.epoch.elapsed().as_nanos() as u64
+        self.clock.load(Ordering::Acquire)
     }
 
-    fn send_frame(&self, frame: &[u8]) -> Result<(), SendError> {
-        let now = self.now();
-        self.world.lock().unwrap().send(self.ep, frame, now)
+    fn advance_to(&self, t: u64) {
+        self.clock.fetch_max(t, Ordering::AcqRel);
+    }
+
+    fn send_frame_at(&self, frame: &[u8], at_ns: u64) -> Result<(), SendError> {
+        lock_world(&self.world, &self.recoveries).send(self.ep, frame, at_ns)
     }
 
     fn recv_frames(&self) -> Vec<(u64, Vec<u8>)> {
         let now = self.now();
-        self.world.lock().unwrap().recv_ready(self.ep, now)
+        lock_world(&self.world, &self.recoveries).recv_ready(self.ep, now)
+    }
+
+    fn poison_recoveries(&self) -> u64 {
+        self.recoveries.load(Ordering::Relaxed)
     }
 }
 
@@ -81,16 +133,28 @@ pub struct ParallelSummary {
     pub sendto_failures: u64,
     /// Responses rejected by checksum validation.
     pub responses_corrupted: u64,
+    /// Poisoned world-lock acquisitions recovered.
+    pub lock_poison_recoveries: u64,
     pub results: Vec<ScanResult>,
-    /// Wall-clock duration, nanoseconds.
+    /// Per-second status samples (stream #3), on the virtual clock.
+    pub status: Vec<StatusUpdate>,
+    /// Virtual duration, nanoseconds.
     pub duration_ns: u64,
 }
+
+/// Virtual time the receive loop advances per idle poll once all
+/// senders have finished (drains the cooldown quickly without skipping
+/// any scheduled delivery).
+const COOLDOWN_STEP_NS: u64 = 1_000_000;
 
 /// Runs `cfg` with `cfg.subshards` real send threads over `transport`.
 ///
 /// The receive loop runs on the calling thread until all senders finish
 /// plus the cooldown. Uses scoped threads so the generator and transport
-/// borrow safely.
+/// borrow safely. Pacing is virtual: each sender advances the shared
+/// clock to its next probe's scheduled time, so the scan completes at
+/// memory speed while timestamps — and therefore replay — stay
+/// independent of host timing.
 pub fn run_parallel<T: SharedTransport>(
     cfg: &ScanConfig,
     transport: &T,
@@ -118,6 +182,7 @@ pub fn run_parallel<T: SharedTransport>(
     let start = transport.now();
     let threads = cfg.subshards.max(1);
     let per_thread_rate = (cfg.rate_pps / u64::from(threads)).max(1);
+    let expected_targets = gen.target_count() / u64::from(cfg.num_shards.max(1));
 
     let mut summary = ParallelSummary {
         sent: 0,
@@ -127,9 +192,12 @@ pub fn run_parallel<T: SharedTransport>(
         send_retries: 0,
         sendto_failures: 0,
         responses_corrupted: 0,
+        lock_poison_recoveries: 0,
         results: Vec::new(),
+        status: Vec::new(),
         duration_ns: 0,
     };
+    let mut monitor = Monitor::new();
 
     std::thread::scope(|scope| {
         for t in 0..threads {
@@ -147,36 +215,29 @@ pub fn run_parallel<T: SharedTransport>(
                 let mut rc = RateController::new(0, per_thread_rate);
                 let mut entropy: u16 = t as u16;
                 for target in gen.iter_shard(shard, t) {
-                    // Pace against wall clock: busy-wait granularity is
-                    // fine at test rates; a production transport would
-                    // batch (ZMap checks the clock every B packets).
-                    let due = rc.mark_sent();
-                    loop {
-                        let now = transport.now().saturating_sub(start);
-                        if now >= due {
-                            break;
-                        }
-                        std::thread::sleep(std::time::Duration::from_micros(
-                            ((due - now) / 1000).clamp(1, 1000),
-                        ));
-                    }
+                    // Virtual pacing: this probe is due at `start + due`
+                    // on the shared clock. Advance the clock there (other
+                    // threads may already have pushed it further) and
+                    // stamp the frame with this thread's own due time so
+                    // the stamp is a pure function of (seed, subshard).
+                    let due = start + rc.mark_sent();
+                    transport.advance_to(due);
                     entropy = entropy.wrapping_add(0x9E37);
                     let frame =
                         probe_mod::build_probe(&probe, builder, target.ip, target.port, entropy);
-                    // Retry EAGAIN-style failures with real backoff; an
+                    // Retry EAGAIN-style failures with virtual backoff; an
                     // exhausted probe is dropped like any lost packet.
                     let mut attempt = 0u32;
                     loop {
-                        match transport.send_frame(&frame) {
+                        let at = due + u64::from(attempt) * 50_000;
+                        match transport.send_frame_at(&frame, at) {
                             Ok(()) => {
                                 sent.fetch_add(1, Ordering::Relaxed);
                                 break;
                             }
                             Err(_) if attempt < max_retries => {
                                 retries.fetch_add(1, Ordering::Relaxed);
-                                std::thread::sleep(std::time::Duration::from_micros(
-                                    50u64 << attempt.min(10),
-                                ));
+                                transport.advance_to(at + 50_000);
                                 attempt += 1;
                             }
                             Err(_) => {
@@ -222,21 +283,43 @@ pub fn run_parallel<T: SharedTransport>(
                     Ok(None) | Err(_) => {}
                 }
             }
-            // All senders done? Then keep listening for the cooldown.
+            // Stream #3: sample the shared counters on the virtual clock.
+            monitor.tick(
+                transport.now().saturating_sub(start),
+                &Counters {
+                    sent: sent.load(Ordering::Relaxed),
+                    responses_validated: summary.responses_validated,
+                    duplicates_suppressed: summary.duplicates_suppressed,
+                    unique_successes: summary.unique_successes,
+                    send_retries: retries.load(Ordering::Relaxed),
+                    sendto_failures: send_failures.load(Ordering::Relaxed),
+                    responses_corrupted: summary.responses_corrupted,
+                    lock_poison_recoveries: transport.poison_recoveries(),
+                    ..Counters::default()
+                },
+                expected_targets,
+            );
+            // All senders done? Drain the cooldown in virtual time, then
+            // stop. While senders run, the clock is theirs to advance —
+            // this thread only polls (yielding so they get the mutex).
             if finished_senders.load(Ordering::Acquire) == u64::from(threads) {
                 let now = transport.now();
                 let done = *done_at.get_or_insert(now);
-                if now - done >= deadline_after_done {
+                if now.saturating_sub(done) >= deadline_after_done {
                     break;
                 }
+                transport.advance_to(now + COOLDOWN_STEP_NS);
+            } else {
+                std::thread::yield_now();
             }
-            std::thread::sleep(std::time::Duration::from_micros(200));
         }
     });
 
     summary.sent = sent.load(Ordering::Relaxed);
     summary.send_retries = retries.load(Ordering::Relaxed);
     summary.sendto_failures = send_failures.load(Ordering::Relaxed);
+    summary.lock_poison_recoveries = transport.poison_recoveries();
+    summary.status = monitor.samples().to_vec();
     summary.duration_ns = transport.now() - start;
     Ok(summary)
 }
@@ -257,6 +340,21 @@ mod tests {
         })))
     }
 
+    /// Poisons `world`'s mutex by panicking (silently) while holding it.
+    fn poison(world: &Arc<Mutex<World>>) {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let w = Arc::clone(world);
+        let result = std::thread::spawn(move || {
+            let _guard = w.lock().unwrap();
+            panic!("poisoning the world lock");
+        })
+        .join();
+        std::panic::set_hook(prev);
+        assert!(result.is_err(), "the poisoning thread must panic");
+        assert!(world.is_poisoned());
+    }
+
     #[test]
     fn parallel_scan_covers_everything_once() {
         let world = shared_world();
@@ -266,13 +364,14 @@ mod tests {
         cfg.allowlist_prefix(Ipv4Addr::new(44, 0, 0, 0), 24);
         cfg.apply_default_blocklist = false;
         cfg.subshards = 4;
-        cfg.rate_pps = 200_000; // fast wall-clock finish
+        cfg.rate_pps = 200_000;
         cfg.cooldown_secs = 1;
         let s = run_parallel(&cfg, &transport).unwrap();
         assert_eq!(s.sent, 256, "4 subshards must cover the /24 exactly");
         assert_eq!(s.unique_successes, 256);
         let distinct: HashSet<_> = s.results.iter().map(|r| r.saddr).collect();
         assert_eq!(distinct.len(), 256);
+        assert_eq!(s.lock_poison_recoveries, 0);
     }
 
     #[test]
@@ -289,5 +388,80 @@ mod tests {
         let s = run_parallel(&cfg, &transport).unwrap();
         assert_eq!(s.sent, 64);
         assert_eq!(s.unique_successes, 64);
+    }
+
+    #[test]
+    fn parallel_scan_is_deterministic_in_virtual_time() {
+        let run = || {
+            let world = shared_world();
+            let src = Ipv4Addr::new(192, 0, 2, 9);
+            let transport = SharedSimTransport::new(world, src);
+            let mut cfg = ScanConfig::new(src);
+            cfg.allowlist_prefix(Ipv4Addr::new(44, 2, 0, 0), 24);
+            cfg.apply_default_blocklist = false;
+            cfg.subshards = 4;
+            cfg.rate_pps = 400_000;
+            cfg.cooldown_secs = 1;
+            let mut s = run_parallel(&cfg, &transport).unwrap();
+            // Drain order may interleave across threads; the *content*
+            // (which host answered when, on the virtual clock) may not.
+            s.results.sort_by_key(|r| (r.ts_ns, r.saddr, r.sport));
+            s
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.sent, b.sent);
+        assert_eq!(a.unique_successes, b.unique_successes);
+        let times_a: Vec<_> = a.results.iter().map(|r| (r.ts_ns, r.saddr)).collect();
+        let times_b: Vec<_> = b.results.iter().map(|r| (r.ts_ns, r.saddr)).collect();
+        assert_eq!(times_a, times_b, "virtual timestamps must replay exactly");
+        assert_eq!(a.duration_ns, b.duration_ns);
+    }
+
+    #[test]
+    fn poisoned_world_lock_recovers_instead_of_cascading() {
+        let world = shared_world();
+        let src = Ipv4Addr::new(192, 0, 2, 9);
+        let transport = SharedSimTransport::new(Arc::clone(&world), src);
+        poison(&world);
+
+        // The transport keeps working: attach/send/recv all recover.
+        let mut cfg = ScanConfig::new(src);
+        cfg.allowlist_prefix(Ipv4Addr::new(44, 3, 0, 0), 26);
+        cfg.apply_default_blocklist = false;
+        cfg.subshards = 2;
+        cfg.rate_pps = 100_000;
+        cfg.cooldown_secs = 1;
+        let s = run_parallel(&cfg, &transport).unwrap();
+        assert_eq!(s.sent, 64, "a poisoned lock must not lose coverage");
+        assert_eq!(s.unique_successes, 64);
+        assert!(
+            s.lock_poison_recoveries > 0,
+            "recoveries must be counted, got {}",
+            s.lock_poison_recoveries
+        );
+        // The recovery surfaces in the status stream.
+        let last = s.status.last().expect("at least the t=0 sample");
+        assert!(last.lock_poison_recoveries > 0);
+    }
+
+    #[test]
+    fn status_stream_reports_virtual_progress() {
+        let world = shared_world();
+        let src = Ipv4Addr::new(192, 0, 2, 9);
+        let transport = SharedSimTransport::new(world, src);
+        let mut cfg = ScanConfig::new(src);
+        cfg.allowlist_prefix(Ipv4Addr::new(44, 4, 0, 0), 24);
+        cfg.apply_default_blocklist = false;
+        cfg.subshards = 4;
+        cfg.rate_pps = 100; // 256 probes at 100 pps ≈ 2.5 virtual secs
+        cfg.cooldown_secs = 1;
+        let s = run_parallel(&cfg, &transport).unwrap();
+        assert!(s.status.len() >= 2, "samples: {}", s.status.len());
+        let mut prev = 0;
+        for sample in &s.status {
+            assert!(sample.sent >= prev);
+            prev = sample.sent;
+        }
     }
 }

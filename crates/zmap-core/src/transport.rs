@@ -29,6 +29,7 @@ pub trait Transport {
 
     /// Emits one frame at the current time. `Err(WouldBlock)` means the
     /// frame was not sent and the caller may retry after a backoff.
+    #[must_use = "an unchecked send error is a silently lost probe"]
     fn send_frame(&mut self, frame: &[u8]) -> Result<(), SendError>;
 
     /// All frames received up to the current time, with receive

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Response deduplication (paper §4.1, "Response Deduplication").
 //!
 //! Hosts frequently send repeated responses — some aggressively re-answer

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! A Masscan-style baseline scanner.
 //!
 //! §3 of *Ten Years of ZMap* recounts Adrian et al.'s finding that

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Number-theoretic primitives backing ZMap's pseudorandom address generation.
 //!
 //! ZMap iterates over the multiplicative group (ℤ/pℤ)^× of a prime p slightly

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! A deterministic, procedurally generated model of the IPv4 Internet for
 //! evaluating Internet-wide scanners.
 //!

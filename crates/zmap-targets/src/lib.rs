@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Target generation for Internet-wide scanning, as described in §4.1–§4.2
 //! of *Ten Years of ZMap* (IMC 2024).
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Network-telescope analysis: re-deriving the paper's adoption figures
 //! from packets.
 //!

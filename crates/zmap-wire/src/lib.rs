@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Wire-format packet construction and parsing for Internet-wide scanning.
 //!
 //! This crate is the packet layer of the ZMap reproduction: everything

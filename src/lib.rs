@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # zmap-rs — *Ten Years of ZMap*, reproduced in Rust
 //!
 //! Umbrella crate re-exporting the whole workspace: the scanner library
