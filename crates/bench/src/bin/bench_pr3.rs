@@ -1,0 +1,124 @@
+//! Machine-readable performance snapshot for the crash-tolerance PR:
+//! times the four hot paths (target generation, packet build, dedup,
+//! end-to-end engine) and writes `BENCH_pr3.json` so CI and later PRs
+//! can diff throughput without parsing Criterion output.
+//!
+//! Usage: `cargo run --release -p bench --bin bench_pr3 [-- out.json]`
+
+use std::net::Ipv4Addr;
+use std::time::Instant;
+use zmap_core::transport::SimNet;
+use zmap_core::{ScanConfig, Scanner};
+use zmap_dedup::SlidingWindow;
+use zmap_netsim::loss::LossModel;
+use zmap_netsim::{ServiceModel, WorldConfig};
+use zmap_targets::TargetGenerator;
+use zmap_wire::probe::ProbeBuilder;
+
+const ITERS: usize = 3; // best-of-N to shed warmup noise
+
+/// Runs `f` ITERS times and returns the best elements-per-second.
+fn best_rate(elements: u64, mut f: impl FnMut() -> u64) -> (f64, f64) {
+    let mut best_secs = f64::INFINITY;
+    let mut sink = 0u64;
+    for _ in 0..ITERS {
+        let t0 = Instant::now();
+        sink = sink.wrapping_add(f());
+        best_secs = best_secs.min(t0.elapsed().as_secs_f64());
+    }
+    // Keep the side effect alive without printing garbage.
+    assert!(sink != u64::MAX, "benchmark result consumed");
+    (elements as f64 / best_secs, best_secs)
+}
+
+fn target_gen() -> (f64, f64) {
+    let gen = TargetGenerator::builder().seed(7).build().expect("valid");
+    best_rate(1_000_000, || {
+        let mut n = 0u64;
+        for t in gen.iter_shard(0, 0).take(1_000_000) {
+            n = n.wrapping_add(u64::from(t.port));
+        }
+        n
+    })
+}
+
+fn packet_build() -> (f64, f64) {
+    let b = ProbeBuilder::new(Ipv4Addr::new(192, 0, 2, 9), 1);
+    best_rate(1_000_000, || {
+        let mut n = 0u64;
+        for i in 0u32..1_000_000 {
+            let frame = b.tcp_syn(Ipv4Addr::from(0x0A00_0000 + i), 80, i as u16);
+            n = n.wrapping_add(frame.len() as u64);
+        }
+        n
+    })
+}
+
+fn dedup() -> (f64, f64) {
+    // Xorshift key stream, as in benches/dedup.rs.
+    let mut x = 42u64 | 1;
+    let keys: Vec<u64> = (0..1_000_000)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x >> 16
+        })
+        .collect();
+    best_rate(keys.len() as u64, || {
+        let mut w = SlidingWindow::new(1_000_000);
+        let mut kept = 0u64;
+        for &k in &keys {
+            kept += u64::from(w.check_and_insert(k));
+        }
+        kept
+    })
+}
+
+/// Full engine over a /16: generation, probe build, simulated network,
+/// validation, dedup, results. Reports probes per wall-clock second.
+fn end_to_end() -> (f64, f64) {
+    let mut best_secs = f64::INFINITY;
+    let mut sent = 0u64;
+    for _ in 0..ITERS {
+        let net = SimNet::new(WorldConfig {
+            seed: 5,
+            model: ServiceModel::default(),
+            loss: LossModel::NONE,
+            ..WorldConfig::default()
+        });
+        let src = Ipv4Addr::new(192, 0, 2, 9);
+        let mut cfg = ScanConfig::new(src);
+        cfg.allowlist_prefix(Ipv4Addr::new(61, 7, 0, 0), 16);
+        cfg.apply_default_blocklist = false;
+        cfg.rate_pps = 10_000_000;
+        cfg.cooldown_secs = 1;
+        let t0 = Instant::now();
+        let summary = Scanner::new(cfg, net.transport(src)).expect("valid").run();
+        best_secs = best_secs.min(t0.elapsed().as_secs_f64());
+        sent = summary.sent;
+    }
+    (sent as f64 / best_secs, best_secs)
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr3.json".into());
+    let (tg_rate, tg_secs) = target_gen();
+    let (pb_rate, pb_secs) = packet_build();
+    let (dd_rate, dd_secs) = dedup();
+    let (e2e_rate, e2e_secs) = end_to_end();
+    let json = format!(
+        "{{\n  \"schema\": \"zmap-bench/1\",\n  \"pr\": 3,\n  \"iters\": {ITERS},\n  \"metrics\": {{\n    \
+         \"target_gen_per_sec\": {tg_rate:.0},\n    \
+         \"target_gen_best_secs\": {tg_secs:.6},\n    \
+         \"packet_build_per_sec\": {pb_rate:.0},\n    \
+         \"packet_build_best_secs\": {pb_secs:.6},\n    \
+         \"dedup_checks_per_sec\": {dd_rate:.0},\n    \
+         \"dedup_best_secs\": {dd_secs:.6},\n    \
+         \"end_to_end_pps\": {e2e_rate:.0},\n    \
+         \"end_to_end_best_secs\": {e2e_secs:.6}\n  }}\n}}\n"
+    );
+    std::fs::write(&out, &json).expect("write benchmark json");
+    println!("{json}");
+    println!("wrote {out}");
+}

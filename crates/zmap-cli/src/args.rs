@@ -28,6 +28,12 @@ pub struct CliOptions {
     pub sim_live_fraction: Option<f64>,
     /// Path to a fault-plan JSON file injected into the simulated world.
     pub fault_plan_path: Option<String>,
+    /// Checkpoint journal path; enables crash-tolerant journaling.
+    pub checkpoint_path: Option<String>,
+    /// Virtual seconds between periodic checkpoint snapshots.
+    pub checkpoint_interval_secs: u64,
+    /// Resume the scan recorded in the journal at `checkpoint_path`.
+    pub resume: bool,
     /// Print help and exit.
     pub help: bool,
 }
@@ -41,6 +47,9 @@ pub enum CliError {
     MissingValue(String),
     /// A value failed to parse; `(flag, value, why)`.
     BadValue(String, String, String),
+    /// The flags parsed individually but combine into a scan that cannot
+    /// work (for example `--shard 3 --shards 2`).
+    Invalid(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -51,6 +60,7 @@ impl std::fmt::Display for CliError {
             CliError::BadValue(flag, v, why) => {
                 write!(f, "bad value {v:?} for {flag}: {why}")
             }
+            CliError::Invalid(why) => write!(f, "invalid arguments: {why}"),
         }
     }
 }
@@ -98,6 +108,18 @@ OUTPUT (four streams: data, logs, status, metadata)
   -v, --verbose            debug logging
   --output-failures        also report RST/unreachable results
 
+CRASH TOLERANCE
+  --checkpoint PATH        write a resumable journal at PATH: an initial
+                           snapshot before the first probe, periodic
+                           snapshots on a virtual-time interval, and a
+                           final one at orderly exit (atomic rewrite)
+  --checkpoint-interval-secs N
+                           virtual seconds between snapshots (default 1)
+  --resume                 resume the scan recorded in --checkpoint PATH;
+                           refuses a journal written by a different
+                           configuration. Exit code 3 means the scan was
+                           killed mid-flight and the journal is resumable.
+
 SIMULATION (this build scans a simulated Internet)
   --sim-seed N             world seed (default 1)
   --sim-live-fraction F    fraction of addresses that are live hosts
@@ -131,6 +153,9 @@ pub fn parse_args(argv: &[String]) -> Result<CliOptions, CliError> {
         sim_seed: 1,
         sim_live_fraction: None,
         fault_plan_path: None,
+        checkpoint_path: None,
+        checkpoint_interval_secs: 1,
+        resume: false,
         help: false,
     };
     let mut it = argv.iter().peekable();
@@ -260,6 +285,14 @@ pub fn parse_args(argv: &[String]) -> Result<CliOptions, CliError> {
                 )?)
             }
             "--fault-plan" => opts.fault_plan_path = Some(need(&mut it, "--fault-plan")?),
+            "--checkpoint" => opts.checkpoint_path = Some(need(&mut it, "--checkpoint")?),
+            "--checkpoint-interval-secs" => {
+                opts.checkpoint_interval_secs = parse_num(
+                    "--checkpoint-interval-secs",
+                    &need(&mut it, "--checkpoint-interval-secs")?,
+                )?
+            }
+            "--resume" => opts.resume = true,
             "--source-ip" => {
                 let v = need(&mut it, "--source-ip")?;
                 opts.config.source_ip = v.parse().map_err(|_| {
@@ -269,7 +302,55 @@ pub fn parse_args(argv: &[String]) -> Result<CliOptions, CliError> {
             other => return Err(CliError::UnknownFlag(other.into())),
         }
     }
+    if !opts.help {
+        validate(&opts)?;
+    }
     Ok(opts)
+}
+
+/// Cross-flag sanity checks: every rejection here is a scan that would
+/// silently do the wrong thing (send nothing, drop the responses it paid
+/// for, or walk a shard that does not exist).
+fn validate(opts: &CliOptions) -> Result<(), CliError> {
+    let cfg = &opts.config;
+    if cfg.num_shards == 0 {
+        return Err(CliError::Invalid("--shards must be at least 1".into()));
+    }
+    if cfg.shard >= cfg.num_shards {
+        return Err(CliError::Invalid(format!(
+            "--shard {} is out of range for --shards {} (shard indices are 0-based)",
+            cfg.shard, cfg.num_shards
+        )));
+    }
+    if cfg.rate_pps == 0 {
+        return Err(CliError::Invalid(
+            "--rate must be positive: a zero rate never sends a probe".into(),
+        ));
+    }
+    if cfg.subshards == 0 {
+        return Err(CliError::Invalid("--threads must be at least 1".into()));
+    }
+    if cfg.probes_per_target == 0 {
+        return Err(CliError::Invalid("--probes must be at least 1".into()));
+    }
+    if cfg.cooldown_secs == 0 && cfg.max_retries > 0 {
+        return Err(CliError::Invalid(
+            "--cooldown-secs 0 discards the late responses the --retries budget \
+             exists to recover; pass --retries 0 or a nonzero cooldown"
+                .into(),
+        ));
+    }
+    if opts.checkpoint_interval_secs == 0 {
+        return Err(CliError::Invalid(
+            "--checkpoint-interval-secs must be at least 1".into(),
+        ));
+    }
+    if opts.resume && opts.checkpoint_path.is_none() {
+        return Err(CliError::Invalid(
+            "--resume requires --checkpoint PATH (the journal to resume from)".into(),
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -366,6 +447,77 @@ mod tests {
         assert!(o.fault_plan_path.is_none());
         assert!(USAGE.contains("--retries"));
         assert!(USAGE.contains("--fault-plan"));
+    }
+
+    fn invalid_why(s: &str) -> String {
+        match parse_args(&args(s)).unwrap_err() {
+            CliError::Invalid(why) => why,
+            other => panic!("expected CliError::Invalid for {s:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_out_of_range_is_rejected() {
+        let why = invalid_why("--shard 3 --shards 2");
+        assert!(why.contains("--shard 3"), "{why}");
+        assert!(why.contains("--shards 2"), "{why}");
+        // The boundary case: shard indices are 0-based.
+        assert!(parse_args(&args("--shard 2 --shards 2")).is_err());
+        assert!(parse_args(&args("--shard 1 --shards 2")).is_ok());
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        assert!(invalid_why("--shards 0").contains("--shards"));
+    }
+
+    #[test]
+    fn zero_rate_is_rejected() {
+        assert!(invalid_why("--rate 0").contains("--rate"));
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        assert!(invalid_why("--threads 0").contains("--threads"));
+    }
+
+    #[test]
+    fn zero_probes_is_rejected() {
+        assert!(invalid_why("--probes 0").contains("--probes"));
+    }
+
+    #[test]
+    fn zero_cooldown_with_retries_is_rejected() {
+        let why = invalid_why("--cooldown-secs 0");
+        assert!(why.contains("--retries 0"), "{why}");
+        // Explicitly opting out of retries makes a zero cooldown coherent.
+        let o = parse_args(&args("--cooldown-secs 0 --retries 0")).unwrap();
+        assert_eq!(o.config.cooldown_secs, 0);
+        assert_eq!(o.config.max_retries, 0);
+    }
+
+    #[test]
+    fn resume_requires_a_journal_path() {
+        assert!(invalid_why("--resume").contains("--checkpoint"));
+        let o = parse_args(&args("--checkpoint scan.ckpt --resume")).unwrap();
+        assert!(o.resume);
+        assert_eq!(o.checkpoint_path.as_deref(), Some("scan.ckpt"));
+    }
+
+    #[test]
+    fn zero_checkpoint_interval_is_rejected() {
+        assert!(invalid_why("--checkpoint-interval-secs 0").contains("--checkpoint-interval-secs"));
+        let o = parse_args(&args("--checkpoint s.ckpt --checkpoint-interval-secs 5")).unwrap();
+        assert_eq!(o.checkpoint_interval_secs, 5);
+    }
+
+    #[test]
+    fn help_skips_validation() {
+        // `zmap --shards 0 --help` should print usage, not argue.
+        let o = parse_args(&args("--shards 0 --help")).unwrap();
+        assert!(o.help);
+        assert!(USAGE.contains("--checkpoint"));
+        assert!(USAGE.contains("--resume"));
     }
 
     #[test]

@@ -3,11 +3,17 @@
 use crate::args::CliOptions;
 use std::fs::File;
 use std::io::{self, Write};
+use std::path::PathBuf;
+use zmap_core::checkpoint::{CheckpointPolicy, CheckpointState};
 use zmap_core::log::{Level, Logger};
 use zmap_core::output::OutputModule;
 use zmap_core::transport::SimNet;
-use zmap_core::Scanner;
+use zmap_core::{RunOptions, Scanner};
 use zmap_netsim::{FaultPlan, ServiceModel, WorldConfig};
+
+/// Exit code for a scan killed mid-flight (crash injection or a stall the
+/// watchdog tripped). The journal at `--checkpoint` is resumable.
+pub const EXIT_KILLED: i32 = 3;
 
 /// Runs the scan described by `opts`. Returns the process exit code.
 pub fn run_scan(opts: CliOptions) -> io::Result<i32> {
@@ -42,14 +48,50 @@ pub fn run_scan(opts: CliOptions) -> io::Result<i32> {
         Box::new(io::stderr()),
     );
 
-    let scanner = match Scanner::with_logger(opts.config, transport, logger) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("ERROR invalid configuration: {e}");
-            return Ok(2);
+    // Crash tolerance: build the checkpoint policy and, on --resume, load
+    // and verify the journal before the scanner exists. Journal problems
+    // (missing file, corruption, a different scan's journal) are
+    // configuration errors: exit 2, nothing sent.
+    let checkpoint = opts.checkpoint_path.as_ref().map(|p| {
+        CheckpointPolicy::new(PathBuf::from(p))
+            .with_interval_ns(opts.checkpoint_interval_secs.saturating_mul(1_000_000_000))
+    });
+    let journal = if opts.resume {
+        let path = opts
+            .checkpoint_path
+            .as_ref()
+            .expect("validated: --resume requires --checkpoint");
+        match CheckpointState::load(std::path::Path::new(path)) {
+            Ok(j) => Some(j),
+            Err(e) => {
+                eprintln!("ERROR cannot resume from {path}: {e}");
+                return Ok(2);
+            }
         }
+    } else {
+        None
     };
-    let summary = scanner.run();
+
+    let scanner = match &journal {
+        Some(j) => match Scanner::resume_with_logger(opts.config, transport, j, logger) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ERROR {e}");
+                return Ok(2);
+            }
+        },
+        None => match Scanner::with_logger(opts.config, transport, logger) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ERROR invalid configuration: {e}");
+                return Ok(2);
+            }
+        },
+    };
+    let summary = scanner.run_with(RunOptions {
+        checkpoint,
+        shutdown: None,
+    });
 
     // Stream 1: data.
     let sink: Box<dyn Write> = if opts.output_path == "-" {
@@ -98,6 +140,18 @@ pub fn run_scan(opts: CliOptions) -> io::Result<i32> {
             if s.lock_poison_recoveries > 0 {
                 line.push_str(&format!(", {} lock-recovered", s.lock_poison_recoveries));
             }
+            if s.checkpoints_written > 0 {
+                line.push_str(&format!(", {} ckpt", s.checkpoints_written));
+            }
+            if s.resume_count > 0 {
+                line.push_str(&format!(", resumed x{}", s.resume_count));
+            }
+            if s.watchdog_stalls > 0 {
+                line.push_str(&format!(", {} stalls", s.watchdog_stalls));
+            }
+            if s.shutdown_clean > 0 {
+                line.push_str(", clean shutdown");
+            }
             eprintln!("{line}");
         }
     }
@@ -110,6 +164,13 @@ pub fn run_scan(opts: CliOptions) -> io::Result<i32> {
             writeln!(f, "{metadata_json}")?;
         }
         None => eprintln!("{metadata_json}"),
+    }
+
+    // All four streams are flushed above even when the scan died: the
+    // post-mortem is complete, but the exit code says the scan is not.
+    if summary.killed {
+        eprintln!("ERROR scan killed mid-flight; resume with --resume");
+        return Ok(EXIT_KILLED);
     }
     Ok(0)
 }
@@ -179,6 +240,70 @@ mod tests {
         assert_eq!(meta["counters"]["sendto_failures"], 0);
         assert!(meta["counters"]["duplicates_suppressed"].as_u64().unwrap() > 0);
         assert_eq!(meta["config"]["max_retries"], 6);
+    }
+
+    #[test]
+    fn kill_then_resume_finishes_the_scan() {
+        let dir = std::env::temp_dir().join("zmap-cli-killresume-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = dir.join("kill.json");
+        std::fs::write(&plan, r#"{"kill_at": 150}"#).unwrap();
+        let ckpt = dir.join("scan.ckpt");
+        let out1 = dir.join("attempt1.csv");
+        let out2 = dir.join("attempt2.csv");
+        let md = dir.join("meta.json");
+        let _ = std::fs::remove_file(&ckpt);
+
+        // Rate 1000 pps: sends and response deliveries interleave, so the
+        // kill lands after some results exist (the CSV gets its header).
+        let base = "--subnet 11.24.0.0/24 -p 80 -r 1000 --seed 11 --sim-seed 7 \
+                    --sim-live-fraction 1.0 --cooldown-secs 1 -O csv -q";
+        let opts = parse_args(&args(&format!(
+            "{base} --fault-plan {} --checkpoint {} -o {}",
+            plan.display(),
+            ckpt.display(),
+            out1.display()
+        )))
+        .unwrap();
+        assert_eq!(super::run_scan(opts).unwrap(), super::EXIT_KILLED);
+        // The killed attempt still produced well-formed output...
+        let csv1 = std::fs::read_to_string(&out1).unwrap();
+        assert!(csv1.starts_with("ts_ns,saddr,sport,"), "{csv1}");
+        // ...and left a resumable (incomplete) journal behind.
+        let j = zmap_core::checkpoint::CheckpointState::load(&ckpt).unwrap();
+        assert!(!j.complete);
+
+        // Resume against a fault-free world: the scan runs to completion.
+        let opts = parse_args(&args(&format!(
+            "{base} --checkpoint {} --resume -o {} --metadata-file {}",
+            ckpt.display(),
+            out2.display(),
+            md.display()
+        )))
+        .unwrap();
+        assert_eq!(super::run_scan(opts).unwrap(), 0);
+        let j = zmap_core::checkpoint::CheckpointState::load(&ckpt).unwrap();
+        assert!(j.complete);
+        let meta: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&md).unwrap()).unwrap();
+        assert_eq!(meta["counters"]["resume_count"], 1);
+        assert_eq!(meta["counters"]["shutdown_clean"], 1);
+        // Cumulative sends across both attempts cover the /24 at least once.
+        assert!(meta["counters"]["sent"].as_u64().unwrap() >= 256);
+    }
+
+    #[test]
+    fn resume_without_a_journal_is_a_config_error() {
+        let dir = std::env::temp_dir().join("zmap-cli-noresume-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("missing.ckpt");
+        let _ = std::fs::remove_file(&ckpt);
+        let opts = parse_args(&args(&format!(
+            "--subnet 11.25.0.0/28 -q --checkpoint {} --resume",
+            ckpt.display()
+        )))
+        .unwrap();
+        assert_eq!(super::run_scan(opts).unwrap(), 2);
     }
 
     #[test]

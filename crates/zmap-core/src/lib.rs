@@ -44,6 +44,7 @@
 //! assert_eq!(summary.unique_successes, 256); // dense world: all open
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod l7;
 pub mod log;
@@ -54,10 +55,13 @@ pub mod parallel;
 pub mod probe_mod;
 pub mod ratecontrol;
 pub mod scanner;
+pub mod shutdown;
 pub mod transport;
 
+pub use checkpoint::{CheckpointPolicy, CheckpointState, JournalError};
 pub use config::{DedupMethod, ProbeKind, ScanConfig};
+pub use shutdown::ShutdownToken;
 pub use metadata::ScanMetadata;
 pub use output::{Classification, OutputFormat, ScanResult};
-pub use scanner::{ScanSummary, Scanner};
+pub use scanner::{ResumeError, RunOptions, ScanSummary, Scanner};
 pub use transport::{LoopbackTransport, SimNet, SimTransport, Transport};

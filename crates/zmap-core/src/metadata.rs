@@ -54,7 +54,7 @@ pub struct PermutationEcho {
 }
 
 /// Outcome counters.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct Counters {
     pub targets_total: u64,
     pub sent: u64,
@@ -72,6 +72,18 @@ pub struct Counters {
     /// Poisoned world-lock acquisitions recovered instead of cascading
     /// the panic (threaded engine only; always 0 single-threaded).
     pub lock_poison_recoveries: u64,
+    /// Checkpoint journals written (periodic plus final).
+    pub checkpoints_written: u64,
+    /// Times this scan has been resumed from a checkpoint journal
+    /// (cumulative across attempts).
+    pub resume_count: u64,
+    /// Supervisor interventions: intervals with no virtual-clock or
+    /// counter progress that the watchdog broke out of.
+    pub watchdog_stalls: u64,
+    /// 1 when the engine exited through the orderly shutdown path
+    /// (cooldown drained, streams flushed, final checkpoint written);
+    /// 0 when it was killed mid-flight.
+    pub shutdown_clean: u64,
 }
 
 impl ConfigEcho {
@@ -132,6 +144,10 @@ mod tests {
                 sendto_failures: 1,
                 responses_corrupted: 2,
                 lock_poison_recoveries: 1,
+                checkpoints_written: 3,
+                resume_count: 1,
+                watchdog_stalls: 0,
+                shutdown_clean: 1,
             },
             duration_ns: 5_000_000_000,
         };
@@ -145,6 +161,10 @@ mod tests {
         assert_eq!(v["counters"]["sendto_failures"], 1);
         assert_eq!(v["counters"]["responses_corrupted"], 2);
         assert_eq!(v["counters"]["lock_poison_recoveries"], 1);
+        assert_eq!(v["counters"]["checkpoints_written"], 3);
+        assert_eq!(v["counters"]["resume_count"], 1);
+        assert_eq!(v["counters"]["watchdog_stalls"], 0);
+        assert_eq!(v["counters"]["shutdown_clean"], 1);
         assert!(v["config"]["max_retries"].is_u64());
         assert!(v["version"].as_str().unwrap().contains('.'));
     }

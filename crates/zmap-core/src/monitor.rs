@@ -40,6 +40,14 @@ pub struct StatusUpdate {
     pub responses_corrupted: u64,
     /// Poisoned world-lock acquisitions recovered so far.
     pub lock_poison_recoveries: u64,
+    /// Checkpoint journals written so far.
+    pub checkpoints_written: u64,
+    /// Resume attempts recorded for this scan (cumulative).
+    pub resume_count: u64,
+    /// Watchdog stall interventions so far.
+    pub watchdog_stalls: u64,
+    /// 1 once the engine has entered the orderly shutdown path.
+    pub shutdown_clean: u64,
     /// Percent of targets completed (0–100).
     pub percent_complete: f64,
 }
@@ -82,6 +90,10 @@ impl Monitor {
                 sendto_failures: c.sendto_failures,
                 responses_corrupted: c.responses_corrupted,
                 lock_poison_recoveries: c.lock_poison_recoveries,
+                checkpoints_written: c.checkpoints_written,
+                resume_count: c.resume_count,
+                watchdog_stalls: c.watchdog_stalls,
+                shutdown_clean: c.shutdown_clean,
                 percent_complete: if expected_targets == 0 {
                     100.0
                 } else {
@@ -129,6 +141,18 @@ impl Monitor {
             }
             if s.lock_poison_recoveries > 0 {
                 line.push_str(&format!("; lock-recovered: {}", s.lock_poison_recoveries));
+            }
+            if s.checkpoints_written > 0 {
+                line.push_str(&format!("; ckpt: {}", s.checkpoints_written));
+            }
+            if s.resume_count > 0 {
+                line.push_str(&format!("; resumed: {}", s.resume_count));
+            }
+            if s.watchdog_stalls > 0 {
+                line.push_str(&format!("; stalls: {}", s.watchdog_stalls));
+            }
+            if s.shutdown_clean > 0 {
+                line.push_str("; shutdown: clean");
             }
             line
         })
@@ -236,6 +260,10 @@ mod tests {
             "sendto_failures",
             "responses_corrupted",
             "lock_poison_recoveries",
+            "checkpoints_written",
+            "resume_count",
+            "watchdog_stalls",
+            "shutdown_clean",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }

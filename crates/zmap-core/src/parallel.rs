@@ -16,14 +16,18 @@
 //!   locks (the world's data is a simulation, always structurally
 //!   valid) and counts the recovery into the monitor stream.
 
+use crate::checkpoint::{config_digest, CheckpointPolicy, CheckpointState};
 use crate::config::{ProbeKind, ScanConfig};
+use crate::log::Logger;
 use crate::metadata::Counters;
 use crate::monitor::{Monitor, StatusUpdate};
 use crate::output::ScanResult;
 use crate::probe_mod;
 use crate::ratecontrol::RateController;
+use crate::scanner::{write_checkpoint, ResumeError};
+use crate::shutdown::ShutdownToken;
 use std::net::Ipv4Addr;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use zmap_dedup::{target_key, SlidingWindow};
 use zmap_netsim::{EndpointId, SendError, World};
@@ -53,6 +57,14 @@ pub trait SharedTransport: Send + Sync {
     /// Poisoned-lock acquisitions this transport has recovered.
     fn poison_recoveries(&self) -> u64 {
         0
+    }
+
+    /// True once the scanning process has been declared dead by a fault
+    /// schedule. Polled by the receive loop so a kill can land anywhere,
+    /// including mid-cooldown. Real transports never die this way; only
+    /// simulations script it.
+    fn killed(&self) -> bool {
+        false
     }
 }
 
@@ -118,6 +130,10 @@ impl SharedTransport for SharedSimTransport {
     fn poison_recoveries(&self) -> u64 {
         self.recoveries.load(Ordering::Relaxed)
     }
+
+    fn killed(&self) -> bool {
+        lock_world(&self.world, &self.recoveries).kill_fired()
+    }
 }
 
 /// Outcome of a parallel scan.
@@ -135,11 +151,54 @@ pub struct ParallelSummary {
     pub responses_corrupted: u64,
     /// Poisoned world-lock acquisitions recovered.
     pub lock_poison_recoveries: u64,
+    /// Checkpoint journals written (initial + periodic + final).
+    pub checkpoints_written: u64,
+    /// Times this scan has been resumed from a checkpoint journal.
+    pub resume_count: u64,
+    /// Supervisor interventions: receive polls with no virtual-clock or
+    /// counter progress that the watchdog broke out of.
+    pub watchdog_stalls: u64,
+    /// 1 when the engine exited through the orderly shutdown path.
+    pub shutdown_clean: u64,
+    /// True when a fault schedule killed the process mid-flight.
+    pub killed: bool,
     pub results: Vec<ScanResult>,
     /// Per-second status samples (stream #3), on the virtual clock.
     pub status: Vec<StatusUpdate>,
     /// Virtual duration, nanoseconds.
     pub duration_ns: u64,
+}
+
+/// Default consecutive no-progress receive polls before the supervisor
+/// declares a stall. Large enough that host scheduling jitter cannot trip
+/// it (every poll is a full lock + drain round), small enough to bound a
+/// genuinely frozen engine.
+pub const DEFAULT_WATCHDOG_POLL_LIMIT: u64 = 1_000_000;
+
+/// Optional run-time machinery for [`run_parallel_with`] /
+/// [`resume_parallel`].
+#[derive(Debug, Clone)]
+pub struct ParallelRunOptions {
+    /// Cooperative shutdown: senders stop at the next cycle boundary.
+    /// The supervisor also trips this token when it detects a stall.
+    pub shutdown: Option<ShutdownToken>,
+    /// Write initial, periodic (virtual-time interval), and final
+    /// checkpoint journals.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Consecutive receive polls with no progress (virtual clock, sends,
+    /// sender completions, validated responses all unchanged) before the
+    /// supervisor records a stall and abandons the wait.
+    pub watchdog_poll_limit: u64,
+}
+
+impl Default for ParallelRunOptions {
+    fn default() -> Self {
+        ParallelRunOptions {
+            shutdown: None,
+            checkpoint: None,
+            watchdog_poll_limit: DEFAULT_WATCHDOG_POLL_LIMIT,
+        }
+    }
 }
 
 /// Virtual time the receive loop advances per idle poll once all
@@ -159,30 +218,98 @@ pub fn run_parallel<T: SharedTransport>(
     cfg: &ScanConfig,
     transport: &T,
 ) -> Result<ParallelSummary, BuildError> {
+    run_inner(cfg, transport, ParallelRunOptions::default(), None)
+}
+
+/// Like [`run_parallel`] with checkpointing, cooperative shutdown, and
+/// the stall supervisor configured explicitly.
+pub fn run_parallel_with<T: SharedTransport>(
+    cfg: &ScanConfig,
+    transport: &T,
+    opts: ParallelRunOptions,
+) -> Result<ParallelSummary, BuildError> {
+    run_inner(cfg, transport, opts, None)
+}
+
+/// Resumes a parallel scan from a checkpoint journal: the walk is
+/// rebuilt from the journal's recorded group parts, each sender
+/// fast-forwards to its recorded position (rewound by the in-flight
+/// grace window), and the journal's counters become the baseline so
+/// metadata stays cumulative across attempts. Refuses a journal whose
+/// config digest does not match `cfg`.
+pub fn resume_parallel<T: SharedTransport>(
+    cfg: &ScanConfig,
+    transport: &T,
+    journal: &CheckpointState,
+    opts: ParallelRunOptions,
+) -> Result<ParallelSummary, ResumeError> {
+    journal.check_config(cfg).map_err(ResumeError::Journal)?;
+    run_inner(cfg, transport, opts, Some(journal)).map_err(ResumeError::Build)
+}
+
+fn run_inner<T: SharedTransport>(
+    cfg: &ScanConfig,
+    transport: &T,
+    opts: ParallelRunOptions,
+    journal: Option<&CheckpointState>,
+) -> Result<ParallelSummary, BuildError> {
     let ports: Vec<u16> = match cfg.probe {
         ProbeKind::IcmpEcho => vec![0],
         _ => cfg.ports.clone(),
     };
-    let gen = TargetGenerator::builder()
+    let mut gen_builder = TargetGenerator::builder()
         .constraint(cfg.effective_constraint())
         .ports(&ports)
         .seed(cfg.seed)
         .shards(cfg.num_shards.max(1))
         .subshards(cfg.subshards.max(1))
-        .algorithm(cfg.shard_algorithm)
-        .build()?;
+        .algorithm(cfg.shard_algorithm);
+    if let Some(j) = journal {
+        gen_builder = gen_builder.cycle_parts(j.generator, j.offset);
+    }
+    let gen = gen_builder.build()?;
     let mut builder = ProbeBuilder::new(cfg.source_ip, cfg.seed);
     builder.layout = cfg.option_layout;
     builder.ip_id = cfg.ip_id;
+
+    // Counters carried over from the journal when resuming, so the
+    // resumed attempt's metadata reports the cumulative truth.
+    let mut baseline = journal.map(|j| j.counters).unwrap_or_default();
+    if journal.is_some() {
+        baseline.resume_count += 1;
+        baseline.shutdown_clean = 0;
+    }
+    let resume_positions = journal.map(|j| j.rewound_positions(cfg.rate_pps));
+    let digest = config_digest(cfg);
+    let logger = Logger::null();
 
     let sent = AtomicU64::new(0);
     let retries = AtomicU64::new(0);
     let send_failures = AtomicU64::new(0);
     let finished_senders = AtomicU64::new(0);
+    let interrupted_senders = AtomicU64::new(0);
+    let killed = AtomicBool::new(false);
     let start = transport.now();
     let threads = cfg.subshards.max(1);
     let per_thread_rate = (cfg.rate_pps / u64::from(threads)).max(1);
     let expected_targets = gen.target_count() / u64::from(cfg.num_shards.max(1));
+
+    // Cooperative shutdown: the caller's token if given, else an internal
+    // one so the supervisor always has something to trip.
+    let token = opts.shutdown.clone().unwrap_or_default();
+
+    // Per-sender element positions, observable by the receive loop for
+    // checkpointing without stopping the senders.
+    let positions: Vec<AtomicU64> = (0..threads)
+        .map(|t| {
+            AtomicU64::new(
+                resume_positions
+                    .as_ref()
+                    .and_then(|p| p.get(t as usize).copied())
+                    .unwrap_or(0),
+            )
+        })
+        .collect();
 
     let mut summary = ParallelSummary {
         sent: 0,
@@ -193,11 +320,39 @@ pub fn run_parallel<T: SharedTransport>(
         sendto_failures: 0,
         responses_corrupted: 0,
         lock_poison_recoveries: 0,
+        checkpoints_written: 0,
+        resume_count: baseline.resume_count,
+        watchdog_stalls: 0,
+        shutdown_clean: 0,
+        killed: false,
         results: Vec::new(),
         status: Vec::new(),
         duration_ns: 0,
     };
     let mut monitor = Monitor::new();
+
+    // Receive-loop-owned cumulative counters (baseline + this attempt's
+    // RX-side tallies); sender-side tallies live in the atomics above and
+    // are merged into every snapshot.
+    let mut cum = baseline;
+    let merged = |cum: &Counters| {
+        let mut m = *cum;
+        m.sent = baseline.sent + sent.load(Ordering::Relaxed);
+        m.send_retries = baseline.send_retries + retries.load(Ordering::Relaxed);
+        m.sendto_failures = baseline.sendto_failures + send_failures.load(Ordering::Relaxed);
+        m.lock_poison_recoveries =
+            baseline.lock_poison_recoveries + transport.poison_recoveries();
+        m
+    };
+
+    // An initial journal before the first probe: a kill at any point
+    // after this leaves something to resume from.
+    if let Some(policy) = &opts.checkpoint {
+        let pos: Vec<u64> = positions.iter().map(|p| p.load(Ordering::Relaxed)).collect();
+        let mut m = merged(&cum);
+        write_checkpoint(policy, digest, cfg, &gen, pos, 0, false, &mut m, &logger);
+        cum.checkpoints_written = m.checkpoints_written;
+    }
 
     std::thread::scope(|scope| {
         for t in 0..threads {
@@ -207,6 +362,11 @@ pub fn run_parallel<T: SharedTransport>(
             let retries = &retries;
             let send_failures = &send_failures;
             let finished = &finished_senders;
+            let interrupted = &interrupted_senders;
+            let killed = &killed;
+            let token = &token;
+            let positions = &positions;
+            let resume_positions = &resume_positions;
             let transport = &*transport;
             let probe = cfg.probe.clone();
             let shard = cfg.shard;
@@ -214,7 +374,22 @@ pub fn run_parallel<T: SharedTransport>(
             scope.spawn(move || {
                 let mut rc = RateController::new(0, per_thread_rate);
                 let mut entropy: u16 = t as u16;
-                for target in gen.iter_shard(shard, t) {
+                let mut it = gen.iter_shard(shard, t);
+                if let Some(pos) = resume_positions {
+                    if let Some(&p) = pos.get(t as usize) {
+                        it.fast_forward_elements(p);
+                    }
+                }
+                loop {
+                    // Cycle boundary: the only place a sender stops —
+                    // for shutdown, a dead process, or an exhausted walk.
+                    if token.is_requested() || killed.load(Ordering::Acquire) {
+                        interrupted.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    let Some(target) = it.next() else {
+                        break;
+                    };
                     // Virtual pacing: this probe is due at `start + due`
                     // on the shared clock. Advance the clock there (other
                     // threads may already have pushed it further) and
@@ -226,14 +401,19 @@ pub fn run_parallel<T: SharedTransport>(
                     let frame =
                         probe_mod::build_probe(&probe, builder, target.ip, target.port, entropy);
                     // Retry EAGAIN-style failures with virtual backoff; an
-                    // exhausted probe is dropped like any lost packet.
+                    // exhausted probe is dropped like any lost packet. A
+                    // kill is never retried: the process is gone.
                     let mut attempt = 0u32;
-                    loop {
+                    let died = loop {
                         let at = due + u64::from(attempt) * 50_000;
                         match transport.send_frame_at(&frame, at) {
                             Ok(()) => {
                                 sent.fetch_add(1, Ordering::Relaxed);
-                                break;
+                                break false;
+                            }
+                            Err(SendError::Killed) => {
+                                killed.store(true, Ordering::Release);
+                                break true;
                             }
                             Err(_) if attempt < max_retries => {
                                 retries.fetch_add(1, Ordering::Relaxed);
@@ -242,31 +422,43 @@ pub fn run_parallel<T: SharedTransport>(
                             }
                             Err(_) => {
                                 send_failures.fetch_add(1, Ordering::Relaxed);
-                                break;
+                                break false;
                             }
                         }
+                    };
+                    if died {
+                        break;
                     }
+                    positions[t as usize].store(it.elements_consumed(), Ordering::Relaxed);
                 }
                 finished.fetch_add(1, Ordering::Release);
             });
         }
 
-        // Receive loop on this thread.
+        // Receive loop on this thread. It doubles as the supervisor:
+        // every poll it samples a progress signature (virtual clock,
+        // sends, sender completions, validated responses); if the
+        // signature freezes for `watchdog_poll_limit` consecutive polls,
+        // it records a stall, trips the shutdown token, and abandons the
+        // wait rather than spinning forever.
         let mut dedup = SlidingWindow::new(1_000_000);
         let deadline_after_done = cfg.cooldown_secs.max(1) * 1_000_000_000;
         let mut done_at: Option<u64> = None;
+        let mut last_ckpt_at = 0u64;
+        let mut last_sig = (u64::MAX, 0u64, 0u64, 0u64);
+        let mut idle_polls = 0u64;
         loop {
             for (ts, frame) in transport.recv_frames() {
                 match builder.parse_response(&frame) {
                     Ok(Some(resp)) => {
-                        summary.responses_validated += 1;
+                        cum.responses_validated += 1;
                         if !dedup.check_and_insert(target_key(u32::from(resp.ip), resp.port)) {
-                            summary.duplicates_suppressed += 1;
+                            cum.duplicates_suppressed += 1;
                             continue;
                         }
                         let success = probe_mod::is_success(&resp);
                         if success {
-                            summary.unique_successes += 1;
+                            cum.unique_successes += 1;
                             summary.results.push(ScanResult {
                                 ts_ns: ts.saturating_sub(start),
                                 saddr: resp.ip,
@@ -278,7 +470,7 @@ pub fn run_parallel<T: SharedTransport>(
                         }
                     }
                     Err(zmap_wire::WireError::BadChecksum) => {
-                        summary.responses_corrupted += 1;
+                        cum.responses_corrupted += 1;
                     }
                     Ok(None) | Err(_) => {}
                 }
@@ -286,19 +478,46 @@ pub fn run_parallel<T: SharedTransport>(
             // Stream #3: sample the shared counters on the virtual clock.
             monitor.tick(
                 transport.now().saturating_sub(start),
-                &Counters {
-                    sent: sent.load(Ordering::Relaxed),
-                    responses_validated: summary.responses_validated,
-                    duplicates_suppressed: summary.duplicates_suppressed,
-                    unique_successes: summary.unique_successes,
-                    send_retries: retries.load(Ordering::Relaxed),
-                    sendto_failures: send_failures.load(Ordering::Relaxed),
-                    responses_corrupted: summary.responses_corrupted,
-                    lock_poison_recoveries: transport.poison_recoveries(),
-                    ..Counters::default()
-                },
+                &merged(&cum),
                 expected_targets,
             );
+            // A scheduled kill can land on the receive path too
+            // (mid-cooldown): stop immediately, with no further output.
+            if killed.load(Ordering::Acquire) || transport.killed() {
+                killed.store(true, Ordering::Release);
+                break;
+            }
+            // Periodic checkpoint from the sender positions, without
+            // stopping the senders.
+            if let Some(policy) = &opts.checkpoint {
+                let rel = transport.now().saturating_sub(start);
+                if rel.saturating_sub(last_ckpt_at) >= policy.interval_ns {
+                    let pos: Vec<u64> =
+                        positions.iter().map(|p| p.load(Ordering::Relaxed)).collect();
+                    let mut m = merged(&cum);
+                    write_checkpoint(policy, digest, cfg, &gen, pos, rel, false, &mut m, &logger);
+                    cum.checkpoints_written = m.checkpoints_written;
+                    last_ckpt_at = rel;
+                }
+            }
+            // Supervisor: progress signature check.
+            let sig = (
+                transport.now(),
+                sent.load(Ordering::Relaxed),
+                finished_senders.load(Ordering::Acquire),
+                cum.responses_validated,
+            );
+            if sig == last_sig {
+                idle_polls += 1;
+                if idle_polls >= opts.watchdog_poll_limit {
+                    cum.watchdog_stalls += 1;
+                    token.request();
+                    break;
+                }
+            } else {
+                last_sig = sig;
+                idle_polls = 0;
+            }
             // All senders done? Drain the cooldown in virtual time, then
             // stop. While senders run, the clock is theirs to advance —
             // this thread only polls (yielding so they get the mutex).
@@ -315,10 +534,37 @@ pub fn run_parallel<T: SharedTransport>(
         }
     });
 
-    summary.sent = sent.load(Ordering::Relaxed);
-    summary.send_retries = retries.load(Ordering::Relaxed);
-    summary.sendto_failures = send_failures.load(Ordering::Relaxed);
-    summary.lock_poison_recoveries = transport.poison_recoveries();
+    let was_killed = killed.load(Ordering::Acquire);
+    if !was_killed {
+        // Orderly exit: mark it and write the final journal. The walk is
+        // complete only if every sender exhausted its subshard (none
+        // stopped for a shutdown request or a stall).
+        cum.shutdown_clean = 1;
+        if let Some(policy) = &opts.checkpoint {
+            let complete = interrupted_senders.load(Ordering::Relaxed) == 0
+                && cum.watchdog_stalls == baseline.watchdog_stalls;
+            let pos: Vec<u64> = positions.iter().map(|p| p.load(Ordering::Relaxed)).collect();
+            let rel = transport.now().saturating_sub(start);
+            let mut m = merged(&cum);
+            write_checkpoint(policy, digest, cfg, &gen, pos, rel, complete, &mut m, &logger);
+            cum.checkpoints_written = m.checkpoints_written;
+        }
+    }
+
+    let finals = merged(&cum);
+    summary.sent = finals.sent;
+    summary.responses_validated = finals.responses_validated;
+    summary.duplicates_suppressed = finals.duplicates_suppressed;
+    summary.unique_successes = finals.unique_successes;
+    summary.send_retries = finals.send_retries;
+    summary.sendto_failures = finals.sendto_failures;
+    summary.responses_corrupted = finals.responses_corrupted;
+    summary.lock_poison_recoveries = finals.lock_poison_recoveries;
+    summary.checkpoints_written = finals.checkpoints_written;
+    summary.resume_count = finals.resume_count;
+    summary.watchdog_stalls = finals.watchdog_stalls;
+    summary.shutdown_clean = finals.shutdown_clean;
+    summary.killed = was_killed;
     summary.status = monitor.samples().to_vec();
     summary.duration_ns = transport.now() - start;
     Ok(summary)
@@ -443,6 +689,157 @@ mod tests {
         // The recovery surfaces in the status stream.
         let last = s.status.last().expect("at least the t=0 sample");
         assert!(last.lock_poison_recoveries > 0);
+    }
+
+    /// A transport whose virtual clock never advances: the cooldown
+    /// drain can make no progress, which is exactly the stall the
+    /// supervisor exists to break.
+    struct FrozenClockTransport;
+
+    impl SharedTransport for FrozenClockTransport {
+        fn now(&self) -> u64 {
+            0
+        }
+        fn advance_to(&self, _t: u64) {}
+        fn send_frame_at(&self, _frame: &[u8], _at_ns: u64) -> Result<(), SendError> {
+            Ok(())
+        }
+        fn recv_frames(&self) -> Vec<(u64, Vec<u8>)> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn watchdog_breaks_a_frozen_cooldown() {
+        let src = Ipv4Addr::new(192, 0, 2, 9);
+        let mut cfg = ScanConfig::new(src);
+        cfg.allowlist_prefix(Ipv4Addr::new(44, 5, 0, 0), 28);
+        cfg.apply_default_blocklist = false;
+        cfg.subshards = 1;
+        cfg.rate_pps = 100_000;
+        cfg.cooldown_secs = 1;
+        let opts = ParallelRunOptions {
+            watchdog_poll_limit: 500,
+            ..Default::default()
+        };
+        // Without the supervisor this would spin forever: the clock never
+        // reaches the cooldown deadline.
+        let s = run_parallel_with(&cfg, &FrozenClockTransport, opts).unwrap();
+        assert_eq!(s.watchdog_stalls, 1, "frozen clock must trip the supervisor");
+        assert_eq!(s.sent, 16, "sends completed; only the drain was stuck");
+        assert_eq!(s.shutdown_clean, 1, "a stall degrades the scan, not crashes it");
+        assert!(!s.killed);
+        let last = s.status.last().expect("status stream present");
+        assert_eq!(last.watchdog_stalls, 0, "stall happened after the last sample");
+    }
+
+    #[test]
+    fn pre_requested_shutdown_stops_senders_at_cycle_boundary() {
+        let world = shared_world();
+        let src = Ipv4Addr::new(192, 0, 2, 9);
+        let transport = SharedSimTransport::new(world, src);
+        let mut cfg = ScanConfig::new(src);
+        cfg.allowlist_prefix(Ipv4Addr::new(44, 7, 0, 0), 24);
+        cfg.apply_default_blocklist = false;
+        cfg.subshards = 2;
+        cfg.rate_pps = 100_000;
+        cfg.cooldown_secs = 1;
+        let token = ShutdownToken::new();
+        token.request();
+        let s = run_parallel_with(
+            &cfg,
+            &transport,
+            ParallelRunOptions {
+                shutdown: Some(token),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.sent, 0, "no probe leaves after a shutdown request");
+        assert_eq!(s.shutdown_clean, 1, "interrupt is still an orderly exit");
+        assert!(!s.killed);
+    }
+
+    #[test]
+    fn parallel_kill_then_resume_covers_everything() {
+        use crate::checkpoint::CheckpointPolicy;
+        use zmap_netsim::FaultPlan;
+        let src = Ipv4Addr::new(192, 0, 2, 9);
+        let dir = std::env::temp_dir().join("zmap-parallel-ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.ckpt");
+        let mut cfg = ScanConfig::new(src);
+        cfg.allowlist_prefix(Ipv4Addr::new(44, 6, 0, 0), 24);
+        cfg.apply_default_blocklist = false;
+        cfg.subshards = 4;
+        cfg.rate_pps = 200_000;
+        cfg.cooldown_secs = 1;
+        let world = Arc::new(Mutex::new(World::new(WorldConfig {
+            seed: 5,
+            model: ServiceModel::dense(&[80]),
+            loss: LossModel::NONE,
+            faults: FaultPlan::builder().kill_at(300).build(),
+            ..WorldConfig::default()
+        })));
+        let transport = SharedSimTransport::new(world, src);
+        let policy = CheckpointPolicy::new(&path).with_interval_ns(100_000);
+        let opts = ParallelRunOptions {
+            checkpoint: Some(policy),
+            ..Default::default()
+        };
+        let first = run_parallel_with(&cfg, &transport, opts.clone()).unwrap();
+        assert!(first.killed, "kill at NIC event 300 lands mid-scan");
+        assert_eq!(first.shutdown_clean, 0);
+        assert!(first.checkpoints_written >= 1);
+
+        let journal = CheckpointState::load(&path).unwrap();
+        assert!(!journal.complete);
+        let transport2 = SharedSimTransport::new(shared_world(), src);
+        let second = resume_parallel(&cfg, &transport2, &journal, opts).unwrap();
+        assert!(!second.killed);
+        assert_eq!(second.resume_count, 1);
+        assert_eq!(second.shutdown_clean, 1);
+        let mut union: HashSet<_> = first.results.iter().map(|r| r.saddr).collect();
+        union.extend(second.results.iter().map(|r| r.saddr));
+        assert_eq!(union.len(), 256, "kill/resume must lose nothing");
+        // The final journal of the resumed run marks completion and
+        // carries the cumulative counters.
+        let j2 = CheckpointState::load(&path).unwrap();
+        assert!(j2.complete);
+        assert_eq!(j2.counters.resume_count, 1);
+        assert!(j2.counters.sent >= first.sent);
+    }
+
+    #[test]
+    fn resume_parallel_refuses_foreign_config() {
+        use crate::checkpoint::CheckpointPolicy;
+        let src = Ipv4Addr::new(192, 0, 2, 9);
+        let dir = std::env::temp_dir().join("zmap-parallel-ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("foreign.ckpt");
+        let mut cfg = ScanConfig::new(src);
+        cfg.allowlist_prefix(Ipv4Addr::new(44, 8, 0, 0), 26);
+        cfg.apply_default_blocklist = false;
+        cfg.subshards = 2;
+        cfg.rate_pps = 100_000;
+        cfg.cooldown_secs = 1;
+        let transport = SharedSimTransport::new(shared_world(), src);
+        let opts = ParallelRunOptions {
+            checkpoint: Some(CheckpointPolicy::new(&path)),
+            ..Default::default()
+        };
+        run_parallel_with(&cfg, &transport, opts).unwrap();
+        let journal = CheckpointState::load(&path).unwrap();
+        let mut other = cfg.clone();
+        other.seed = 999;
+        let transport2 = SharedSimTransport::new(shared_world(), src);
+        let err = resume_parallel(
+            &other,
+            &transport2,
+            &journal,
+            ParallelRunOptions::default(),
+        );
+        assert!(matches!(err, Err(ResumeError::Journal(_))));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The scan engine: target walk → paced probes → validated, deduplicated,
 //! classified results.
 
+use crate::checkpoint::{config_digest, CheckpointPolicy, CheckpointState, JournalError};
 use crate::config::{DedupMethod, ProbeKind, ScanConfig};
 use crate::log::{Level, Logger};
 use crate::metadata::{ConfigEcho, Counters, PermutationEcho, ScanMetadata};
@@ -8,10 +9,13 @@ use crate::monitor::{Monitor, StatusUpdate};
 use crate::output::ScanResult;
 use crate::probe_mod;
 use crate::ratecontrol::RateController;
+use crate::shutdown::ShutdownToken;
 use crate::transport::Transport;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
 use zmap_dedup::{target_key, PagedBitmap, SlidingWindow};
+use zmap_netsim::SendError;
 use zmap_targets::generator::BuildError;
 use zmap_targets::{TargetGenerator, Target};
 use zmap_wire::probe::ProbeBuilder;
@@ -39,6 +43,18 @@ pub struct ScanSummary {
     pub sendto_failures: u64,
     /// Responses rejected by checksum validation.
     pub responses_corrupted: u64,
+    /// Checkpoint journals written (periodic plus final).
+    pub checkpoints_written: u64,
+    /// Times this scan has been resumed from a checkpoint journal.
+    pub resume_count: u64,
+    /// Supervisor interventions (threaded engine; always 0 here).
+    pub watchdog_stalls: u64,
+    /// 1 when the engine exited through the orderly shutdown path.
+    pub shutdown_clean: u64,
+    /// True when a fault schedule killed the process mid-flight: the
+    /// summary is whatever a post-mortem harness could recover, not the
+    /// product of an orderly exit.
+    pub killed: bool,
     /// Virtual scan duration (ns), including cooldown.
     pub duration_ns: u64,
     /// The success records (plus failures when `report_failures`).
@@ -59,6 +75,39 @@ impl ScanSummary {
         }
     }
 }
+
+/// Optional run-time machinery for [`Scanner::run_with`]. `Default` is a
+/// plain uninstrumented run.
+#[derive(Debug, Default)]
+pub struct RunOptions {
+    /// Write an initial, periodic (virtual-time interval), and final
+    /// checkpoint journal to this policy's path.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Cooperative shutdown: once requested, sending stops at the next
+    /// cycle boundary and the scan proceeds straight through cooldown to
+    /// an orderly exit (all four streams flushed, final checkpoint).
+    pub shutdown: Option<ShutdownToken>,
+}
+
+/// Why [`Scanner::resume`] refused to build.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The journal is damaged or does not belong to this configuration.
+    Journal(JournalError),
+    /// The configuration itself failed validation.
+    Build(BuildError),
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::Journal(e) => write!(f, "cannot resume: {e}"),
+            ResumeError::Build(e) => write!(f, "cannot resume: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
 
 enum DedupState {
     None,
@@ -85,6 +134,12 @@ pub struct Scanner<T: Transport> {
     dedup: DedupState,
     logger: Logger,
     rng: StdRng,
+    /// Counters carried over from the journal when resuming (so metadata
+    /// reports the cumulative truth across attempts); zero for fresh runs.
+    baseline: Counters,
+    /// Per-subshard element positions to fast-forward to before sending
+    /// (already rewound by the in-flight grace window); `None` fresh.
+    start_positions: Option<Vec<u64>>,
 }
 
 impl<T: Transport> Scanner<T> {
@@ -99,20 +154,86 @@ impl<T: Transport> Scanner<T> {
         transport: T,
         logger: Logger,
     ) -> Result<Self, BuildError> {
+        Self::assemble(cfg, transport, logger, None)
+    }
+
+    /// Rebuilds a scanner from a checkpoint journal: the cyclic-group walk
+    /// is reconstructed from the journal's recorded parts (not re-derived
+    /// from the seed), per-subshard positions are rewound by the in-flight
+    /// grace window, and the journal's counters become the baseline so the
+    /// resumed run's metadata is cumulative across attempts.
+    ///
+    /// Refuses a journal whose config digest does not match `cfg` — a
+    /// journal only resumes the exact scan that wrote it.
+    pub fn resume(
+        cfg: ScanConfig,
+        transport: T,
+        journal: &CheckpointState,
+    ) -> Result<Self, ResumeError> {
+        Self::resume_with_logger(cfg, transport, journal, Logger::null())
+    }
+
+    /// Like [`resume`](Self::resume) with an explicit logger.
+    pub fn resume_with_logger(
+        cfg: ScanConfig,
+        transport: T,
+        journal: &CheckpointState,
+        logger: Logger,
+    ) -> Result<Self, ResumeError> {
+        journal.check_config(&cfg).map_err(ResumeError::Journal)?;
+        let mut scanner = Self::assemble(
+            cfg,
+            transport,
+            logger,
+            Some((journal.generator, journal.offset)),
+        )
+        .map_err(ResumeError::Build)?;
+        if scanner.gen.cycle().group().prime() != journal.group_prime {
+            // The digest already covers the target space, so this only
+            // trips on a corrupted-yet-checksum-valid journal; belt and
+            // braces before walking the wrong group.
+            return Err(ResumeError::Journal(JournalError::Malformed(
+                "journal group prime does not match the configured target space".into(),
+            )));
+        }
+        let mut baseline = journal.counters;
+        baseline.resume_count += 1;
+        baseline.shutdown_clean = 0;
+        let positions = journal.rewound_positions(scanner.cfg.rate_pps);
+        scanner.logger.info(format_args!(
+            "resuming scan (attempt {}): {} probes sent so far, rewinding to positions {:?}",
+            baseline.resume_count + 1,
+            baseline.sent,
+            positions,
+        ));
+        scanner.baseline = baseline;
+        scanner.start_positions = Some(positions);
+        Ok(scanner)
+    }
+
+    fn assemble(
+        cfg: ScanConfig,
+        transport: T,
+        logger: Logger,
+        cycle_parts: Option<(u64, u64)>,
+    ) -> Result<Self, BuildError> {
         let ports: Vec<u16> = match cfg.probe {
             // The ICMP module has no port dimension; a single pseudo-port
             // keeps the (IP, port) target machinery uniform.
             ProbeKind::IcmpEcho => vec![0],
             _ => cfg.ports.clone(),
         };
-        let gen = TargetGenerator::builder()
+        let mut gen_builder = TargetGenerator::builder()
             .constraint(cfg.effective_constraint())
             .ports(&ports)
             .seed(cfg.seed)
             .shards(cfg.num_shards.max(1))
             .subshards(cfg.subshards.max(1))
-            .algorithm(cfg.shard_algorithm)
-            .build()?;
+            .algorithm(cfg.shard_algorithm);
+        if let Some((generator, offset)) = cycle_parts {
+            gen_builder = gen_builder.cycle_parts(generator, offset);
+        }
+        let gen = gen_builder.build()?;
         let mut builder = ProbeBuilder::new(cfg.source_ip, cfg.seed);
         builder.layout = cfg.option_layout;
         builder.ip_id = cfg.ip_id;
@@ -137,6 +258,8 @@ impl<T: Transport> Scanner<T> {
             gen,
             dedup,
             logger,
+            baseline: Counters::default(),
+            start_positions: None,
         })
     }
 
@@ -148,6 +271,13 @@ impl<T: Transport> Scanner<T> {
     /// Runs the scan to completion (send phase + cooldown) and returns
     /// the summary. Consumes the scanner.
     pub fn run(self) -> ScanSummary {
+        self.run_with(RunOptions::default())
+    }
+
+    /// Like [`run`](Self::run) with checkpointing and cooperative
+    /// shutdown wired in.
+    pub fn run_with(self, opts: RunOptions) -> ScanSummary {
+        let RunOptions { checkpoint, shutdown } = opts;
         let Scanner {
             cfg,
             mut transport,
@@ -156,11 +286,14 @@ impl<T: Transport> Scanner<T> {
             mut dedup,
             logger,
             mut rng,
+            baseline,
+            start_positions,
         } = self;
+        let digest = config_digest(&cfg);
         let start = transport.now();
         let mut rc = RateController::new(start, cfg.rate_pps);
         let mut monitor = Monitor::new();
-        let mut counters = Counters::default();
+        let mut counters = baseline;
         let mut results: Vec<ScanResult> = Vec::new();
 
         // Shard-local target count (exact only for the whole scan; for a
@@ -179,11 +312,35 @@ impl<T: Transport> Scanner<T> {
         let mut iters: Vec<_> = (0..subshards)
             .map(|t| gen.iter_shard(cfg.shard, t))
             .collect();
+        if let Some(positions) = &start_positions {
+            for (it, &p) in iters.iter_mut().zip(positions.iter()) {
+                it.fast_forward_elements(p);
+            }
+        }
         let mut live: Vec<usize> = (0..iters.len()).collect();
         let mut next = 0usize;
         let mut done = false;
+        let mut killed = false;
+        let mut interrupted = false;
+        let mut last_ckpt_at = 0u64;
 
-        while !done {
+        // An initial journal before the first probe: a kill at any point
+        // after this — even probe #1 — leaves something to resume from.
+        if let Some(policy) = &checkpoint {
+            let positions: Vec<u64> = iters.iter().map(|it| it.elements_consumed()).collect();
+            write_checkpoint(
+                policy, digest, &cfg, &gen, positions, 0, false, &mut counters, &logger,
+            );
+        }
+
+        'scan: while !done {
+            if shutdown.as_ref().is_some_and(|t| t.is_requested()) {
+                interrupted = true;
+                logger.info(format_args!(
+                    "shutdown requested; stopping sends at cycle boundary"
+                ));
+                break 'scan;
+            }
             if cfg.max_targets > 0 && counters.targets_total >= cfg.max_targets {
                 break;
             }
@@ -213,7 +370,12 @@ impl<T: Transport> Scanner<T> {
                 transport.advance_to(at);
                 let entropy: u16 = rng.gen();
                 let frame = probe_mod::build_probe(&cfg.probe, &builder, ip, port, entropy);
-                send_with_retries(&mut transport, &frame, cfg.max_retries, &mut counters);
+                if send_with_retries(&mut transport, &frame, cfg.max_retries, &mut counters)
+                    == SendStatus::Killed
+                {
+                    killed = true;
+                    break 'scan;
+                }
             }
 
             drain_rx(
@@ -232,6 +394,21 @@ impl<T: Transport> Scanner<T> {
                 shard_targets * u64::from(cfg.probes_per_target.max(1)),
             );
 
+            // Periodic snapshot on a virtual-time interval, at a cycle
+            // boundary (never mid-target, so positions are consistent).
+            if let Some(policy) = &checkpoint {
+                let rel = transport.now().saturating_sub(start);
+                if rel.saturating_sub(last_ckpt_at) >= policy.interval_ns {
+                    let positions: Vec<u64> =
+                        iters.iter().map(|it| it.elements_consumed()).collect();
+                    write_checkpoint(
+                        policy, digest, &cfg, &gen, positions, rel, false, &mut counters,
+                        &logger,
+                    );
+                    last_ckpt_at = rel;
+                }
+            }
+
             if cfg.max_results > 0 && counters.unique_successes >= cfg.max_results {
                 logger.info(format_args!(
                     "max-results {} reached; entering cooldown",
@@ -241,56 +418,96 @@ impl<T: Transport> Scanner<T> {
             }
         }
         // Cooldown: drain stragglers for cooldown_secs of virtual time.
-        let cooldown_end = transport.now() + cfg.cooldown_secs * 1_000_000_000;
-        loop {
-            match transport.next_rx_at() {
-                Some(t) if t <= cooldown_end => {
-                    transport.advance_to(t);
-                    drain_rx(
-                        &mut transport,
-                        &builder,
-                        &mut dedup,
-                        &logger,
-                        cfg.report_failures,
-                        start,
-                        &mut counters,
-                        &mut results,
-                    );
+        // A scheduled kill can still land here — on the receive path —
+        // so poll the transport's death flag between drains.
+        if !killed {
+            let cooldown_end = transport.now() + cfg.cooldown_secs * 1_000_000_000;
+            loop {
+                if transport.killed() {
+                    killed = true;
+                    break;
                 }
-                _ => break,
+                match transport.next_rx_at() {
+                    Some(t) if t <= cooldown_end => {
+                        transport.advance_to(t);
+                        drain_rx(
+                            &mut transport,
+                            &builder,
+                            &mut dedup,
+                            &logger,
+                            cfg.report_failures,
+                            start,
+                            &mut counters,
+                            &mut results,
+                        );
+                    }
+                    _ => break,
+                }
+            }
+            if !killed {
+                transport.advance_to(cooldown_end);
+                drain_rx(
+                    &mut transport,
+                    &builder,
+                    &mut dedup,
+                    &logger,
+                    cfg.report_failures,
+                    start,
+                    &mut counters,
+                    &mut results,
+                );
+                killed = transport.killed();
             }
         }
-        transport.advance_to(cooldown_end);
-        drain_rx(
-            &mut transport,
-            &builder,
-            &mut dedup,
-            &logger,
-            cfg.report_failures,
-            start,
-            &mut counters,
-            &mut results,
-        );
-        // Final status samples covering the cooldown (so the stream ends
-        // at 100% complete).
-        monitor.tick(
-            transport.now().saturating_sub(start),
-            &counters,
-            counters.sent.max(1),
-        );
+
+        if !killed {
+            // Orderly exit: mark it, write the final journal (complete
+            // unless a shutdown token interrupted the walk), then emit
+            // the closing status sample and log line — so every stream
+            // reflects the clean shutdown.
+            counters.shutdown_clean = 1;
+            if let Some(policy) = &checkpoint {
+                let positions: Vec<u64> =
+                    iters.iter().map(|it| it.elements_consumed()).collect();
+                let rel = transport.now().saturating_sub(start);
+                write_checkpoint(
+                    policy,
+                    digest,
+                    &cfg,
+                    &gen,
+                    positions,
+                    rel,
+                    !interrupted,
+                    &mut counters,
+                    &logger,
+                );
+            }
+            // Final status samples covering the cooldown (so the stream
+            // ends at 100% complete).
+            monitor.tick(
+                transport.now().saturating_sub(start),
+                &counters,
+                counters.sent.max(1),
+            );
+            logger.info(format_args!(
+                "scan {}: {} sent, {} validated, {} unique successes, {:.4}% hitrate",
+                if interrupted { "interrupted (clean shutdown)" } else { "complete" },
+                counters.sent,
+                counters.responses_validated,
+                counters.unique_successes,
+                if counters.targets_total == 0 {
+                    0.0
+                } else {
+                    100.0 * counters.unique_successes as f64 / counters.targets_total as f64
+                }
+            ));
+        }
+        // A killed process writes nothing more: no final checkpoint, no
+        // closing status sample, no completion log line. The summary
+        // below is what a post-mortem harness recovers, with
+        // `shutdown_clean` still 0.
 
         let duration_ns = transport.now() - start;
-        logger.info(format_args!(
-            "scan complete: {} sent, {} validated, {} unique successes, {:.4}% hitrate",
-            counters.sent,
-            counters.responses_validated,
-            counters.unique_successes,
-            if counters.targets_total == 0 {
-                0.0
-            } else {
-                100.0 * counters.unique_successes as f64 / counters.targets_total as f64
-            }
-        ));
 
         let metadata = ScanMetadata {
             version: env!("CARGO_PKG_VERSION").to_string(),
@@ -314,33 +531,92 @@ impl<T: Transport> Scanner<T> {
             send_retries: counters.send_retries,
             sendto_failures: counters.sendto_failures,
             responses_corrupted: counters.responses_corrupted,
+            checkpoints_written: counters.checkpoints_written,
+            resume_count: counters.resume_count,
+            watchdog_stalls: counters.watchdog_stalls,
+            shutdown_clean: counters.shutdown_clean,
+            killed,
             duration_ns,
             results,
             status: monitor.samples().to_vec(),
             metadata,
         }
     }
+}
 
+/// Snapshots the walk into a checkpoint journal. A write failure is
+/// logged and otherwise ignored: a failed checkpoint must never take
+/// down a live scan. `checkpoints_written` counts only successful
+/// writes, and the journal's own counters include the write being made.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn write_checkpoint(
+    policy: &CheckpointPolicy,
+    digest: u64,
+    cfg: &ScanConfig,
+    gen: &TargetGenerator,
+    positions: Vec<u64>,
+    virtual_time_ns: u64,
+    complete: bool,
+    counters: &mut Counters,
+    logger: &Logger,
+) {
+    let mut snapshot = *counters;
+    snapshot.checkpoints_written += 1;
+    let state = CheckpointState {
+        config_digest: digest,
+        seed: cfg.seed,
+        group_prime: gen.cycle().group().prime(),
+        generator: gen.cycle().generator(),
+        offset: gen.cycle().offset(),
+        shard: cfg.shard,
+        num_shards: cfg.num_shards.max(1),
+        num_subshards: cfg.subshards.max(1),
+        positions,
+        dedup_high_water: snapshot.unique_successes + snapshot.unique_failures,
+        virtual_time_ns,
+        complete,
+        counters: snapshot,
+    };
+    match state.write_atomic(&policy.path) {
+        Ok(()) => *counters = snapshot,
+        Err(e) => logger.log(
+            Level::Warn,
+            format_args!("checkpoint write failed (scan continues): {e}"),
+        ),
+    }
+}
+
+/// What became of one probe after the retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SendStatus {
+    /// The frame left the NIC.
+    Sent,
+    /// Retries exhausted; the probe is abandoned.
+    Dropped,
+    /// The process is dead (scheduled crash) — stop everything, now.
+    Killed,
 }
 
 /// Sends one frame, retrying transient transport failures (EAGAIN) up to
 /// `max_retries` times with exponential virtual-time backoff (50 µs, then
 /// doubling — ZMap's sendto retry shape). Exhausted probes count as
 /// `sendto_failures` and are never re-queued: a single-pass scanner
-/// treats them like any other lost probe.
+/// treats them like any other lost probe. A [`SendError::Killed`] is
+/// never retried: the process is gone and no counter moves.
 fn send_with_retries<T: Transport>(
     transport: &mut T,
     frame: &[u8],
     max_retries: u32,
     counters: &mut Counters,
-) {
+) -> SendStatus {
     let mut attempt = 0u32;
     loop {
         match transport.send_frame(frame) {
             Ok(()) => {
                 counters.sent += 1;
-                return;
+                return SendStatus::Sent;
             }
+            Err(SendError::Killed) => return SendStatus::Killed,
             Err(_) if attempt < max_retries => {
                 counters.send_retries += 1;
                 let backoff = 50_000u64 << attempt.min(10);
@@ -350,7 +626,7 @@ fn send_with_retries<T: Transport>(
             }
             Err(_) => {
                 counters.sendto_failures += 1;
-                return;
+                return SendStatus::Dropped;
             }
         }
     }
@@ -667,6 +943,159 @@ mod tests {
         assert_eq!(order(&a), order(&b), "determinism");
         assert_ne!(order(&a), order(&c), "seed changes order");
         assert_eq!(a.unique_successes, c.unique_successes, "same coverage");
+    }
+
+    fn temp_journal(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("zmap-scanner-ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn pre_requested_shutdown_is_clean_and_sends_nothing() {
+        let net = dense_net(&[80]);
+        let cfg = base_cfg(&[80]);
+        let token = ShutdownToken::new();
+        token.request();
+        let s = Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .unwrap()
+            .run_with(RunOptions {
+                shutdown: Some(token),
+                ..Default::default()
+            });
+        assert_eq!(s.sent, 0, "no probe leaves after a shutdown request");
+        assert_eq!(s.shutdown_clean, 1, "interrupt is still an orderly exit");
+        assert!(!s.killed);
+        // All four streams remain well-formed: metadata serializes and
+        // the status stream has its closing sample.
+        let v: serde_json::Value = serde_json::from_str(&s.metadata.to_json()).unwrap();
+        assert_eq!(v["counters"]["shutdown_clean"], 1);
+        assert!(!s.status.is_empty());
+    }
+
+    #[test]
+    fn checkpointing_does_not_perturb_the_walk() {
+        let net = dense_net(&[80]);
+        let cfg = base_cfg(&[80]);
+        let path = temp_journal("plain-equivalence.ckpt");
+        let s = Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .unwrap()
+            .run_with(RunOptions {
+                checkpoint: Some(CheckpointPolicy::new(&path)),
+                ..Default::default()
+            });
+        let net2 = dense_net(&[80]);
+        let p = Scanner::new(base_cfg(&[80]), net2.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .unwrap()
+            .run();
+        let order = |s: &ScanSummary| s.results.iter().map(|r| r.saddr).collect::<Vec<_>>();
+        assert_eq!(order(&s), order(&p), "checkpointing must not perturb the walk");
+    }
+
+    #[test]
+    fn checkpoint_journal_is_written_and_marks_completion() {
+        let path = temp_journal("complete.ckpt");
+        let net = dense_net(&[80]);
+        let cfg = base_cfg(&[80]);
+        let s = Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .unwrap()
+            .run_with(RunOptions {
+                checkpoint: Some(CheckpointPolicy::new(&path)),
+                ..Default::default()
+            });
+        assert!(s.checkpoints_written >= 2, "initial + final at minimum");
+        let j = CheckpointState::load(&path).unwrap();
+        assert!(j.complete, "walk exhausted => journal marked complete");
+        assert_eq!(j.counters.sent, s.sent);
+        assert_eq!(j.counters.shutdown_clean, 1);
+        assert_eq!(j.counters.checkpoints_written, s.checkpoints_written);
+    }
+
+    #[test]
+    fn killed_scan_reports_unclean_shutdown() {
+        use zmap_netsim::FaultPlan;
+        let net = SimNet::new(WorldConfig {
+            model: ServiceModel::dense(&[80]),
+            loss: LossModel::NONE,
+            faults: FaultPlan::builder().kill_at(50).build(),
+            ..WorldConfig::default()
+        });
+        let s = Scanner::new(base_cfg(&[80]), net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .unwrap()
+            .run();
+        assert!(s.killed);
+        assert_eq!(s.shutdown_clean, 0);
+        assert!(s.sent < 256, "died mid-walk: {}", s.sent);
+    }
+
+    #[test]
+    fn kill_then_resume_covers_the_whole_space() {
+        let path = temp_journal("kill-resume.ckpt");
+        let mut cfg = base_cfg(&[80]);
+        cfg.rate_pps = 1_000; // slow enough that the grace rewind is small
+        use zmap_netsim::FaultPlan;
+        let net = SimNet::new(WorldConfig {
+            model: ServiceModel::dense(&[80]),
+            loss: LossModel::NONE,
+            faults: FaultPlan::builder().kill_at(200).build(),
+            ..WorldConfig::default()
+        });
+        let policy = CheckpointPolicy::new(&path).with_interval_ns(10_000_000);
+        let first = Scanner::new(cfg.clone(), net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .unwrap()
+            .run_with(RunOptions {
+                checkpoint: Some(policy.clone()),
+                ..Default::default()
+            });
+        assert!(first.killed);
+
+        let journal = CheckpointState::load(&path).unwrap();
+        assert!(!journal.complete);
+        let net2 = dense_net(&[80]);
+        let second = Scanner::resume(cfg, net2.transport(Ipv4Addr::new(192, 0, 2, 9)), &journal)
+            .unwrap()
+            .run_with(RunOptions {
+                checkpoint: Some(policy),
+                ..Default::default()
+            });
+        assert!(!second.killed);
+        assert_eq!(second.resume_count, 1);
+        assert_eq!(second.shutdown_clean, 1);
+
+        let mut union: std::collections::HashSet<_> = first
+            .results
+            .iter()
+            .map(|r| (r.saddr, r.sport))
+            .collect();
+        union.extend(second.results.iter().map(|r| (r.saddr, r.sport)));
+        assert_eq!(union.len(), 256, "kill/resume must lose nothing");
+        // Cumulative counters: the resumed metadata carries both attempts.
+        assert!(second.metadata.counters.sent >= first.sent);
+        let j2 = CheckpointState::load(&temp_journal("kill-resume.ckpt")).unwrap();
+        assert!(j2.complete);
+        assert_eq!(j2.counters.resume_count, 1);
+    }
+
+    #[test]
+    fn resume_refuses_foreign_config() {
+        let path = temp_journal("foreign.ckpt");
+        let net = dense_net(&[80]);
+        let s = Scanner::new(base_cfg(&[80]), net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .unwrap()
+            .run_with(RunOptions {
+                checkpoint: Some(CheckpointPolicy::new(&path)),
+                ..Default::default()
+            });
+        assert_eq!(s.shutdown_clean, 1);
+        let journal = CheckpointState::load(&path).unwrap();
+        let mut other = base_cfg(&[80]);
+        other.seed = 999; // different permutation => different scan
+        let net2 = dense_net(&[80]);
+        let err = Scanner::resume(other, net2.transport(Ipv4Addr::new(192, 0, 2, 9)), &journal);
+        assert!(matches!(
+            err,
+            Err(ResumeError::Journal(JournalError::ConfigMismatch { .. }))
+        ));
     }
 
     #[test]

@@ -41,6 +41,14 @@ pub trait Transport {
     fn next_rx_at(&self) -> Option<u64> {
         None
     }
+
+    /// True once the scanning process has been declared dead by a fault
+    /// schedule. Engines poll this on the receive path so a kill can land
+    /// mid-cooldown, where no sends occur. Real transports never die this
+    /// way; only simulations script it.
+    fn killed(&self) -> bool {
+        false
+    }
 }
 
 /// A shared simulated Internet that multiple scanner transports attach to.
@@ -103,6 +111,10 @@ impl Transport for SimTransport {
 
     fn next_rx_at(&self) -> Option<u64> {
         self.world.borrow().next_event_at()
+    }
+
+    fn killed(&self) -> bool {
+        self.world.borrow().kill_fired()
     }
 }
 

@@ -22,12 +22,18 @@ pub enum SendError {
     /// Transient send-buffer exhaustion; retrying after a backoff is
     /// expected to succeed.
     WouldBlock,
+    /// The scheduled [`FaultPlan::kill_at`] ordinal was reached: the
+    /// scanning process is considered dead from this instant. Not
+    /// retryable — the engine must abandon the scan exactly as a
+    /// `SIGKILL` would, leaving only its last checkpoint behind.
+    Killed,
 }
 
 impl fmt::Display for SendError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SendError::WouldBlock => write!(f, "send would block (EAGAIN)"),
+            SendError::Killed => write!(f, "process killed by fault schedule"),
         }
     }
 }
@@ -107,6 +113,10 @@ pub struct FaultPlan {
     pub blackouts: Vec<Blackout>,
     /// Optional ICMP rate-limit storm window.
     pub icmp_storm: Option<IcmpStorm>,
+    /// Kill the scanning process at this send-attempt ordinal
+    /// (1-based): that attempt and every later one fail with
+    /// [`SendError::Killed`]. Crash injection for kill/resume tests.
+    pub kill_at: Option<u64>,
 }
 
 impl FaultPlan {
@@ -124,6 +134,12 @@ impl FaultPlan {
             && self.burst_loss.is_empty()
             && self.blackouts.is_empty()
             && self.icmp_storm.is_none()
+            && self.kill_at.is_none()
+    }
+
+    /// Has the scheduled kill fired by send attempt `attempt` (1-based)?
+    pub fn killed(&self, attempt: u64) -> bool {
+        self.kill_at.is_some_and(|k| attempt >= k)
     }
 
     /// Starts a builder.
@@ -275,6 +291,7 @@ impl FaultPlan {
                         });
                     }
                 }
+                "icmp_storm" if val.is_null() => plan.icmp_storm = None,
                 "icmp_storm" => {
                     plan.icmp_storm = Some(IcmpStorm {
                         start_ns: req_u64(&val["start_ns"], "icmp_storm.start_ns")?,
@@ -284,6 +301,15 @@ impl FaultPlan {
                             "icmp_storm.reply_fraction",
                         )?,
                     });
+                }
+                "kill_at" => {
+                    // The metadata echo serializes the unset state as
+                    // null; accept it back.
+                    plan.kill_at = if val.is_null() {
+                        None
+                    } else {
+                        Some(req_u64(val, key)?)
+                    };
                 }
                 other => return Err(format!("unknown fault plan key: {other}")),
             }
@@ -366,6 +392,12 @@ impl FaultPlanBuilder {
     /// Schedules an ICMP rate-limit storm.
     pub fn icmp_storm(mut self, start_ns: u64, end_ns: u64, reply_fraction: f64) -> Self {
         self.0.icmp_storm = Some(IcmpStorm { start_ns, end_ns, reply_fraction });
+        self
+    }
+
+    /// Kills the scanning process at send attempt `ordinal` (1-based).
+    pub fn kill_at(mut self, ordinal: u64) -> Self {
+        self.0.kill_at = Some(ordinal);
         self
     }
 
@@ -481,5 +513,27 @@ mod tests {
     #[test]
     fn empty_json_object_is_inert() {
         assert!(FaultPlan::from_json_str("{}").unwrap().is_inert());
+    }
+
+    #[test]
+    fn kill_at_fires_from_its_ordinal_onward() {
+        let p = FaultPlan::builder().kill_at(100).build();
+        assert!(!p.is_inert());
+        assert!(!p.killed(99));
+        assert!(p.killed(100));
+        assert!(p.killed(1_000_000), "death is permanent");
+        assert!(!FaultPlan::none().killed(u64::MAX));
+    }
+
+    #[test]
+    fn kill_at_parses_from_json() {
+        let p = FaultPlan::from_json_str(r#"{"kill_at": 42}"#).unwrap();
+        assert_eq!(p.kill_at, Some(42));
+        let again = FaultPlan::from_json_str(&p.to_json()).unwrap();
+        assert_eq!(again, p);
+        // The unset echo form (null) parses back as unset.
+        let none = FaultPlan::from_json_str(r#"{"kill_at": null}"#).unwrap();
+        assert_eq!(none.kill_at, None);
+        assert!(FaultPlan::from_json_str(r#"{"kill_at": -3}"#).is_err());
     }
 }

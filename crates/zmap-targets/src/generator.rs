@@ -141,6 +141,29 @@ pub struct TargetIter<'a> {
     inner: ShardIter<'a>,
 }
 
+impl TargetIter<'_> {
+    /// Group elements consumed so far (yields *and* rejection-sampled
+    /// skips *and* fast-forwarded jumps). Checkpoints record this —
+    /// element positions, not target counts, because rejection sampling
+    /// makes decoded targets a subsequence of walked elements.
+    pub fn elements_consumed(&self) -> u64 {
+        self.inner.consumed()
+    }
+
+    /// Group elements left in this subshard's walk.
+    pub fn elements_remaining(&self) -> u64 {
+        self.inner.remaining()
+    }
+
+    /// Skips the next `min(k, remaining)` *elements* (one modular
+    /// exponentiation, no decoding) and returns how many were skipped.
+    /// Resuming a scan fast-forwards each subshard to its journaled
+    /// position before the first `next()`.
+    pub fn fast_forward_elements(&mut self, k: u64) -> u64 {
+        self.inner.fast_forward(k)
+    }
+}
+
 impl Iterator for TargetIter<'_> {
     type Item = Target;
 
@@ -168,6 +191,8 @@ pub enum BuildError {
     EmptyAddressSet,
     /// The (IP × port) pool exceeds the largest cyclic group.
     Group(GroupError),
+    /// Explicit cycle parts (resume path) were invalid for the group.
+    Cycle(crate::cycle::CycleError),
 }
 
 impl std::fmt::Display for BuildError {
@@ -176,6 +201,7 @@ impl std::fmt::Display for BuildError {
             BuildError::NoPorts => write!(f, "at least one port is required"),
             BuildError::EmptyAddressSet => write!(f, "constraint allows zero addresses"),
             BuildError::Group(e) => write!(f, "group selection failed: {e}"),
+            BuildError::Cycle(e) => write!(f, "resumed cycle parameters invalid: {e}"),
         }
     }
 }
@@ -191,6 +217,7 @@ pub struct TargetGeneratorBuilder {
     num_shards: u32,
     num_subshards: u32,
     algorithm: ShardAlgorithm,
+    cycle_parts: Option<(u64, u64)>,
 }
 
 impl Default for TargetGeneratorBuilder {
@@ -202,6 +229,7 @@ impl Default for TargetGeneratorBuilder {
             num_shards: 1,
             num_subshards: 1,
             algorithm: ShardAlgorithm::Pizza,
+            cycle_parts: None,
         }
     }
 }
@@ -245,6 +273,17 @@ impl TargetGeneratorBuilder {
         self
     }
 
+    /// Uses explicit walk parameters via [`Cycle::from_parts`] instead
+    /// of deriving them from the seed — the resume path, which must
+    /// re-enter the *recorded* permutation rather than trust that seed
+    /// derivation never changes across versions. `build` fails if
+    /// `generator` is not a primitive root or `offset` is out of range
+    /// for the selected group.
+    pub fn cycle_parts(mut self, generator: u64, offset: u64) -> Self {
+        self.cycle_parts = Some((generator, offset));
+        self
+    }
+
     /// Finalizes the constraint, selects the group, and derives the cycle.
     pub fn build(mut self) -> Result<TargetGenerator, BuildError> {
         if self.ports.is_empty() {
@@ -261,7 +300,12 @@ impl TargetGeneratorBuilder {
             .filter(|&n| n >> port_bits == num_ips)
             .ok_or(BuildError::Group(GroupError::TooManyTargets(u64::MAX)))?;
         let group = CyclicGroup::for_target_count(needed).map_err(BuildError::Group)?;
-        let cycle = Cycle::new(group, self.seed);
+        let cycle = match self.cycle_parts {
+            Some((generator, offset)) => {
+                Cycle::from_parts(group, generator, offset).map_err(BuildError::Cycle)?
+            }
+            None => Cycle::new(group, self.seed),
+        };
         Ok(TargetGenerator {
             constraint: self.constraint,
             ports: self.ports,
@@ -425,6 +469,55 @@ mod tests {
             }
         }
         assert!(found > 90, "full-v4 walk should rarely reject ({found}/100)");
+    }
+
+    #[test]
+    fn cycle_parts_reproduce_a_seeded_walk() {
+        let fresh = slash24_gen(&[80, 443], 21);
+        let (g, off) = (fresh.cycle().generator(), fresh.cycle().offset());
+        let mut c = Constraint::new(false);
+        c.set_prefix(0xC0000200, 24, true);
+        let resumed = TargetGenerator::builder()
+            .constraint(c)
+            .ports(&[80, 443])
+            .seed(9999) // deliberately wrong: parts must win over the seed
+            .cycle_parts(g, off)
+            .build()
+            .unwrap();
+        let a: Vec<Target> = fresh.iter_shard(0, 0).collect();
+        let b: Vec<Target> = resumed.iter_shard(0, 0).collect();
+        assert_eq!(a, b, "explicit parts must replay the recorded walk");
+    }
+
+    #[test]
+    fn bad_cycle_parts_fail_to_build() {
+        let mut c = Constraint::new(false);
+        c.set_prefix(0xC0000200, 24, true);
+        // 257's subgroup element 4 is no primitive root (4 = 2^2).
+        let err = TargetGenerator::builder()
+            .constraint(c)
+            .ports(&[80])
+            .cycle_parts(4, 0)
+            .build();
+        assert!(matches!(err, Err(BuildError::Cycle(_))), "{err:?}");
+    }
+
+    #[test]
+    fn target_iter_fast_forward_matches_stepping() {
+        let gen = slash24_gen(&[80, 443], 33);
+        for skip in [0u64, 1, 100, 512, 700] {
+            let mut stepped = gen.iter_shard(0, 0);
+            while stepped.elements_consumed() < skip && stepped.next().is_some() {}
+            // Drain trailing rejected elements the same way resume does:
+            // positions are element-exact, so jump straight there.
+            let consumed = stepped.elements_consumed();
+            let mut jumped = gen.iter_shard(0, 0);
+            jumped.fast_forward_elements(consumed);
+            assert_eq!(jumped.elements_consumed(), consumed);
+            let a: Vec<Target> = stepped.collect();
+            let b: Vec<Target> = jumped.collect();
+            assert_eq!(a, b, "skip {skip}");
+        }
     }
 
     #[test]

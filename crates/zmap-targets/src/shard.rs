@@ -130,6 +130,9 @@ pub struct ShardIter<'a> {
     step: u64,
     /// Elements remaining.
     remaining: u64,
+    /// Elements yielded (or skipped via [`ShardIter::fast_forward`]) so
+    /// far — the checkpointable walk position within this (sub)shard.
+    consumed: u64,
 }
 
 impl<'a> ShardIter<'a> {
@@ -163,6 +166,7 @@ impl<'a> ShardIter<'a> {
                     current: cycle.element_at_position(lane),
                     step: cycle.stride(lanes),
                     remaining,
+                    consumed: 0,
                 }
             }
             ShardAlgorithm::Pizza => {
@@ -185,6 +189,7 @@ impl<'a> ShardIter<'a> {
                     current: cycle.element_at_position(lo),
                     step: cycle.generator(),
                     remaining: hi - lo,
+                    consumed: 0,
                 }
             }
         })
@@ -193,6 +198,27 @@ impl<'a> ShardIter<'a> {
     /// Elements left to yield.
     pub fn remaining(&self) -> u64 {
         self.remaining
+    }
+
+    /// Elements consumed so far: yields plus fast-forwarded skips. This
+    /// is the position a checkpoint journal records for this (sub)shard.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Skips the next `min(k, remaining)` elements in O(log k) — one
+    /// modular exponentiation instead of k walk steps — and returns how
+    /// many were skipped. Scan resumption re-enters a recorded walk
+    /// position with this.
+    pub fn fast_forward(&mut self, k: u64) -> u64 {
+        let k = k.min(self.remaining);
+        if k > 0 {
+            let p = self.cycle.group().prime();
+            self.current = zmap_math::modmul(self.current, zmap_math::modpow(self.step, k, p), p);
+            self.remaining -= k;
+            self.consumed += k;
+        }
+        k
     }
 }
 
@@ -205,6 +231,7 @@ impl Iterator for ShardIter<'_> {
             return None;
         }
         self.remaining -= 1;
+        self.consumed += 1;
         let out = self.current;
         self.current = zmap_math::modmul(self.current, self.step, self.cycle.group().prime());
         Some(out)
@@ -352,6 +379,47 @@ mod tests {
             assert_eq!(lo, n);
             assert_eq!(hi, Some(n));
         }
+    }
+
+    #[test]
+    fn fast_forward_matches_stepping() {
+        let c = cycle(19);
+        for alg in [ShardAlgorithm::Interleaved, ShardAlgorithm::Pizza] {
+            for skip in [0u64, 1, 7, 40, 85, 86, 1000] {
+                let spec = ShardSpec {
+                    shard: 1,
+                    num_shards: 3,
+                    subshard: 0,
+                    num_subshards: 1,
+                };
+                let mut stepped = ShardIter::new(&c, spec, alg).unwrap();
+                let total = stepped.remaining();
+                for _ in 0..skip.min(total) {
+                    stepped.next();
+                }
+                let mut jumped = ShardIter::new(&c, spec, alg).unwrap();
+                let skipped = jumped.fast_forward(skip);
+                assert_eq!(skipped, skip.min(total));
+                assert_eq!(jumped.consumed(), stepped.consumed());
+                assert_eq!(jumped.remaining(), stepped.remaining());
+                let a: Vec<u64> = stepped.collect();
+                let b: Vec<u64> = jumped.collect();
+                assert_eq!(a, b, "alg {alg:?} skip {skip}");
+            }
+        }
+    }
+
+    #[test]
+    fn consumed_tracks_yields() {
+        let c = cycle(20);
+        let mut it = ShardIter::new(&c, ShardSpec::whole(), ShardAlgorithm::Pizza).unwrap();
+        assert_eq!(it.consumed(), 0);
+        it.next();
+        it.next();
+        assert_eq!(it.consumed(), 2);
+        it.fast_forward(3);
+        assert_eq!(it.consumed(), 5);
+        assert_eq!(it.remaining(), 256 - 5);
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub fn siphash24(k0: u64, k1: u64, data: &[u8]) -> u64 {
 
     let mut chunks = data.chunks_exact(8);
     for chunk in &mut chunks {
-        let m = u64::from_le_bytes(chunk.try_into().expect("chunks_exact(8)"));
+        let m = u64::from_le_bytes([
+            chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
+        ]);
         v3 ^= m;
         sipround!();
         sipround!();

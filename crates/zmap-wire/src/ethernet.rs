@@ -103,12 +103,26 @@ impl<'a> EthernetView<'a> {
 
     /// Destination MAC.
     pub fn dst(&self) -> MacAddr {
-        MacAddr(self.buf[0..6].try_into().expect("checked in parse"))
+        MacAddr([
+            self.buf[0],
+            self.buf[1],
+            self.buf[2],
+            self.buf[3],
+            self.buf[4],
+            self.buf[5],
+        ])
     }
 
     /// Source MAC.
     pub fn src(&self) -> MacAddr {
-        MacAddr(self.buf[6..12].try_into().expect("checked in parse"))
+        MacAddr([
+            self.buf[6],
+            self.buf[7],
+            self.buf[8],
+            self.buf[9],
+            self.buf[10],
+            self.buf[11],
+        ])
     }
 
     /// Payload protocol.

@@ -107,8 +107,8 @@ pub fn decode(mut buf: &[u8]) -> Result<Vec<TcpOption>, WireError> {
                     (3, 3) => TcpOption::WindowScale(body[0]),
                     (4, 2) => TcpOption::SackPermitted,
                     (8, 10) => TcpOption::Timestamp(
-                        u32::from_be_bytes(body[0..4].try_into().expect("len checked")),
-                        u32::from_be_bytes(body[4..8].try_into().expect("len checked")),
+                        u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
+                        u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
                     ),
                     _ => TcpOption::Unknown(kind),
                 });

@@ -136,11 +136,11 @@ impl<'a> TcpView<'a> {
     }
 
     pub fn seq(&self) -> u32 {
-        u32::from_be_bytes(self.buf[4..8].try_into().expect("checked in parse"))
+        u32::from_be_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]])
     }
 
     pub fn ack(&self) -> u32 {
-        u32::from_be_bytes(self.buf[8..12].try_into().expect("checked in parse"))
+        u32::from_be_bytes([self.buf[8], self.buf[9], self.buf[10], self.buf[11]])
     }
 
     pub fn flags(&self) -> TcpFlags {

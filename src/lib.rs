@@ -37,8 +37,9 @@ pub use zmap_masscan as masscan;
 /// Most-used types, one import away.
 pub mod prelude {
     pub use zmap_core::{
-        Classification, DedupMethod, OutputFormat, ProbeKind, ScanConfig, ScanResult,
-        ScanSummary, Scanner, SimNet, Transport,
+        CheckpointPolicy, CheckpointState, Classification, DedupMethod, JournalError,
+        OutputFormat, ProbeKind, ResumeError, RunOptions, ScanConfig, ScanResult, ScanSummary,
+        Scanner, ShutdownToken, SimNet, Transport,
     };
     pub use zmap_netsim::{FaultPlan, SendError, ServiceModel, World, WorldConfig};
     pub use zmap_targets::{Constraint, ShardAlgorithm, Target, TargetGenerator};
