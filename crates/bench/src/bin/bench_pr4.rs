@@ -1,0 +1,169 @@
+//! Machine-readable performance snapshot for the packet-template /
+//! batched-TX PR: times template rendering against from-scratch probe
+//! construction, batched against single-frame sends, and the end-to-end
+//! engine on both TX paths, then writes `BENCH_pr4.json` so CI and later
+//! PRs can diff throughput without parsing Criterion output.
+//!
+//! Usage: `cargo run --release -p bench --bin bench_pr4 [-- out.json]`
+
+use std::net::Ipv4Addr;
+use std::time::Instant;
+use zmap_core::transport::{FrameBatch, SimNet, Transport};
+use zmap_core::{ScanConfig, Scanner};
+use zmap_netsim::loss::LossModel;
+use zmap_netsim::{ServiceModel, WorldConfig};
+use zmap_wire::probe::ProbeBuilder;
+use zmap_wire::template::ProbeTemplate;
+
+const ITERS: usize = 3; // best-of-N to shed warmup noise
+
+/// Runs `f` ITERS times and returns the best elements-per-second.
+fn best_rate(elements: u64, mut f: impl FnMut() -> u64) -> (f64, f64) {
+    let mut best_secs = f64::INFINITY;
+    let mut sink = 0u64;
+    for _ in 0..ITERS {
+        let t0 = Instant::now();
+        sink = sink.wrapping_add(f());
+        best_secs = best_secs.min(t0.elapsed().as_secs_f64());
+    }
+    // Keep the side effect alive without printing garbage.
+    assert!(sink != u64::MAX, "benchmark result consumed");
+    (elements as f64 / best_secs, best_secs)
+}
+
+const N: u32 = 1_000_000;
+
+/// Baseline: build every SYN frame from scratch (header layout plus full
+/// checksums per probe) — ZMap's pre-template construction path.
+fn build_from_scratch() -> (f64, f64) {
+    let b = ProbeBuilder::new(Ipv4Addr::new(192, 0, 2, 9), 1);
+    best_rate(u64::from(N), || {
+        let mut n = 0u64;
+        for i in 0u32..N {
+            let frame = b.tcp_syn(Ipv4Addr::from(0x0A00_0000 + i), 80, i as u16);
+            n = n.wrapping_add(frame.len() as u64);
+        }
+        n
+    })
+}
+
+/// Template path as the engines run it: frame laid out once, per-probe
+/// MACs computed four at a time by the interleaved SipHash, addresses
+/// patched and checksums updated incrementally (RFC 1624) into reused
+/// buffers — the batch fill pipeline of `Scanner`/`run_parallel`.
+fn render_from_template() -> (f64, f64) {
+    let b = ProbeBuilder::new(Ipv4Addr::new(192, 0, 2, 9), 1);
+    let template = ProbeTemplate::tcp_syn(&b);
+    let mut bufs: Vec<Vec<u8>> = (0..4).map(|_| Vec::with_capacity(template.frame_len())).collect();
+    best_rate(u64::from(N), move || {
+        let mut n = 0u64;
+        for i in (0u32..N).step_by(4) {
+            let dst = [0, 1, 2, 3].map(|k| Ipv4Addr::from(0x0A00_0000 + i + k));
+            let vs = template.probe_values_x4(dst, [80; 4]);
+            for (k, v) in vs.into_iter().enumerate() {
+                let buf = &mut bufs[k];
+                template.render_with(v, dst[k], 80, (i + k as u32) as u16, buf);
+                n = n.wrapping_add(buf.len() as u64);
+            }
+        }
+        n
+    })
+}
+
+/// Transport-layer cost of batching: the same rendered frames pushed
+/// through the simulator either one `send_frame` (one world borrow) at a
+/// time or as `send_batch` flushes of `batch` frames per borrow.
+fn transport_pps(batch_size: usize) -> (f64, f64) {
+    const FRAMES: u32 = 200_000;
+    let src = Ipv4Addr::new(192, 0, 2, 9);
+    let b = ProbeBuilder::new(src, 1);
+    let template = ProbeTemplate::tcp_syn(&b);
+    best_rate(u64::from(FRAMES), || {
+        // Dead space: no responses, so this times the TX path alone.
+        let mut model = ServiceModel::dense(&[80]);
+        model.live_fraction = 0.0;
+        model.unreach_for_dead = 0.0;
+        let net = SimNet::new(WorldConfig {
+            seed: 5,
+            model,
+            loss: LossModel::NONE,
+            ..WorldConfig::default()
+        });
+        let mut t = net.transport(src);
+        let mut batch = FrameBatch::new(batch_size);
+        let mut sent = 0u64;
+        for i in 0..FRAMES {
+            let buf = batch.reserve(u64::from(i) * 100, u64::from(i));
+            template.render_into(Ipv4Addr::from(0x0A00_0000 + i), 80, i as u16, buf);
+            if batch.is_full() {
+                let (n, err) = t.send_batch(&batch, 0);
+                assert!(err.is_none(), "faultless world refused a send");
+                sent += n as u64;
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            let (n, err) = t.send_batch(&batch, 0);
+            assert!(err.is_none());
+            sent += n as u64;
+        }
+        sent
+    })
+}
+
+/// Full engine over a /16 on the given batch size: generation, template
+/// render, batched send, simulated network, validation, dedup, results.
+fn end_to_end(batch: usize) -> (f64, f64) {
+    let mut best_secs = f64::INFINITY;
+    let mut sent = 0u64;
+    for _ in 0..ITERS {
+        let net = SimNet::new(WorldConfig {
+            seed: 5,
+            model: ServiceModel::default(),
+            loss: LossModel::NONE,
+            ..WorldConfig::default()
+        });
+        let src = Ipv4Addr::new(192, 0, 2, 9);
+        let mut cfg = ScanConfig::new(src);
+        cfg.allowlist_prefix(Ipv4Addr::new(61, 7, 0, 0), 16);
+        cfg.apply_default_blocklist = false;
+        cfg.rate_pps = 10_000_000;
+        cfg.cooldown_secs = 1;
+        cfg.batch = batch;
+        let t0 = Instant::now();
+        let summary = Scanner::new(cfg, net.transport(src)).expect("valid").run();
+        best_secs = best_secs.min(t0.elapsed().as_secs_f64());
+        sent = summary.sent;
+    }
+    (sent as f64 / best_secs, best_secs)
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr4.json".into());
+    let (scratch_rate, scratch_secs) = build_from_scratch();
+    let (tmpl_rate, tmpl_secs) = render_from_template();
+    let speedup = tmpl_rate / scratch_rate;
+    let (single_pps, single_secs) = transport_pps(1);
+    let (batch_pps, batch_secs) = transport_pps(64);
+    let (e2e1_rate, e2e1_secs) = end_to_end(1);
+    let (e2e64_rate, e2e64_secs) = end_to_end(64);
+    let json = format!(
+        "{{\n  \"schema\": \"zmap-bench/1\",\n  \"pr\": 4,\n  \"iters\": {ITERS},\n  \"metrics\": {{\n    \
+         \"build_from_scratch_per_sec\": {scratch_rate:.0},\n    \
+         \"build_from_scratch_best_secs\": {scratch_secs:.6},\n    \
+         \"template_render_per_sec\": {tmpl_rate:.0},\n    \
+         \"template_render_best_secs\": {tmpl_secs:.6},\n    \
+         \"template_speedup\": {speedup:.2},\n    \
+         \"transport_single_pps\": {single_pps:.0},\n    \
+         \"transport_single_best_secs\": {single_secs:.6},\n    \
+         \"transport_batch64_pps\": {batch_pps:.0},\n    \
+         \"transport_batch64_best_secs\": {batch_secs:.6},\n    \
+         \"end_to_end_batch1_pps\": {e2e1_rate:.0},\n    \
+         \"end_to_end_batch1_best_secs\": {e2e1_secs:.6},\n    \
+         \"end_to_end_batch64_pps\": {e2e64_rate:.0},\n    \
+         \"end_to_end_batch64_best_secs\": {e2e64_secs:.6}\n  }}\n}}\n"
+    );
+    std::fs::write(&out, &json).expect("write benchmark json");
+    println!("{json}");
+    println!("wrote {out}");
+}

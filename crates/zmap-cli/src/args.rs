@@ -89,6 +89,8 @@ PROBES
 
 RATE & SHARDING
   -r, --rate PPS           probes per second (default 10000)
+  --batch N                frames per batched (sendmmsg-style) send
+                           (default 64; pure performance knob)
   --cooldown-secs N        post-send listen time (default 8)
   --retries N              resend attempts after EAGAIN-style send
                            failures before dropping a probe (default 3)
@@ -235,6 +237,9 @@ pub fn parse_args(argv: &[String]) -> Result<CliOptions, CliError> {
             "-r" | "--rate" => {
                 opts.config.rate_pps = parse_num("--rate", &need(&mut it, "--rate")?)?
             }
+            "--batch" => {
+                opts.config.batch = parse_num("--batch", &need(&mut it, "--batch")?)?
+            }
             "--cooldown-secs" => {
                 opts.config.cooldown_secs =
                     parse_num("--cooldown-secs", &need(&mut it, "--cooldown-secs")?)?
@@ -330,6 +335,18 @@ fn validate(opts: &CliOptions) -> Result<(), CliError> {
     if cfg.subshards == 0 {
         return Err(CliError::Invalid("--threads must be at least 1".into()));
     }
+    if cfg.batch == 0 {
+        return Err(CliError::Invalid(
+            "--batch must be at least 1: a zero batch never flushes a frame".into(),
+        ));
+    }
+    if cfg.dedup == DedupMethod::FullBitmap && cfg.ports.len() > 1 {
+        return Err(CliError::Invalid(
+            "--full-bitmap-dedup indexes bare IPv4 addresses and cannot tell \
+             ports apart; use --dedup-window for multi-port scans"
+                .into(),
+        ));
+    }
     if cfg.probes_per_target == 0 {
         return Err(CliError::Invalid("--probes must be at least 1".into()));
     }
@@ -408,6 +425,26 @@ mod tests {
             parse_args(&args("--full-bitmap-dedup")).unwrap().config.dedup,
             DedupMethod::FullBitmap
         );
+    }
+
+    #[test]
+    fn batch_flag() {
+        assert_eq!(parse_args(&[]).unwrap().config.batch, 64, "default batch");
+        assert_eq!(parse_args(&args("--batch 256")).unwrap().config.batch, 256);
+        assert_eq!(parse_args(&args("--batch 1")).unwrap().config.batch, 1);
+        assert!(invalid_why("--batch 0").contains("--batch"));
+        assert!(USAGE.contains("--batch"));
+    }
+
+    #[test]
+    fn full_bitmap_dedup_refuses_multiple_ports() {
+        let why = invalid_why("--full-bitmap-dedup -p 80,443");
+        assert!(why.contains("--full-bitmap-dedup"), "{why}");
+        assert!(why.contains("--dedup-window"), "{why}");
+        // Order of flags must not matter.
+        assert!(parse_args(&args("-p 80,443 --full-bitmap-dedup")).is_err());
+        // Single port stays allowed.
+        assert!(parse_args(&args("--full-bitmap-dedup -p 443")).is_ok());
     }
 
     #[test]

@@ -80,6 +80,12 @@ pub struct ScanConfig {
     /// failure (EAGAIN), each after an exponential virtual-time backoff.
     /// A probe whose retries are exhausted is counted as a send drop.
     pub max_retries: u32,
+    /// Frames queued per batched send (ZMap `--batch`, default 64):
+    /// probes are rendered into a reusable frame pool and flushed through
+    /// one `sendmmsg`-style transport call per batch. A pure performance
+    /// knob — the results stream is identical for any value ≥ 1 — so it
+    /// is excluded from the config digest.
+    pub batch: usize,
     /// Internal: whether `allowlist_prefix` has replaced the default
     /// allow-all constraint yet.
     allowlist_started: bool,
@@ -110,6 +116,7 @@ impl ScanConfig {
             dedup: DedupMethod::Window(1_000_000),
             report_failures: false,
             max_retries: 3,
+            batch: 64,
             allowlist_started: false,
         }
     }
@@ -160,6 +167,7 @@ mod tests {
         assert_eq!(c.ip_id, IpIdMode::Random);
         assert_eq!(c.dedup, DedupMethod::Window(1_000_000));
         assert_eq!(c.shard_algorithm, ShardAlgorithm::Pizza);
+        assert_eq!(c.batch, 64, "ZMap's sendmmsg batch default");
         assert!(c.apply_default_blocklist);
     }
 

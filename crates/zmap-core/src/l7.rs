@@ -95,10 +95,12 @@ pub fn interrogate<T: Transport>(
     result.l4_confirmed = true;
 
     // Phase B: deliver the application request on the same "connection".
-    if transport
-        .send_frame(&builder.tcp_ack_data(ip, port, server_seq, &cfg.request, 0))
-        .is_err()
-    {
+    // An unbuildable frame (request too large for one packet) or a
+    // refused send both leave the target L4-confirmed but bannerless.
+    let Ok(data_frame) = builder.tcp_ack_data(ip, port, server_seq, &cfg.request, 0) else {
+        return result;
+    };
+    if transport.send_frame(&data_frame).is_err() {
         return result;
     }
     let deadline = transport.now() + cfg.timeout_secs * 1_000_000_000;

@@ -26,6 +26,7 @@ use crate::probe_mod;
 use crate::ratecontrol::RateController;
 use crate::scanner::{write_checkpoint, ResumeError};
 use crate::shutdown::ShutdownToken;
+use crate::transport::FrameBatch;
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -50,6 +51,29 @@ pub trait SharedTransport: Send + Sync {
     /// frame was not sent; callers retry.
     #[must_use = "an unchecked send error is a silently lost probe"]
     fn send_frame_at(&self, frame: &[u8], at_ns: u64) -> Result<(), SendError>;
+
+    /// Emits frames `from_idx..` of `batch` in one call (`sendmmsg`),
+    /// advancing the shared clock through each frame's scheduled time and
+    /// stamping each with its own slot time. Returns how many frames were
+    /// accepted before the first refusal plus the refusal itself, if any;
+    /// the caller retries or abandons the frame at `from_idx + accepted`.
+    ///
+    /// The default loops [`send_frame_at`](Self::send_frame_at); batching
+    /// transports override it to pay their per-call cost (a lock, a
+    /// syscall) once per batch.
+    #[must_use = "an unchecked send error is a silently lost probe"]
+    fn send_batch_at(&self, batch: &FrameBatch, from_idx: usize) -> (usize, Option<SendError>) {
+        let mut accepted = 0usize;
+        for i in from_idx..batch.len() {
+            let (at, frame) = batch.frame(i);
+            self.advance_to(at);
+            match self.send_frame_at(frame, at) {
+                Ok(()) => accepted += 1,
+                Err(e) => return (accepted, Some(e)),
+            }
+        }
+        (accepted, None)
+    }
 
     /// Drains frames received so far (single consumer).
     fn recv_frames(&self) -> Vec<(u64, Vec<u8>)>;
@@ -120,6 +144,22 @@ impl SharedTransport for SharedSimTransport {
 
     fn send_frame_at(&self, frame: &[u8], at_ns: u64) -> Result<(), SendError> {
         lock_world(&self.world, &self.recoveries).send(self.ep, frame, at_ns)
+    }
+
+    /// One lock acquisition for the whole batch — the simulator's
+    /// analogue of collapsing per-packet syscalls into one `sendmmsg`.
+    fn send_batch_at(&self, batch: &FrameBatch, from_idx: usize) -> (usize, Option<SendError>) {
+        let mut world = lock_world(&self.world, &self.recoveries);
+        let mut accepted = 0usize;
+        for i in from_idx..batch.len() {
+            let (at, frame) = batch.frame(i);
+            self.clock.fetch_max(at, Ordering::AcqRel);
+            match world.send(self.ep, frame, at) {
+                Ok(()) => accepted += 1,
+                Err(e) => return (accepted, Some(e)),
+            }
+        }
+        (accepted, None)
     }
 
     fn recv_frames(&self) -> Vec<(u64, Vec<u8>)> {
@@ -271,6 +311,12 @@ fn run_inner<T: SharedTransport>(
     let mut builder = ProbeBuilder::new(cfg.source_ip, cfg.seed);
     builder.layout = cfg.option_layout;
     builder.ip_id = cfg.ip_id;
+    // The per-scan packet template (paper §4.4): laid out once here,
+    // patched per probe on the send threads. Building it now also
+    // surfaces the one per-probe construction failure (oversized UDP
+    // payload) at setup time.
+    let template = probe_mod::build_template(&cfg.probe, &builder)
+        .map_err(|e| BuildError::Config(format!("cannot build probe template: {e}")))?;
 
     // Counters carried over from the journal when resuming, so the
     // resumed attempt's metadata reports the cumulative truth.
@@ -291,7 +337,6 @@ fn run_inner<T: SharedTransport>(
     let killed = AtomicBool::new(false);
     let start = transport.now();
     let threads = cfg.subshards.max(1);
-    let per_thread_rate = (cfg.rate_pps / u64::from(threads)).max(1);
     let expected_targets = gen.target_count() / u64::from(cfg.num_shards.max(1));
 
     // Cooperative shutdown: the caller's token if given, else an internal
@@ -357,7 +402,6 @@ fn run_inner<T: SharedTransport>(
     std::thread::scope(|scope| {
         for t in 0..threads {
             let gen = &gen;
-            let builder = &builder;
             let sent = &sent;
             let retries = &retries;
             let send_failures = &send_failures;
@@ -368,11 +412,23 @@ fn run_inner<T: SharedTransport>(
             let positions = &positions;
             let resume_positions = &resume_positions;
             let transport = &*transport;
-            let probe = cfg.probe.clone();
+            let template = &template;
             let shard = cfg.shard;
             let max_retries = cfg.max_retries;
+            let rate_pps = cfg.rate_pps;
+            let batch_cap = cfg.batch.max(1);
             scope.spawn(move || {
-                let mut rc = RateController::new(0, per_thread_rate);
+                // Interleaved pacing: thread t owns global schedule slots
+                // t, t+threads, t+2·threads, … so the union across all
+                // send threads is exactly the single-sender schedule and
+                // the aggregate rate is conserved — no truncated
+                // remainder, and rates below the thread count still work.
+                let mut rc = RateController::new_interleaved(
+                    0,
+                    rate_pps,
+                    u64::from(t),
+                    u64::from(threads),
+                );
                 let mut entropy: u16 = t as u16;
                 let mut it = gen.iter_shard(shard, t);
                 if let Some(pos) = resume_positions {
@@ -380,6 +436,59 @@ fn run_inner<T: SharedTransport>(
                         it.fast_forward_elements(p);
                     }
                 }
+                // Flushes the queued frames through the batched path,
+                // retrying transiently refused frames with the same
+                // linear virtual backoff as the old per-probe loop.
+                // Returns true when a scheduled kill landed.
+                let flush = |batch: &FrameBatch| -> bool {
+                    let mut idx = 0usize;
+                    while idx < batch.len() {
+                        let (accepted, err) = transport.send_batch_at(batch, idx);
+                        sent.fetch_add(accepted as u64, Ordering::Relaxed);
+                        idx += accepted;
+                        match err {
+                            None => break,
+                            Some(SendError::Killed) => {
+                                killed.store(true, Ordering::Release);
+                                return true;
+                            }
+                            Some(_) => {
+                                let (due, frame) = batch.frame(idx);
+                                let mut attempt = 0u32;
+                                let died = loop {
+                                    if attempt == max_retries {
+                                        send_failures.fetch_add(1, Ordering::Relaxed);
+                                        break false;
+                                    }
+                                    retries.fetch_add(1, Ordering::Relaxed);
+                                    transport
+                                        .advance_to(due + u64::from(attempt) * 50_000 + 50_000);
+                                    attempt += 1;
+                                    let at = due + u64::from(attempt) * 50_000;
+                                    match transport.send_frame_at(frame, at) {
+                                        Ok(()) => {
+                                            sent.fetch_add(1, Ordering::Relaxed);
+                                            break false;
+                                        }
+                                        Err(SendError::Killed) => {
+                                            killed.store(true, Ordering::Release);
+                                            break true;
+                                        }
+                                        Err(_) => {}
+                                    }
+                                };
+                                if died {
+                                    return true;
+                                }
+                                idx += 1;
+                            }
+                        }
+                    }
+                    false
+                };
+                let mut batch = FrameBatch::new(batch_cap);
+                let mut staged = probe_mod::StagedRender::with_capacity(batch_cap);
+                let mut dead = false;
                 loop {
                     // Cycle boundary: the only place a sender stops —
                     // for shutdown, a dead process, or an exhausted walk.
@@ -391,45 +500,36 @@ fn run_inner<T: SharedTransport>(
                         break;
                     };
                     // Virtual pacing: this probe is due at `start + due`
-                    // on the shared clock. Advance the clock there (other
-                    // threads may already have pushed it further) and
-                    // stamp the frame with this thread's own due time so
-                    // the stamp is a pure function of (seed, subshard).
+                    // on the shared clock; the batched send advances the
+                    // clock through it and stamps the frame with this
+                    // thread's own due time, so the stamp is a pure
+                    // function of (seed, subshard).
                     let due = start + rc.mark_sent();
-                    transport.advance_to(due);
                     entropy = entropy.wrapping_add(0x9E37);
-                    let frame =
-                        probe_mod::build_probe(&probe, builder, target.ip, target.port, entropy);
-                    // Retry EAGAIN-style failures with virtual backoff; an
-                    // exhausted probe is dropped like any lost packet. A
-                    // kill is never retried: the process is gone.
-                    let mut attempt = 0u32;
-                    let died = loop {
-                        let at = due + u64::from(attempt) * 50_000;
-                        match transport.send_frame_at(&frame, at) {
-                            Ok(()) => {
-                                sent.fetch_add(1, Ordering::Relaxed);
-                                break false;
-                            }
-                            Err(SendError::Killed) => {
-                                killed.store(true, Ordering::Release);
-                                break true;
-                            }
-                            Err(_) if attempt < max_retries => {
-                                retries.fetch_add(1, Ordering::Relaxed);
-                                transport.advance_to(at + 50_000);
-                                attempt += 1;
-                            }
-                            Err(_) => {
-                                send_failures.fetch_add(1, Ordering::Relaxed);
-                                break false;
-                            }
-                        }
-                    };
-                    if died {
+                    batch.reserve(due, it.elements_consumed());
+                    staged.push(target.ip, target.port, entropy);
+                    if !batch.is_full() {
+                        continue;
+                    }
+                    staged.render(template, &mut batch);
+                    if flush(&batch) {
+                        dead = true;
                         break;
                     }
+                    batch.clear();
+                    // Positions advance only at flush boundaries: a
+                    // checkpoint can never record a target whose frame is
+                    // still queued (resume re-walks, never skips).
                     positions[t as usize].store(it.elements_consumed(), Ordering::Relaxed);
+                }
+                // Flush the final partial batch: every consumed target's
+                // probe leaves (or exhausts its retries) before this
+                // sender reports done — same contract as per-probe sends.
+                if !dead && !batch.is_empty() {
+                    staged.render(template, &mut batch);
+                    if !flush(&batch) {
+                        positions[t as usize].store(it.elements_consumed(), Ordering::Relaxed);
+                    }
                 }
                 finished.fetch_add(1, Ordering::Release);
             });
@@ -840,6 +940,56 @@ mod tests {
             ParallelRunOptions::default(),
         );
         assert!(matches!(err, Err(ResumeError::Journal(_))));
+    }
+
+    #[test]
+    fn aggregate_rate_survives_awkward_thread_splits() {
+        // 1000 pps on 7 threads: the old truncating split paced each
+        // thread at 142 pps (994 aggregate). The interleaved schedule's
+        // last probe of a /24 is global slot 255 → t = 255 ms exactly.
+        let world = shared_world();
+        let src = Ipv4Addr::new(192, 0, 2, 9);
+        let transport = SharedSimTransport::new(world, src);
+        let mut cfg = ScanConfig::new(src);
+        cfg.allowlist_prefix(Ipv4Addr::new(44, 9, 0, 0), 24);
+        cfg.apply_default_blocklist = false;
+        cfg.subshards = 7;
+        cfg.rate_pps = 1000;
+        cfg.cooldown_secs = 1;
+        let s = run_parallel(&cfg, &transport).unwrap();
+        assert_eq!(s.sent, 256);
+        // Send phase spans [0, 255 ms]; the clock can only have been
+        // pushed past that by the cooldown drain (+1 s) afterwards.
+        let send_span_ns = 255 * 1_000_000;
+        assert!(
+            s.duration_ns >= send_span_ns,
+            "aggregate rate ran hot: {} < {}",
+            s.duration_ns,
+            send_span_ns
+        );
+    }
+
+    #[test]
+    fn rates_below_the_thread_count_pace_correctly() {
+        // 3 pps on 7 threads: the old `max(1)` clamp ran the scan at
+        // 7 pps. 16 targets at a true 3 pps put the last send at 5 s.
+        let world = shared_world();
+        let src = Ipv4Addr::new(192, 0, 2, 9);
+        let transport = SharedSimTransport::new(world, src);
+        let mut cfg = ScanConfig::new(src);
+        cfg.allowlist_prefix(Ipv4Addr::new(44, 10, 0, 0), 28);
+        cfg.apply_default_blocklist = false;
+        cfg.subshards = 7;
+        cfg.rate_pps = 3;
+        cfg.cooldown_secs = 1;
+        let s = run_parallel(&cfg, &transport).unwrap();
+        assert_eq!(s.sent, 16);
+        assert!(
+            s.duration_ns >= 5_000_000_000,
+            "16 probes at 3 pps span 5 s; got {} ns",
+            s.duration_ns
+        );
+        assert_eq!(s.unique_successes, 16, "slow scans still cover everything");
     }
 
     #[test]

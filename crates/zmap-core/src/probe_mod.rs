@@ -5,8 +5,14 @@ use crate::config::ProbeKind;
 use crate::output::Classification;
 use std::net::Ipv4Addr;
 use zmap_wire::probe::{ProbeBuilder, Response, ResponseKind};
+use zmap_wire::template::ProbeTemplate;
+use zmap_wire::WireError;
 
 /// Builds the probe frame for one target under the configured module.
+///
+/// UDP payload sizes are validated once at scan setup
+/// ([`build_template`] / `Scanner::new`), so per-probe construction
+/// cannot fail.
 pub fn build_probe(
     kind: &ProbeKind,
     builder: &ProbeBuilder,
@@ -17,7 +23,72 @@ pub fn build_probe(
     match kind {
         ProbeKind::TcpSyn => builder.tcp_syn(ip, port, ip_id_entropy),
         ProbeKind::IcmpEcho => builder.icmp_echo(ip, ip_id_entropy),
-        ProbeKind::Udp(payload) => builder.udp(ip, port, payload, ip_id_entropy),
+        ProbeKind::Udp(payload) => builder
+            .udp(ip, port, payload, ip_id_entropy)
+            .expect("UDP payload validated at scan setup"),
+    }
+}
+
+/// Builds the per-scan packet template for the configured module
+/// (paper §4.4). Fails only for UDP payloads that cannot fit one packet;
+/// the engines surface that at scan-setup time, keeping the TX hot path
+/// infallible.
+pub fn build_template(
+    kind: &ProbeKind,
+    builder: &ProbeBuilder,
+) -> Result<ProbeTemplate, WireError> {
+    match kind {
+        ProbeKind::TcpSyn => Ok(ProbeTemplate::tcp_syn(builder)),
+        ProbeKind::IcmpEcho => Ok(ProbeTemplate::icmp_echo(builder)),
+        ProbeKind::Udp(payload) => ProbeTemplate::udp(builder, payload),
+    }
+}
+
+/// Staged batch rendering: while the sender reserves batch slots, the
+/// targets queue here; just before a flush the frames are rendered in
+/// interleaved groups of four ([`ProbeTemplate::probe_values_x4`]), so
+/// the per-probe MAC latency overlaps across lanes. Slot `i` of the
+/// batch always corresponds to entry `i` here — both are filled and
+/// cleared in lockstep.
+pub(crate) struct StagedRender {
+    targets: Vec<(Ipv4Addr, u16, u16)>,
+}
+
+impl StagedRender {
+    pub(crate) fn with_capacity(n: usize) -> Self {
+        StagedRender {
+            targets: Vec::with_capacity(n),
+        }
+    }
+
+    /// Queues one target; its frame renders at the next [`Self::render`].
+    pub(crate) fn push(&mut self, ip: Ipv4Addr, port: u16, ip_id_entropy: u16) {
+        self.targets.push((ip, port, ip_id_entropy));
+    }
+
+    /// Renders every staged frame into the batch and clears the queue.
+    pub(crate) fn render(&mut self, template: &ProbeTemplate, batch: &mut crate::transport::FrameBatch) {
+        debug_assert_eq!(self.targets.len(), batch.len(), "slots and stages move in lockstep");
+        let n = self.targets.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let lane = |k: usize| self.targets[i + k];
+            let vs = template.probe_values_x4(
+                [lane(0).0, lane(1).0, lane(2).0, lane(3).0],
+                [lane(0).1, lane(1).1, lane(2).1, lane(3).1],
+            );
+            for (k, v) in vs.into_iter().enumerate() {
+                let (ip, port, entropy) = self.targets[i + k];
+                template.render_with(v, ip, port, entropy, batch.frame_mut(i + k));
+            }
+            i += 4;
+        }
+        while i < n {
+            let (ip, port, entropy) = self.targets[i];
+            template.render_into(ip, port, entropy, batch.frame_mut(i));
+            i += 1;
+        }
+        self.targets.clear();
     }
 }
 

@@ -9,11 +9,21 @@
 //! the behavior we implement).
 
 /// A drift-free probe schedule: probe `i` departs at `start + i/rate`.
+///
+/// For multi-threaded engines, [`new_interleaved`](Self::new_interleaved)
+/// assigns each sender every `stride`-th slot of the *global* schedule,
+/// so N cooperating controllers reproduce the aggregate rate exactly —
+/// no per-thread rounding, no dropped remainder, and rates below the
+/// thread count still pace correctly.
 #[derive(Debug, Clone, Copy)]
 pub struct RateController {
     start_ns: u64,
     interval_num: u64,
     interval_den: u64,
+    /// Global schedule slot of this controller's first probe.
+    slot_base: u64,
+    /// Global slots advanced per probe (1 = sole sender).
+    slot_stride: u64,
     sent: u64,
 }
 
@@ -24,19 +34,41 @@ impl RateController {
     /// # Panics
     /// Panics if `rate_pps` is 0.
     pub fn new(start_ns: u64, rate_pps: u64) -> Self {
+        Self::new_interleaved(start_ns, rate_pps, 0, 1)
+    }
+
+    /// A controller whose probe `i` occupies global schedule slot
+    /// `base + i * stride`: sender `base` of `stride` cooperating
+    /// threads. The union of slots across threads is exactly the
+    /// single-sender schedule, so the aggregate rate is conserved for
+    /// any thread count — including `rate_pps < stride`, where each
+    /// thread simply sends less than one probe per second.
+    ///
+    /// # Panics
+    /// Panics if `rate_pps` or `stride` is 0, or `base >= stride`.
+    pub fn new_interleaved(start_ns: u64, rate_pps: u64, base: u64, stride: u64) -> Self {
         assert!(rate_pps > 0, "rate must be positive");
+        assert!(stride > 0, "stride must be positive");
+        assert!(base < stride, "slot base must be below the stride");
         // interval = 1e9 / rate as an exact rational (num/den ns).
         RateController {
             start_ns,
             interval_num: 1_000_000_000,
             interval_den: rate_pps,
+            slot_base: base,
+            slot_stride: stride,
             sent: 0,
         }
     }
 
-    /// Timestamp at which the next probe departs.
+    /// Timestamp at which the next probe departs. The slot product is
+    /// carried in 128 bits: `slot * 1e9` overflows u64 past ~18e9 slots,
+    /// which a long multi-threaded scan reaches.
     pub fn next_send_at(&self) -> u64 {
-        self.start_ns + self.sent * self.interval_num / self.interval_den
+        let slot = u128::from(self.sent) * u128::from(self.slot_stride)
+            + u128::from(self.slot_base);
+        let offset = slot * u128::from(self.interval_num) / u128::from(self.interval_den);
+        self.start_ns + offset as u64
     }
 
     /// Marks one probe sent and returns its departure time.
@@ -107,5 +139,61 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn zero_rate_panics() {
         RateController::new(0, 0);
+    }
+
+    /// The timestamps of `threads` interleaved controllers, merged, for
+    /// the first `total` probes of the global schedule.
+    fn merged_schedule(rate: u64, threads: u64, total: u64) -> Vec<u64> {
+        let mut all = Vec::new();
+        for t in 0..threads {
+            let mut rc = RateController::new_interleaved(0, rate, t, threads);
+            // Thread t owns slots t, t+threads, ... below `total`.
+            let count = (total - t).div_ceil(threads);
+            for _ in 0..count {
+                all.push(rc.mark_sent());
+            }
+        }
+        all.sort_unstable();
+        all
+    }
+
+    #[test]
+    fn interleaved_threads_conserve_the_aggregate_rate() {
+        // 1000 pps across 7 threads: the old truncating split ran at
+        // 7 * 142 = 994 pps. The interleaved schedule must equal the
+        // single-sender schedule slot for slot.
+        let mut reference = RateController::new(0, 1000);
+        let expected: Vec<u64> = (0..10_000).map(|_| reference.mark_sent()).collect();
+        assert_eq!(merged_schedule(1000, 7, 10_000), expected);
+    }
+
+    #[test]
+    fn rates_below_the_thread_count_do_not_inflate() {
+        // 3 pps on 7 threads: the old `max(1)` clamp sent 7 pps. Merged,
+        // the interleaved schedule is exactly 3 pps.
+        let mut reference = RateController::new(0, 3);
+        let expected: Vec<u64> = (0..21).map(|_| reference.mark_sent()).collect();
+        let got = merged_schedule(3, 7, 21);
+        assert_eq!(got, expected);
+        // 21 probes at 3 pps: the last departs at t = 20/3 s.
+        assert_eq!(*got.last().unwrap(), 20 * 1_000_000_000 / 3);
+    }
+
+    #[test]
+    fn interleaved_slot_times_use_wide_arithmetic() {
+        // Slot 4 * 2^34 at 1 Gpps: slot * 1e9 is ~6.9e19, past u64::MAX.
+        // The wide product must still land on the exact schedule (one
+        // nanosecond per slot).
+        let mut rc = RateController::new_interleaved(0, 1_000_000_000, 0, 1 << 34);
+        for _ in 0..4 {
+            rc.mark_sent();
+        }
+        assert_eq!(rc.next_send_at(), 4 << 34);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot base must be below the stride")]
+    fn out_of_range_slot_base_panics() {
+        RateController::new_interleaved(0, 100, 4, 4);
     }
 }

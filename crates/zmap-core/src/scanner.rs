@@ -10,7 +10,7 @@ use crate::output::ScanResult;
 use crate::probe_mod;
 use crate::ratecontrol::RateController;
 use crate::shutdown::ShutdownToken;
-use crate::transport::Transport;
+use crate::transport::{FrameBatch, Transport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -19,6 +19,7 @@ use zmap_netsim::SendError;
 use zmap_targets::generator::BuildError;
 use zmap_targets::{TargetGenerator, Target};
 use zmap_wire::probe::ProbeBuilder;
+use zmap_wire::template::ProbeTemplate;
 
 /// Outcome of a completed scan.
 #[derive(Debug)]
@@ -116,11 +117,16 @@ enum DedupState {
 }
 
 impl DedupState {
-    fn observe(&mut self, key: u64) -> bool {
+    fn observe(&mut self, ip: u32, port: u16) -> bool {
         match self {
             DedupState::None => true,
-            DedupState::Bitmap(b) => zmap_dedup::Deduplicator::observe(&mut **b, key),
-            DedupState::Window(w) => w.check_and_insert(key),
+            // The bitmap indexes bare 32-bit addresses, so it is only
+            // selected for single-port scans (enforced at assemble);
+            // feeding it a (ip, port) composite would silently truncate.
+            DedupState::Bitmap(b) => {
+                zmap_dedup::Deduplicator::observe(&mut **b, u64::from(ip))
+            }
+            DedupState::Window(w) => w.check_and_insert(target_key(ip, port)),
         }
     }
 }
@@ -130,6 +136,9 @@ pub struct Scanner<T: Transport> {
     cfg: ScanConfig,
     transport: T,
     builder: ProbeBuilder,
+    /// The per-scan packet template (paper §4.4): the frame is laid out
+    /// once here; the hot loop only patches addresses and checksums.
+    template: ProbeTemplate,
     gen: TargetGenerator,
     dedup: DedupState,
     logger: Logger,
@@ -223,6 +232,13 @@ impl<T: Transport> Scanner<T> {
             ProbeKind::IcmpEcho => vec![0],
             _ => cfg.ports.clone(),
         };
+        if cfg.dedup == DedupMethod::FullBitmap && ports.len() > 1 {
+            return Err(BuildError::Config(
+                "full-bitmap dedup indexes bare IPv4 addresses and cannot \
+                 distinguish ports; use window dedup for multi-port scans"
+                    .into(),
+            ));
+        }
         let mut gen_builder = TargetGenerator::builder()
             .constraint(cfg.effective_constraint())
             .ports(&ports)
@@ -237,6 +253,11 @@ impl<T: Transport> Scanner<T> {
         let mut builder = ProbeBuilder::new(cfg.source_ip, cfg.seed);
         builder.layout = cfg.option_layout;
         builder.ip_id = cfg.ip_id;
+        // Laying the template out now also validates the one per-probe
+        // construction failure (oversized UDP payload) at setup time,
+        // keeping the TX hot path infallible.
+        let template = probe_mod::build_template(&cfg.probe, &builder)
+            .map_err(|e| BuildError::Config(format!("cannot build probe template: {e}")))?;
         let dedup = match cfg.dedup {
             DedupMethod::None => DedupState::None,
             DedupMethod::FullBitmap => DedupState::Bitmap(Box::new(PagedBitmap::new())),
@@ -255,6 +276,7 @@ impl<T: Transport> Scanner<T> {
             cfg,
             transport,
             builder,
+            template,
             gen,
             dedup,
             logger,
@@ -282,6 +304,7 @@ impl<T: Transport> Scanner<T> {
             cfg,
             mut transport,
             builder,
+            template,
             gen,
             mut dedup,
             logger,
@@ -333,6 +356,13 @@ impl<T: Transport> Scanner<T> {
             );
         }
 
+        // The TX hot path: probes are rendered from the per-scan template
+        // into a reusable frame pool and flushed through one batched
+        // transport call per `cfg.batch` targets — ZMap's packet template
+        // plus sendmmsg shape. After the first batch fills, the loop
+        // performs zero allocations per probe.
+        let mut batch = FrameBatch::new(cfg.batch.max(1));
+        let mut staged = probe_mod::StagedRender::with_capacity(cfg.batch.max(1));
         'scan: while !done {
             if shutdown.as_ref().is_some_and(|t| t.is_requested()) {
                 interrupted = true;
@@ -367,16 +397,27 @@ impl<T: Transport> Scanner<T> {
 
             for _ in 0..cfg.probes_per_target.max(1) {
                 let at = rc.mark_sent();
-                transport.advance_to(at);
                 let entropy: u16 = rng.gen();
-                let frame = probe_mod::build_probe(&cfg.probe, &builder, ip, port, entropy);
-                if send_with_retries(&mut transport, &frame, cfg.max_retries, &mut counters)
-                    == SendStatus::Killed
-                {
+                // Tag each frame with the target count including its own
+                // target, so a mid-batch kill can roll the count back to
+                // exactly the targets whose probes were in flight.
+                batch.reserve(at, counters.targets_total);
+                staged.push(ip, port, entropy);
+            }
+            if !batch.is_full() {
+                continue;
+            }
+
+            staged.render(&template, &mut batch);
+            match flush_batch(&mut transport, &batch, cfg.max_retries, &mut counters) {
+                FlushStatus::Killed { targets_in_flight } => {
+                    counters.targets_total = targets_in_flight;
                     killed = true;
                     break 'scan;
                 }
+                FlushStatus::Flushed => {}
             }
+            batch.clear();
 
             drain_rx(
                 &mut transport,
@@ -416,6 +457,20 @@ impl<T: Transport> Scanner<T> {
                 ));
                 done = true;
             }
+        }
+        // Flush whatever is still queued: the walk ended (exhausted, shard
+        // cap, max-results, or shutdown request) with a partial batch whose
+        // targets are already counted, so their probes must still leave.
+        if !killed && !batch.is_empty() {
+            staged.render(&template, &mut batch);
+            match flush_batch(&mut transport, &batch, cfg.max_retries, &mut counters) {
+                FlushStatus::Killed { targets_in_flight } => {
+                    counters.targets_total = targets_in_flight;
+                    killed = true;
+                }
+                FlushStatus::Flushed => {}
+            }
+            batch.clear();
         }
         // Cooldown: drain stragglers for cooldown_secs of virtual time.
         // A scheduled kill can still land here — on the receive path —
@@ -586,50 +641,79 @@ pub(crate) fn write_checkpoint(
     }
 }
 
-/// What became of one probe after the retry loop.
+/// What became of one batch flush.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SendStatus {
-    /// The frame left the NIC.
-    Sent,
-    /// Retries exhausted; the probe is abandoned.
-    Dropped,
+enum FlushStatus {
+    /// Every frame either left the NIC or exhausted its retries.
+    Flushed,
     /// The process is dead (scheduled crash) — stop everything, now.
-    Killed,
+    Killed {
+        /// `targets_total` rolled back to count only the targets up to
+        /// and including the frame on which the kill landed.
+        targets_in_flight: u64,
+    },
 }
 
-/// Sends one frame, retrying transient transport failures (EAGAIN) up to
-/// `max_retries` times with exponential virtual-time backoff (50 µs, then
-/// doubling — ZMap's sendto retry shape). Exhausted probes count as
-/// `sendto_failures` and are never re-queued: a single-pass scanner
-/// treats them like any other lost probe. A [`SendError::Killed`] is
-/// never retried: the process is gone and no counter moves.
-fn send_with_retries<T: Transport>(
+/// Flushes a frame batch through [`Transport::send_batch`], retrying each
+/// transiently refused frame (EAGAIN) up to `max_retries` times with
+/// exponential virtual-time backoff (50 µs, then doubling — ZMap's sendto
+/// retry shape) before re-entering the batched path at the next frame.
+/// Exhausted probes count as `sendto_failures` and are never re-queued: a
+/// single-pass scanner treats them like any other lost probe. A
+/// [`SendError::Killed`] is never retried: the process is gone and no
+/// counter moves for the dead frame.
+fn flush_batch<T: Transport>(
     transport: &mut T,
-    frame: &[u8],
+    batch: &FrameBatch,
     max_retries: u32,
     counters: &mut Counters,
-) -> SendStatus {
-    let mut attempt = 0u32;
-    loop {
-        match transport.send_frame(frame) {
-            Ok(()) => {
-                counters.sent += 1;
-                return SendStatus::Sent;
+) -> FlushStatus {
+    let mut idx = 0usize;
+    while idx < batch.len() {
+        let (accepted, err) = transport.send_batch(batch, idx);
+        counters.sent += accepted as u64;
+        idx += accepted;
+        match err {
+            None => break,
+            Some(SendError::Killed) => {
+                return FlushStatus::Killed {
+                    targets_in_flight: batch.tag(idx),
+                };
             }
-            Err(SendError::Killed) => return SendStatus::Killed,
-            Err(_) if attempt < max_retries => {
-                counters.send_retries += 1;
-                let backoff = 50_000u64 << attempt.min(10);
-                let t = transport.now() + backoff;
-                transport.advance_to(t);
-                attempt += 1;
-            }
-            Err(_) => {
-                counters.sendto_failures += 1;
-                return SendStatus::Dropped;
+            Some(_) => {
+                // Retry the refused frame alone; the rest of the batch
+                // re-enters the batched path once it goes through.
+                let (_, frame) = batch.frame(idx);
+                let mut attempt = 0u32;
+                loop {
+                    if attempt == max_retries {
+                        counters.sendto_failures += 1;
+                        idx += 1;
+                        break;
+                    }
+                    counters.send_retries += 1;
+                    let backoff = 50_000u64 << attempt.min(10);
+                    let t = transport.now() + backoff;
+                    transport.advance_to(t);
+                    attempt += 1;
+                    match transport.send_frame(frame) {
+                        Ok(()) => {
+                            counters.sent += 1;
+                            idx += 1;
+                            break;
+                        }
+                        Err(SendError::Killed) => {
+                            return FlushStatus::Killed {
+                                targets_in_flight: batch.tag(idx),
+                            };
+                        }
+                        Err(_) => {}
+                    }
+                }
             }
         }
     }
+    FlushStatus::Flushed
 }
 
 /// Receive-path processing shared by the send loop and cooldown.
@@ -648,8 +732,7 @@ fn drain_rx<T: Transport>(
         match builder.parse_response(&frame) {
             Ok(Some(resp)) => {
                 counters.responses_validated += 1;
-                let key = target_key(u32::from(resp.ip), resp.port);
-                if !dedup.observe(key) {
+                if !dedup.observe(u32::from(resp.ip), resp.port) {
                     counters.duplicates_suppressed += 1;
                     continue;
                 }
@@ -789,13 +872,69 @@ mod tests {
         let net = dense_net(&[80]);
         let mut cfg = base_cfg(&[80]);
         cfg.max_results = 5;
-        // Slow rate so responses arrive while still sending.
+        // Slow rate so responses arrive while still sending, and a small
+        // batch so the cap is checked often enough to stop mid-/24.
         cfg.rate_pps = 1_000;
+        cfg.batch = 8;
         let s = Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
             .unwrap()
             .run();
         assert!(s.unique_successes >= 5);
         assert!(s.sent < 256, "must stop before the whole /24: {}", s.sent);
+    }
+
+    #[test]
+    fn full_bitmap_dedup_rejects_multi_port_scans() {
+        let net = dense_net(&[80, 443]);
+        let mut cfg = base_cfg(&[80, 443]);
+        cfg.dedup = DedupMethod::FullBitmap;
+        let err = Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .err()
+            .expect("bitmap cannot key (ip, port) pairs");
+        assert!(matches!(err, BuildError::Config(_)), "{err}");
+        assert!(err.to_string().contains("full-bitmap"), "{err}");
+    }
+
+    #[test]
+    fn full_bitmap_dedup_works_single_port() {
+        let net = dense_net(&[80]);
+        let mut cfg = base_cfg(&[80]);
+        cfg.dedup = DedupMethod::FullBitmap;
+        let s = Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .unwrap()
+            .run();
+        assert_eq!(s.unique_successes, 256);
+    }
+
+    #[test]
+    fn oversized_udp_payload_rejected_at_setup() {
+        let net = dense_net(&[53]);
+        let mut cfg = base_cfg(&[53]);
+        cfg.probe = ProbeKind::Udp(vec![0u8; 70_000]);
+        let err = Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .err()
+            .expect("payload cannot fit one packet");
+        assert!(matches!(err, BuildError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn batch_size_does_not_change_results() {
+        let run = |batch: usize| {
+            let net = dense_net(&[80]);
+            let mut cfg = base_cfg(&[80]);
+            cfg.batch = batch;
+            Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+                .unwrap()
+                .run()
+        };
+        let one = run(1);
+        let dflt = run(64);
+        let odd = run(7); // /24 is not a multiple: final partial batch
+        assert_eq!(one.results, dflt.results, "batching is invisible in output");
+        assert_eq!(one.results, odd.results);
+        assert_eq!(one.sent, 256);
+        assert_eq!(dflt.sent, 256);
+        assert_eq!(odd.sent, 256);
     }
 
     #[test]

@@ -19,6 +19,108 @@ use std::net::Ipv4Addr;
 use std::rc::Rc;
 use zmap_netsim::{EndpointId, SendError, World, WorldConfig};
 
+/// A reusable pool of rendered frames awaiting one batched send — the
+/// engine-side model of a `sendmmsg` iovec array.
+///
+/// Each slot holds `(scheduled send time, engine tag, frame buffer)`.
+/// Buffers are recycled across [`clear`](Self::clear) calls, so after
+/// the first fill the TX hot path performs zero allocations: the engine
+/// renders each probe straight into [`slot`](Self::slot) with
+/// `ProbeTemplate::render_into`.
+///
+/// The tag is engine-defined bookkeeping carried alongside the frame
+/// (the single-threaded engine stores its target count, the parallel
+/// engine its walk position) so a partially accepted batch can roll
+/// progress back to exactly the frames that left the NIC.
+pub struct FrameBatch {
+    slots: Vec<(u64, u64, Vec<u8>)>,
+    len: usize,
+    capacity: usize,
+}
+
+impl FrameBatch {
+    /// An empty batch that flushes when `capacity` frames are queued.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "batch capacity must be positive");
+        FrameBatch {
+            slots: Vec::with_capacity(capacity),
+            len: 0,
+            capacity,
+        }
+    }
+
+    /// Queued frame count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True once the batch holds `capacity` frames and must be flushed.
+    pub fn is_full(&self) -> bool {
+        self.len >= self.capacity
+    }
+
+    /// Flush threshold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Grants the next slot's (cleared, capacity-retaining) buffer,
+    /// scheduled at `at_ns` and tagged `tag`; render the frame into it.
+    pub fn slot(&mut self, at_ns: u64, tag: u64) -> &mut Vec<u8> {
+        let buf = self.reserve(at_ns, tag);
+        buf.clear();
+        buf
+    }
+
+    /// Like [`Self::slot`], but the recycled buffer keeps its previous
+    /// contents. The staged template fill uses this so
+    /// `ProbeTemplate::render_with` can recognise a prior render of the
+    /// same template and patch it in place instead of re-copying the
+    /// frame. Callers must overwrite (or clear) the buffer before flush.
+    pub fn reserve(&mut self, at_ns: u64, tag: u64) -> &mut Vec<u8> {
+        if self.len == self.slots.len() {
+            self.slots.push((at_ns, tag, Vec::new()));
+        } else {
+            self.slots[self.len].0 = at_ns;
+            self.slots[self.len].1 = tag;
+        }
+        let buf = &mut self.slots[self.len].2;
+        self.len += 1;
+        buf
+    }
+
+    /// Scheduled time and frame bytes of slot `i` (`i < len`).
+    pub fn frame(&self, i: usize) -> (u64, &[u8]) {
+        let (at, _, buf) = &self.slots[i];
+        (*at, buf.as_slice())
+    }
+
+    /// Engine tag of slot `i` (`i < len`).
+    pub fn tag(&self, i: usize) -> u64 {
+        self.slots[i].1
+    }
+
+    /// Mutable access to slot `i`'s frame buffer (`i < len`) — the
+    /// staged-render fill path writes frames here after reserving slots.
+    pub fn frame_mut(&mut self, i: usize) -> &mut Vec<u8> {
+        assert!(i < self.len, "frame_mut past batch length");
+        &mut self.slots[i].2
+    }
+
+    /// Empties the batch, keeping every buffer's allocation for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
 /// A scanner's view of the network.
 pub trait Transport {
     /// Current time in nanoseconds. Virtual for simulations.
@@ -31,6 +133,29 @@ pub trait Transport {
     /// frame was not sent and the caller may retry after a backoff.
     #[must_use = "an unchecked send error is a silently lost probe"]
     fn send_frame(&mut self, frame: &[u8]) -> Result<(), SendError>;
+
+    /// Emits frames `from_idx..` of `batch` in one call (`sendmmsg`),
+    /// advancing the clock through each frame's scheduled time. Returns
+    /// how many frames were accepted before the first refusal, plus the
+    /// refusal itself, if any — the caller retries or abandons the frame
+    /// at `from_idx + accepted` and re-enters with the rest.
+    ///
+    /// The default implementation loops [`send_frame`](Self::send_frame);
+    /// batching transports override it to pay their per-call cost (a
+    /// syscall, a lock) once per batch instead of once per frame.
+    #[must_use = "an unchecked send error is a silently lost probe"]
+    fn send_batch(&mut self, batch: &FrameBatch, from_idx: usize) -> (usize, Option<SendError>) {
+        let mut accepted = 0usize;
+        for i in from_idx..batch.len() {
+            let (at, frame) = batch.frame(i);
+            self.advance_to(at);
+            match self.send_frame(frame) {
+                Ok(()) => accepted += 1,
+                Err(e) => return (accepted, Some(e)),
+            }
+        }
+        (accepted, None)
+    }
 
     /// All frames received up to the current time, with receive
     /// timestamps.
@@ -103,6 +228,24 @@ impl Transport for SimTransport {
 
     fn send_frame(&mut self, frame: &[u8]) -> Result<(), SendError> {
         self.world.borrow_mut().send(self.ep, frame, self.now)
+    }
+
+    /// One world borrow for the whole batch — the simulator's analogue
+    /// of collapsing per-packet `sendto` syscalls into one `sendmmsg`.
+    fn send_batch(&mut self, batch: &FrameBatch, from_idx: usize) -> (usize, Option<SendError>) {
+        let mut world = self.world.borrow_mut();
+        let mut accepted = 0usize;
+        for i in from_idx..batch.len() {
+            let (at, frame) = batch.frame(i);
+            if at > self.now {
+                self.now = at;
+            }
+            match world.send(self.ep, frame, self.now) {
+                Ok(()) => accepted += 1,
+                Err(e) => return (accepted, Some(e)),
+            }
+        }
+        (accepted, None)
     }
 
     fn recv_frames(&mut self) -> Vec<(u64, Vec<u8>)> {
@@ -231,6 +374,85 @@ mod tests {
         assert_eq!(frames.len(), 1);
         assert!(b.parse_response(&frames[0].1).unwrap().is_some());
         assert_eq!(net.with_world(|w| w.stats().frames_sent), 1);
+    }
+
+    #[test]
+    fn frame_batch_recycles_buffers_without_stale_bytes() {
+        let mut b = FrameBatch::new(2);
+        assert!(b.is_empty());
+        b.slot(10, 1).extend_from_slice(&[1, 2, 3, 4]);
+        b.slot(20, 2).extend_from_slice(&[5]);
+        assert!(b.is_full());
+        assert_eq!(b.frame(0), (10, &[1, 2, 3, 4][..]));
+        assert_eq!(b.frame(1), (20, &[5][..]));
+        assert_eq!((b.tag(0), b.tag(1)), (1, 2));
+        b.clear();
+        assert!(b.is_empty());
+        // The recycled slot must not leak the previous frame's tail.
+        b.slot(30, 3).extend_from_slice(&[9]);
+        assert_eq!(b.frame(0), (30, &[9][..]));
+        assert_eq!(b.tag(0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch capacity must be positive")]
+    fn zero_capacity_batch_panics() {
+        FrameBatch::new(0);
+    }
+
+    #[test]
+    fn default_send_batch_paces_and_stops_at_refusal() {
+        let mut t = LoopbackTransport::new();
+        t.fail_attempts = vec![2]; // third send_frame call refuses
+        let mut batch = FrameBatch::new(4);
+        for i in 0..4u64 {
+            batch.slot(i * 1000, i).push(i as u8);
+        }
+        let (n, err) = t.send_batch(&batch, 0);
+        assert_eq!(n, 2);
+        assert_eq!(err, Some(SendError::WouldBlock));
+        assert_eq!(t.now(), 2000, "clock stops at the refused frame's slot");
+        // Re-enter at the refused frame: the retry succeeds.
+        let (n2, err2) = t.send_batch(&batch, 2);
+        assert_eq!((n2, err2), (2, None));
+        let sent: Vec<(u64, u8)> = t.sent.iter().map(|(at, f)| (*at, f[0])).collect();
+        assert_eq!(sent, vec![(0, 0), (1000, 1), (2000, 2), (3000, 3)]);
+    }
+
+    #[test]
+    fn sim_send_batch_matches_single_sends() {
+        use zmap_netsim::{loss::LossModel, ServiceModel};
+        use zmap_wire::probe::ProbeBuilder;
+        let world_cfg = || WorldConfig {
+            model: ServiceModel::dense(&[80]),
+            loss: LossModel::NONE,
+            ..WorldConfig::default()
+        };
+        let src = Ipv4Addr::new(192, 0, 2, 5);
+        let b = ProbeBuilder::new(src, 7);
+        let mut batch = FrameBatch::new(32);
+        for i in 0..32u32 {
+            let frame = b.tcp_syn(Ipv4Addr::from(0x0700_0000 + i * 131), 80, i as u16);
+            batch.slot(u64::from(i) * 10_000, u64::from(i)).extend_from_slice(&frame);
+        }
+
+        let net_a = SimNet::new(world_cfg());
+        let mut ta = net_a.transport(src);
+        let (n, err) = ta.send_batch(&batch, 0);
+        assert_eq!((n, err), (32, None));
+        assert_eq!(ta.now(), 31 * 10_000);
+        ta.advance_to(1 << 42);
+        let batched = ta.recv_frames();
+
+        let net_b = SimNet::new(world_cfg());
+        let mut tb = net_b.transport(src);
+        for i in 0..batch.len() {
+            let (at, frame) = batch.frame(i);
+            tb.advance_to(at);
+            tb.send_frame(frame).unwrap();
+        }
+        tb.advance_to(1 << 42);
+        assert_eq!(batched, tb.recv_frames(), "delivery must be path-independent");
     }
 
     #[test]

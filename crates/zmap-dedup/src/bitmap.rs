@@ -76,8 +76,17 @@ impl Default for PagedBitmap {
 }
 
 impl Deduplicator for PagedBitmap {
+    /// # Panics
+    /// Panics when `key` exceeds 32 bits. Truncating here would silently
+    /// alias distinct (IP, port) composites onto the same bit — dropped
+    /// results in release builds, where a `debug_assert` never fires —
+    /// so an out-of-range key is a hard caller error: select a window
+    /// deduplicator for composite keys instead.
     fn observe(&mut self, key: u64) -> bool {
-        debug_assert!(key <= u64::from(u32::MAX), "PagedBitmap keys are 32-bit");
+        assert!(
+            key <= u64::from(u32::MAX),
+            "PagedBitmap keys are 32-bit (got {key:#x}); use window dedup for composite keys"
+        );
         self.insert(key as u32)
     }
 
@@ -161,5 +170,13 @@ mod tests {
         let mut b = PagedBitmap::new();
         assert!(Deduplicator::observe(&mut b, 777));
         assert!(!Deduplicator::observe(&mut b, 777));
+    }
+
+    #[test]
+    #[should_panic(expected = "PagedBitmap keys are 32-bit")]
+    fn observe_rejects_64_bit_keys_instead_of_truncating() {
+        let mut b = PagedBitmap::new();
+        // Would alias onto key 1 if truncated: (1, port 1) composites.
+        Deduplicator::observe(&mut b, (1u64 << 32) | 1);
     }
 }

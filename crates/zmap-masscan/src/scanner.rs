@@ -162,13 +162,7 @@ impl<T: Transport> MasscanScanner<T> {
             let at = rc.mark_sent();
             self.transport.advance_to(at);
             // Masscan fingerprint: IP ID derived from the destination.
-            let sport = self.builder.source_port(ip, port);
-            let seq = self.builder.key.tcp_seq(
-                u32::from(self.cfg.source_ip),
-                u32::from(ip),
-                sport,
-                port,
-            );
+            let seq = self.builder.probe_values(ip, port).tcp_seq();
             let ip_id = crate_masscan_ip_id(u32::from(ip), port, seq);
             let frame = self.builder.tcp_syn(ip, port, ip_id);
             // No retry logic: Masscan shrugs off transient send failures
@@ -285,10 +279,7 @@ mod tests {
             b
         };
         let ip = Ipv4Addr::new(11, 11, 0, 5);
-        let sport = builder.source_port(ip, 80);
-        let seq = builder
-            .key
-            .tcp_seq(u32::from(c.source_ip), u32::from(ip), sport, 80);
+        let seq = builder.probe_values(ip, 80).tcp_seq();
         let frame = builder.tcp_syn(ip, 80, crate_masscan_ip_id(u32::from(ip), 80, seq));
         let eth = EthernetView::parse(&frame).unwrap();
         let ipv = Ipv4View::parse(eth.payload()).unwrap();

@@ -299,7 +299,7 @@ impl ScannerInstance {
             ttl: 250u8.wrapping_sub((h % 30) as u8),
             payload_len: tcp_len,
         }
-        .emit(&mut buf);
+        .emit(&mut buf).expect("telescope frame fits IPv4 length");
         let pseudo = checksum::pseudo_header(self.src_ip, dst, 6, tcp_len);
         tcp.emit(pseudo, &[], &mut buf);
         buf

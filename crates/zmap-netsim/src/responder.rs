@@ -198,7 +198,7 @@ fn respond_icmp(
         ttl: observed_ttl(seed, &profile),
         payload_len: (8 + icmp.payload().len()) as u16,
     }
-    .emit(&mut frame);
+    .emit(&mut frame).expect("reply fits IPv4 length");
     IcmpRepr {
         icmp_type: IcmpType::EchoReply,
         id: icmp.id(),
@@ -240,7 +240,7 @@ fn respond_udp(
             ttl: observed_ttl(seed, &profile),
             payload_len: udp_len,
         }
-        .emit(&mut frame);
+        .emit(&mut frame).expect("reply fits IPv4 length");
         let pseudo = checksum::pseudo_header(dst, u32::from(ip.src()), 17, udp_len);
         UdpRepr {
             src_port: udp.dst_port(),
@@ -308,7 +308,7 @@ fn build_synack(
         ttl: observed_ttl(seed, profile),
         payload_len: tcp_len,
     }
-    .emit(&mut frame);
+    .emit(&mut frame).expect("reply fits IPv4 length");
     let pseudo = checksum::pseudo_header(
         u32::from(ip.dst()),
         u32::from(ip.src()),
@@ -348,7 +348,7 @@ fn build_middlebox_synack(
         ttl: 64u8.saturating_sub(hops(seed, dst) / 2),
         payload_len: tcp_len,
     }
-    .emit(&mut frame);
+    .emit(&mut frame).expect("reply fits IPv4 length");
     let pseudo =
         checksum::pseudo_header(dst, u32::from(ip.src()), 6, tcp_len);
     reply.emit(pseudo, &[], &mut frame);
@@ -385,7 +385,7 @@ fn build_banner(
         ttl: observed_ttl(seed, profile),
         payload_len: tcp_len,
     }
-    .emit(&mut frame);
+    .emit(&mut frame).expect("reply fits IPv4 length");
     let pseudo = checksum::pseudo_header(
         u32::from(ip.dst()),
         u32::from(ip.src()),
@@ -422,7 +422,7 @@ fn build_rst(
         ttl: observed_ttl(seed, profile),
         payload_len: 20,
     }
-    .emit(&mut frame);
+    .emit(&mut frame).expect("reply fits IPv4 length");
     let pseudo =
         checksum::pseudo_header(u32::from(ip.dst()), u32::from(ip.src()), 6, 20);
     reply.emit(pseudo, &[], &mut frame);
@@ -460,7 +460,7 @@ pub(crate) fn build_unreach(
         ttl: 64u8.saturating_sub(hops(seed, u32::from(router)) / 2),
         payload_len: (8 + probe_packet.len()) as u16,
     }
-    .emit(&mut frame);
+    .emit(&mut frame).expect("reply fits IPv4 length");
     IcmpRepr {
         icmp_type: IcmpType::DestUnreachable(code),
         id: 0,
@@ -616,13 +616,13 @@ mod tests {
         let (seed, model) = dense_world(); // port 80 open (as UDP too)
         let b = scanner();
         let dst = Ipv4Addr::new(3, 3, 3, 3);
-        let open = b.udp(dst, 80, b"ping", 0);
+        let open = b.udp(dst, 80, b"ping", 0).unwrap();
         let actions = respond(seed, &model, &open);
         assert_eq!(actions.len(), 1);
         let resp = b.parse_response(&actions[0].frame).unwrap().unwrap();
         assert!(matches!(resp.kind, ResponseKind::UdpData(_)));
 
-        let closed = b.udp(dst, 9999, b"ping", 0);
+        let closed = b.udp(dst, 9999, b"ping", 0).unwrap();
         let actions = respond(seed, &model, &closed);
         assert_eq!(actions.len(), 1);
         let resp = b.parse_response(&actions[0].frame).unwrap().unwrap();

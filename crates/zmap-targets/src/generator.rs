@@ -193,6 +193,9 @@ pub enum BuildError {
     Group(GroupError),
     /// Explicit cycle parts (resume path) were invalid for the group.
     Cycle(crate::cycle::CycleError),
+    /// A scan-configuration combination the engine cannot honor
+    /// (engines surface e.g. oversized UDP payloads through this).
+    Config(String),
 }
 
 impl std::fmt::Display for BuildError {
@@ -202,6 +205,7 @@ impl std::fmt::Display for BuildError {
             BuildError::EmptyAddressSet => write!(f, "constraint allows zero addresses"),
             BuildError::Group(e) => write!(f, "group selection failed: {e}"),
             BuildError::Cycle(e) => write!(f, "resumed cycle parameters invalid: {e}"),
+            BuildError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }

@@ -50,6 +50,27 @@ pub fn verify(data: &[u8], pseudo: u32) -> bool {
     finish(sum(pseudo, data)) == 0
 }
 
+/// Begins an RFC 1624 incremental update of an existing checksum field:
+/// seeds the accumulator with `~HC` (equation 3, `HC' = ~(~HC + ~m + m')`).
+///
+/// Feed each changed 16-bit field through [`incr_update`], then obtain the
+/// new checksum with [`incr_finish`] — no re-summing of unchanged bytes.
+pub fn incr_begin(check: u16) -> u32 {
+    u32::from(!check)
+}
+
+/// Folds one 16-bit field change (`old` → `new`) into an incremental
+/// accumulator: `acc += ~m + m'` per RFC 1624 equation 3.
+pub fn incr_update(acc: &mut u32, old: u16, new: u16) {
+    *acc += u32::from(!old) + u32::from(new);
+}
+
+/// Completes an incremental update: folds carries and complements,
+/// yielding the value to write back into the checksum field.
+pub fn incr_finish(acc: u32) -> u16 {
+    finish(acc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +126,49 @@ mod tests {
         let oneshot = finish(sum(0, &data));
         let split = finish(sum(sum(0, &data[..128]), &data[128..]));
         assert_eq!(oneshot, split);
+    }
+
+    #[test]
+    fn rfc1624_worked_example() {
+        // RFC 1624 §4: HC = 0xDD2F, one field changes 0x5555 → 0x3285;
+        // the new checksum must be 0x0000 (the case equation 4 gets wrong).
+        let mut acc = incr_begin(0xDD2F);
+        incr_update(&mut acc, 0x5555, 0x3285);
+        assert_eq!(incr_finish(acc), 0x0000);
+    }
+
+    #[test]
+    fn incremental_patch_matches_full_recompute() {
+        let mut hdr = [
+            0x45u8, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0,
+            0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        let before = checksum(&hdr);
+        hdr[10..12].copy_from_slice(&before.to_be_bytes());
+        // Patch the destination address (two 16-bit words) and the ID.
+        let mut acc = incr_begin(before);
+        for (off, new) in [(16usize, 0x0808u16), (18, 0x0404), (4, 0xBEEF)] {
+            let old = u16::from_be_bytes([hdr[off], hdr[off + 1]]);
+            incr_update(&mut acc, old, new);
+            hdr[off..off + 2].copy_from_slice(&new.to_be_bytes());
+        }
+        hdr[10..12].copy_from_slice(&incr_finish(acc).to_be_bytes());
+        // A full recompute over the patched header must agree.
+        assert!(verify(&hdr, 0));
+        let mut zeroed = hdr;
+        zeroed[10] = 0;
+        zeroed[11] = 0;
+        assert_eq!(checksum(&zeroed).to_be_bytes(), [hdr[10], hdr[11]]);
+    }
+
+    #[test]
+    fn no_op_update_is_identity() {
+        // Patching a field to its current value must not change the sum
+        // (~m + m' contributes 0xFFFF ≡ 0 in one's-complement arithmetic).
+        let before = 0xB861u16;
+        let mut acc = incr_begin(before);
+        incr_update(&mut acc, 0x1234, 0x1234);
+        assert_eq!(incr_finish(acc), before);
     }
 
     #[test]

@@ -95,9 +95,16 @@ pub struct Ipv4Repr {
 
 impl Ipv4Repr {
     /// Appends a 20-byte header (checksum filled in) to `buf`.
-    pub fn emit(&self, buf: &mut Vec<u8>) {
+    ///
+    /// Fails with [`WireError::BadLength`] if the payload does not fit
+    /// the 16-bit total-length field (payloads over 65515 bytes used to
+    /// wrap silently and emit a corrupt header). Nothing is written to
+    /// `buf` on error.
+    pub fn emit(&self, buf: &mut Vec<u8>) -> Result<(), WireError> {
+        let total_len = (HEADER_LEN as u16)
+            .checked_add(self.payload_len)
+            .ok_or(WireError::BadLength)?;
         let start = buf.len();
-        let total_len = HEADER_LEN as u16 + self.payload_len;
         buf.push(0x45); // version 4, IHL 5
         buf.push(0); // DSCP/ECN
         buf.extend_from_slice(&total_len.to_be_bytes());
@@ -110,6 +117,7 @@ impl Ipv4Repr {
         buf.extend_from_slice(&self.dst.octets());
         let csum = checksum::checksum(&buf[start..start + HEADER_LEN]);
         buf[start + 10..start + 12].copy_from_slice(&csum.to_be_bytes());
+        Ok(())
     }
 }
 
@@ -236,7 +244,7 @@ mod tests {
     #[test]
     fn emit_parse_roundtrip() {
         let mut buf = Vec::new();
-        sample_repr().emit(&mut buf);
+        sample_repr().emit(&mut buf).unwrap();
         buf.extend_from_slice(&[0u8; 20]); // fake TCP payload
         let v = Ipv4View::parse(&buf).unwrap();
         assert_eq!(v.src(), Ipv4Addr::new(192, 0, 2, 1));
@@ -252,7 +260,7 @@ mod tests {
     #[test]
     fn checksum_detects_corruption() {
         let mut buf = Vec::new();
-        sample_repr().emit(&mut buf);
+        sample_repr().emit(&mut buf).unwrap();
         buf.extend_from_slice(&[0u8; 20]);
         buf[8] = 1; // mangle TTL
         let v = Ipv4View::parse(&buf).unwrap();
@@ -263,7 +271,7 @@ mod tests {
     fn parse_rejects_bad_structure() {
         assert_eq!(Ipv4View::parse(&[0u8; 10]).unwrap_err(), WireError::Truncated);
         let mut buf = Vec::new();
-        sample_repr().emit(&mut buf);
+        sample_repr().emit(&mut buf).unwrap();
         buf.extend_from_slice(&[0u8; 20]);
         // Wrong version.
         let mut b = buf.clone();
@@ -285,11 +293,28 @@ mod tests {
         let mut buf = Vec::new();
         let mut r = sample_repr();
         r.payload_len = 4;
-        r.emit(&mut buf);
+        r.emit(&mut buf).unwrap();
         buf.extend_from_slice(&[1, 2, 3, 4]);
         buf.extend_from_slice(&[0u8; 30]); // pad bytes past total_len
         let v = Ipv4View::parse(&buf).unwrap();
         assert_eq!(v.payload(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn emit_rejects_oversized_payload() {
+        // 65515 bytes is the largest L4 payload an IPv4 packet can carry
+        // (total length 65535); one more must fail, not wrap to a tiny
+        // total-length field.
+        let mut r = sample_repr();
+        let mut buf = Vec::new();
+        r.payload_len = 65515;
+        r.emit(&mut buf).unwrap();
+        assert_eq!(u16::from_be_bytes([buf[2], buf[3]]), 65535);
+
+        let mut buf = Vec::new();
+        r.payload_len = 65516;
+        assert_eq!(r.emit(&mut buf).unwrap_err(), WireError::BadLength);
+        assert!(buf.is_empty(), "failed emit must not leave partial bytes");
     }
 
     #[test]
@@ -304,7 +329,7 @@ mod tests {
     fn quoted_parse_tolerates_truncation() {
         // Build a 40-byte packet, keep only header + 8 bytes (RFC 792).
         let mut buf = Vec::new();
-        sample_repr().emit(&mut buf);
+        sample_repr().emit(&mut buf).unwrap();
         buf.extend_from_slice(&[9u8; 20]);
         let quote = &buf[..28];
         assert_eq!(Ipv4View::parse(quote).unwrap_err(), WireError::BadLength);

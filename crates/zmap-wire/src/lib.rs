@@ -13,6 +13,9 @@
 //!   2024 default of random per-probe IDs,
 //! * [`cookie`] — stateless response validation (SipHash-2-4 cookies in
 //!   the TCP sequence number / ICMP id / UDP payload),
+//! * [`template`] — packet-template construction (§4.4): one immutable
+//!   frame per scan, per-probe fields patched with RFC 1624 incremental
+//!   checksum updates ([`checksum::incr_update`]),
 //! * [`timing`] — Ethernet line-rate math (the 1.488/1.389/1.276 Mpps
 //!   figures are pure functions of frame size).
 //!
@@ -28,16 +31,18 @@ pub mod ipv4;
 pub mod options;
 pub mod probe;
 pub mod tcp;
+pub mod template;
 pub mod timing;
 pub mod udp;
 
-pub use cookie::ValidationKey;
+pub use cookie::{ProbeValues, ValidationKey};
 pub use ethernet::{EtherType, EthernetRepr, EthernetView, MacAddr};
 pub use icmp::{IcmpRepr, IcmpType, IcmpView};
 pub use ipv4::{IpIdMode, IpProtocol, Ipv4Repr, Ipv4View};
 pub use options::{OptionLayout, TcpOption};
 pub use probe::{ProbeBuilder, Response, ResponseKind};
 pub use tcp::{TcpFlags, TcpRepr, TcpView};
+pub use template::ProbeTemplate;
 pub use udp::{UdpRepr, UdpView};
 
 /// Error type for all packet parsing in this crate.

@@ -21,6 +21,19 @@ pub const DEFAULT_SPORT_BASE: u16 = 32768;
 /// ZMap's default source-port range size (32768–61000).
 pub const DEFAULT_SPORT_COUNT: u16 = 28233;
 
+/// Largest caller-supplied UDP probe payload: 65535 (IPv4 total length)
+/// minus 20 (IP header), 8 (UDP header), and 8 (validation tag).
+pub const MAX_UDP_PAYLOAD: usize = 65535 - 20 - 8 - 8;
+
+/// Emits an IPv4 header whose payload length is statically bounded (probe
+/// L4 headers are at most 60 bytes plus an 8-byte tag/payload), so the
+/// checked length in [`Ipv4Repr::emit`] cannot fail.
+fn emit_bounded_ipv4(repr: &Ipv4Repr, buf: &mut Vec<u8>) {
+    if repr.emit(buf).is_err() {
+        unreachable!("bounded probe payload exceeds IPv4 capacity");
+    }
+}
+
 /// Builds probe frames for one scan (fixed L2 addressing, key, layout).
 #[derive(Debug, Clone)]
 pub struct ProbeBuilder {
@@ -62,8 +75,15 @@ impl ProbeBuilder {
 
     /// The source port this scan uses for `(dst_ip, dst_port)`.
     pub fn source_port(&self, dst_ip: Ipv4Addr, dst_port: u16) -> u16 {
+        self.probe_values(dst_ip, dst_port)
+            .source_port(self.sport_base, self.sport_count)
+    }
+
+    /// The MAC-derived per-probe material for `(dst_ip, dst_port)` —
+    /// one hash invocation yielding every varying field.
+    pub fn probe_values(&self, dst_ip: Ipv4Addr, dst_port: u16) -> crate::cookie::ProbeValues {
         self.key
-            .source_port(self.sport_base, self.sport_count, u32::from(dst_ip), dst_port)
+            .probe(u32::from(self.src_ip), u32::from(dst_ip), dst_port)
     }
 
     /// Whether `port` falls in this scan's source-port range.
@@ -78,10 +98,9 @@ impl ProbeBuilder {
     /// [`IpIdMode::Random`] (the engine passes RNG output; tests pass
     /// constants).
     pub fn tcp_syn(&self, dst_ip: Ipv4Addr, dst_port: u16, ip_id_entropy: u16) -> Vec<u8> {
-        let sport = self.source_port(dst_ip, dst_port);
-        let seq = self
-            .key
-            .tcp_seq(u32::from(self.src_ip), u32::from(dst_ip), sport, dst_port);
+        let v = self.probe_values(dst_ip, dst_port);
+        let sport = v.source_port(self.sport_base, self.sport_count);
+        let seq = v.tcp_seq();
         let tcp = TcpRepr {
             src_port: sport,
             dst_port,
@@ -99,15 +118,17 @@ impl ProbeBuilder {
             ethertype: EtherType::Ipv4,
         }
         .emit(&mut buf);
-        Ipv4Repr {
-            src: self.src_ip,
-            dst: dst_ip,
-            protocol: IpProtocol::Tcp,
-            id: self.ip_id.resolve(ip_id_entropy),
-            ttl: self.ttl,
-            payload_len: tcp_len,
-        }
-        .emit(&mut buf);
+        emit_bounded_ipv4(
+            &Ipv4Repr {
+                src: self.src_ip,
+                dst: dst_ip,
+                protocol: IpProtocol::Tcp,
+                id: self.ip_id.resolve(ip_id_entropy),
+                ttl: self.ttl,
+                payload_len: tcp_len,
+            },
+            &mut buf,
+        );
         let pseudo = checksum::pseudo_header(
             u32::from(self.src_ip),
             u32::from(dst_ip),
@@ -122,6 +143,9 @@ impl ProbeBuilder {
     /// request (the second phase of two-phase scanning): seq continues
     /// our SYN cookie (+1), ack acknowledges the server's SYN-ACK
     /// (`server_seq + 1`).
+    ///
+    /// Fails with [`WireError::BadLength`] if `payload` would overflow the
+    /// IPv4 total-length field.
     pub fn tcp_ack_data(
         &self,
         dst_ip: Ipv4Addr,
@@ -129,12 +153,13 @@ impl ProbeBuilder {
         server_seq: u32,
         payload: &[u8],
         ip_id_entropy: u16,
-    ) -> Vec<u8> {
-        let sport = self.source_port(dst_ip, dst_port);
-        let seq = self
-            .key
-            .tcp_seq(u32::from(self.src_ip), u32::from(dst_ip), sport, dst_port)
-            .wrapping_add(1);
+    ) -> Result<Vec<u8>, WireError> {
+        if payload.len() > 65535 - 20 - 20 {
+            return Err(WireError::BadLength);
+        }
+        let v = self.probe_values(dst_ip, dst_port);
+        let sport = v.source_port(self.sport_base, self.sport_count);
+        let seq = v.tcp_seq().wrapping_add(1);
         let tcp = TcpRepr {
             src_port: sport,
             dst_port,
@@ -160,7 +185,7 @@ impl ProbeBuilder {
             ttl: self.ttl,
             payload_len: tcp_len,
         }
-        .emit(&mut buf);
+        .emit(&mut buf)?;
         let pseudo = checksum::pseudo_header(
             u32::from(self.src_ip),
             u32::from(dst_ip),
@@ -168,7 +193,7 @@ impl ProbeBuilder {
             tcp_len,
         );
         tcp.emit(pseudo, payload, &mut buf);
-        buf
+        Ok(buf)
     }
 
     /// Parses a frame as an L7 banner reply to a [`tcp_ack_data`]
@@ -198,18 +223,13 @@ impl ProbeBuilder {
         let responder = ip.src();
         // Our data seq was cookie+1; the server's ack must be
         // cookie + 1 + payload_len.
-        let expected_ack = self
-            .key
-            .tcp_seq(
-                u32::from(self.src_ip),
-                u32::from(responder),
-                tcp.dst_port(),
-                tcp.src_port(),
-            )
+        let v = self.probe_values(responder, tcp.src_port());
+        let expected_ack = v
+            .tcp_seq()
             .wrapping_add(1)
             .wrapping_add(payload_len as u32);
         if tcp.ack() != expected_ack
-            || tcp.dst_port() != self.source_port(responder, tcp.src_port())
+            || tcp.dst_port() != v.source_port(self.sport_base, self.sport_count)
         {
             return Ok(None);
         }
@@ -232,26 +252,39 @@ impl ProbeBuilder {
             ethertype: EtherType::Ipv4,
         }
         .emit(&mut buf);
-        Ipv4Repr {
-            src: self.src_ip,
-            dst: dst_ip,
-            protocol: IpProtocol::Icmp,
-            id: self.ip_id.resolve(ip_id_entropy),
-            ttl: self.ttl,
-            payload_len: (8 + payload.len()) as u16,
-        }
-        .emit(&mut buf);
+        emit_bounded_ipv4(
+            &Ipv4Repr {
+                src: self.src_ip,
+                dst: dst_ip,
+                protocol: IpProtocol::Icmp,
+                id: self.ip_id.resolve(ip_id_entropy),
+                ttl: self.ttl,
+                payload_len: (8 + payload.len()) as u16,
+            },
+            &mut buf,
+        );
         icmp.emit(&payload, &mut buf);
         buf
     }
 
     /// A complete Ethernet frame carrying a UDP probe with `payload`
     /// prefixed by the 8-byte validation tag.
-    pub fn udp(&self, dst_ip: Ipv4Addr, dst_port: u16, payload: &[u8], ip_id_entropy: u16) -> Vec<u8> {
-        let sport = self.source_port(dst_ip, dst_port);
-        let tag = self
-            .key
-            .udp_tag(u32::from(self.src_ip), u32::from(dst_ip), sport, dst_port);
+    ///
+    /// Fails with [`WireError::BadLength`] if `payload` exceeds
+    /// [`MAX_UDP_PAYLOAD`].
+    pub fn udp(
+        &self,
+        dst_ip: Ipv4Addr,
+        dst_port: u16,
+        payload: &[u8],
+        ip_id_entropy: u16,
+    ) -> Result<Vec<u8>, WireError> {
+        if payload.len() > MAX_UDP_PAYLOAD {
+            return Err(WireError::BadLength);
+        }
+        let v = self.probe_values(dst_ip, dst_port);
+        let sport = v.source_port(self.sport_base, self.sport_count);
+        let tag = v.udp_tag();
         let mut body = Vec::with_capacity(8 + payload.len());
         body.extend_from_slice(&tag);
         body.extend_from_slice(payload);
@@ -271,7 +304,7 @@ impl ProbeBuilder {
             ttl: self.ttl,
             payload_len: udp_len,
         }
-        .emit(&mut buf);
+        .emit(&mut buf)?;
         let pseudo = checksum::pseudo_header(
             u32::from(self.src_ip),
             u32::from(dst_ip),
@@ -283,7 +316,7 @@ impl ProbeBuilder {
             dst_port,
         }
         .emit(pseudo, &body, &mut buf);
-        buf
+        Ok(buf)
     }
 
     /// Parses and validates a received frame against this scan.
@@ -316,16 +349,12 @@ impl ProbeBuilder {
                 if !self.owns_source_port(tcp.dst_port()) {
                     return Ok(None);
                 }
-                // Recompute the probe cookie for this 4-tuple (probe went
-                // scanner:dport_of_response → responder:sport_of_response).
-                let valid = self.key.tcp_validate(
-                    u32::from(self.src_ip),
-                    u32::from(responder),
-                    tcp.dst_port(),
-                    tcp.src_port(),
-                    tcp.ack(),
-                ) && tcp.dst_port()
-                    == self.source_port(responder, tcp.src_port());
+                // Recompute the probe MAC for this addressing (probe went
+                // scanner:dport_of_response → responder:sport_of_response):
+                // both the echoed cookie and the source port must match.
+                let v = self.probe_values(responder, tcp.src_port());
+                let valid = tcp.ack() == v.tcp_seq().wrapping_add(1)
+                    && tcp.dst_port() == v.source_port(self.sport_base, self.sport_count);
                 if !valid {
                     return Ok(None);
                 }
@@ -401,18 +430,13 @@ impl ProbeBuilder {
                 if !self.owns_source_port(udp.dst_port()) {
                     return Ok(None);
                 }
-                let tag = self.key.udp_tag(
-                    u32::from(self.src_ip),
-                    u32::from(responder),
-                    udp.dst_port(),
-                    udp.src_port(),
-                );
+                let v = self.probe_values(responder, udp.src_port());
                 // Services echo our payload (or at least respond from the
                 // probed port); accept either an echoed tag or a matching
                 // stateless source-port recomputation.
-                let tag_ok = udp.payload().len() >= 8 && udp.payload()[..8] == tag;
+                let tag_ok = udp.payload().len() >= 8 && udp.payload()[..8] == v.udp_tag();
                 let port_ok =
-                    udp.dst_port() == self.source_port(responder, udp.src_port());
+                    udp.dst_port() == v.source_port(self.sport_base, self.sport_count);
                 if !(tag_ok || port_ok) {
                     return Ok(None);
                 }
@@ -520,7 +544,7 @@ mod tests {
             ttl: 55,
             payload_len: tcp_len,
         }
-        .emit(&mut buf);
+        .emit(&mut buf).unwrap();
         let pseudo = checksum::pseudo_header(
             u32::from(ip.dst()),
             u32::from(ip.src()),
@@ -653,7 +677,7 @@ mod tests {
             ttl: 61,
             payload_len: (8 + icmp.payload().len()) as u16,
         }
-        .emit(&mut buf);
+        .emit(&mut buf).unwrap();
         IcmpRepr {
             icmp_type: IcmpType::EchoReply,
             id: icmp.id(),
@@ -669,7 +693,7 @@ mod tests {
     fn udp_probe_and_echoed_response() {
         let b = builder();
         let dst = Ipv4Addr::new(198, 51, 100, 3);
-        let probe = b.udp(dst, 53, b"hello", 1);
+        let probe = b.udp(dst, 53, b"hello", 1).unwrap();
         let eth = EthernetView::parse(&probe).unwrap();
         let ip = Ipv4View::parse(eth.payload()).unwrap();
         assert!(ip.verify_checksum());
@@ -694,7 +718,7 @@ mod tests {
             ttl: 60,
             payload_len: udp_len,
         }
-        .emit(&mut buf);
+        .emit(&mut buf).unwrap();
         let pseudo = checksum::pseudo_header(u32::from(dst), u32::from(b.src_ip), 17, udp_len);
         UdpRepr {
             src_port: 53,
@@ -729,7 +753,7 @@ mod tests {
             ttl: 62,
             payload_len: (8 + quoted.len()) as u16,
         }
-        .emit(&mut buf);
+        .emit(&mut buf).unwrap();
         IcmpRepr {
             icmp_type: IcmpType::DestUnreachable(UnreachCode::Host),
             id: 0,

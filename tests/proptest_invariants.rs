@@ -119,25 +119,22 @@ proptest! {
         let _ = options::decode(&data); // must not panic
     }
 
-    /// Validation cookies only validate the exact probe tuple.
+    /// Validation cookies only validate the exact probe addressing.
     #[test]
     fn cookie_is_tuple_exact(
         seed in any::<u64>(),
         src in any::<u32>(),
         dst in any::<u32>(),
-        sport in any::<u16>(),
         dport in any::<u16>(),
         wrong_ack in any::<u32>(),
     ) {
         let key = ValidationKey::from_seed(seed);
-        let seq = key.tcp_seq(src, dst, sport, dport);
-        prop_assert!(key.tcp_validate(src, dst, sport, dport, seq.wrapping_add(1)));
+        let seq = key.tcp_seq(src, dst, dport);
+        prop_assert!(key.tcp_validate(src, dst, dport, seq.wrapping_add(1)));
         if wrong_ack != seq.wrapping_add(1) {
-            prop_assert!(!key.tcp_validate(src, dst, sport, dport, wrong_ack));
+            prop_assert!(!key.tcp_validate(src, dst, dport, wrong_ack));
         }
-        if dst != dst.wrapping_add(1) {
-            prop_assert!(!key.tcp_validate(src, dst.wrapping_add(1), sport, dport, seq.wrapping_add(1)));
-        }
+        prop_assert!(!key.tcp_validate(src, dst.wrapping_add(1), dport, seq.wrapping_add(1)));
     }
 
     /// Sliding window: never suppresses a first sighting; always
