@@ -1,0 +1,163 @@
+//! Machine-readable performance snapshot for the metrics/observability
+//! PR: proves the registry is cheap enough to leave on. Times the
+//! batched TX path bare (the PR4 loop) against the same loop recording
+//! counters and a flush-latency histogram per batch, the raw histogram
+//! record throughput, and the end-to-end engine (which now always runs
+//! with the registry wired in), then writes `BENCH_pr5.json`.
+//!
+//! Acceptance for the PR: `transport_metered_over_plain >= 0.95` — the
+//! instrumented batch-64 TX path holds within 5% of the bare one.
+//!
+//! Usage: `cargo run --release -p bench --bin bench_pr5 [-- out.json]`
+
+use std::net::Ipv4Addr;
+use std::time::Instant;
+use zmap_core::metadata::Counters;
+use zmap_core::metrics::{CounterId, HistId, ScanMetrics};
+use zmap_core::transport::{FrameBatch, SimNet, Transport};
+use zmap_core::{ScanConfig, Scanner};
+use zmap_metrics::SharedHistogram;
+use zmap_netsim::loss::LossModel;
+use zmap_netsim::{ServiceModel, WorldConfig};
+use zmap_wire::probe::ProbeBuilder;
+use zmap_wire::template::ProbeTemplate;
+
+const ITERS: usize = 3; // best-of-N to shed warmup noise
+
+/// Runs `f` ITERS times and returns the best elements-per-second.
+fn best_rate(elements: u64, mut f: impl FnMut() -> u64) -> (f64, f64) {
+    let mut best_secs = f64::INFINITY;
+    let mut sink = 0u64;
+    for _ in 0..ITERS {
+        let t0 = Instant::now();
+        sink = sink.wrapping_add(f());
+        best_secs = best_secs.min(t0.elapsed().as_secs_f64());
+    }
+    assert!(sink != u64::MAX, "benchmark result consumed");
+    (elements as f64 / best_secs, best_secs)
+}
+
+/// Batch-64 TX through the simulator, optionally recording per-flush
+/// into a metrics registry exactly as `Scanner::flush_batch` does: a
+/// `sent` counter add plus one `batch_flush_ns` histogram record.
+fn transport_pps(batch_size: usize, metered: bool) -> (f64, f64) {
+    const FRAMES: u32 = 200_000;
+    let src = Ipv4Addr::new(192, 0, 2, 9);
+    let b = ProbeBuilder::new(src, 1);
+    let template = ProbeTemplate::tcp_syn(&b);
+    best_rate(u64::from(FRAMES), || {
+        // Dead space: no responses, so this times the TX path alone.
+        let mut model = ServiceModel::dense(&[80]);
+        model.live_fraction = 0.0;
+        model.unreach_for_dead = 0.0;
+        let net = SimNet::new(WorldConfig {
+            seed: 5,
+            model,
+            loss: LossModel::NONE,
+            ..WorldConfig::default()
+        });
+        let metrics = metered.then(|| ScanMetrics::new(1, Counters::default()));
+        let mut t = net.transport(src);
+        let mut batch = FrameBatch::new(batch_size);
+        let mut sent = 0u64;
+        let flush = |t: &mut dyn Transport, batch: &mut FrameBatch| {
+            let (n, err) = t.send_batch(batch, 0);
+            assert!(err.is_none(), "faultless world refused a send");
+            if let Some(m) = &metrics {
+                m.add(CounterId::Sent, n as u64);
+                m.record(HistId::BatchFlush, batch.span_ns());
+            }
+            batch.clear();
+            n as u64
+        };
+        for i in 0..FRAMES {
+            let buf = batch.reserve(u64::from(i) * 100, u64::from(i));
+            template.render_into(Ipv4Addr::from(0x0A00_0000 + i), 80, i as u16, buf);
+            if batch.is_full() {
+                sent += flush(&mut t, &mut batch);
+            }
+        }
+        if !batch.is_empty() {
+            sent += flush(&mut t, &mut batch);
+        }
+        if let Some(m) = &metrics {
+            assert_eq!(m.get(CounterId::Sent), sent, "registry lost a send");
+        }
+        sent
+    })
+}
+
+/// Raw histogram ingest rate: the ceiling any per-event recording can hit.
+fn hist_record_per_sec() -> (f64, f64) {
+    const N: u64 = 10_000_000;
+    best_rate(N, || {
+        let h = SharedHistogram::new(1);
+        for i in 0..N {
+            h.record(0, i.wrapping_mul(0x9E37_79B9));
+        }
+        h.merged().count()
+    })
+}
+
+/// Full engine over a /16 at batch 64 — the registry, RTT tracking and
+/// trace ring are always on in the engine now, so this *is* the metered
+/// end-to-end number; diff it against BENCH_pr4.json's to see the cost.
+fn end_to_end(batch: usize) -> (f64, f64, u64) {
+    let mut best_secs = f64::INFINITY;
+    let mut sent = 0u64;
+    let mut rtt_count = 0u64;
+    for _ in 0..ITERS {
+        let net = SimNet::new(WorldConfig {
+            seed: 5,
+            model: ServiceModel::default(),
+            loss: LossModel::NONE,
+            ..WorldConfig::default()
+        });
+        let src = Ipv4Addr::new(192, 0, 2, 9);
+        let mut cfg = ScanConfig::new(src);
+        cfg.allowlist_prefix(Ipv4Addr::new(61, 7, 0, 0), 16);
+        cfg.apply_default_blocklist = false;
+        cfg.rate_pps = 10_000_000;
+        cfg.cooldown_secs = 1;
+        cfg.batch = batch;
+        let t0 = Instant::now();
+        let summary = Scanner::new(cfg, net.transport(src)).expect("valid").run();
+        best_secs = best_secs.min(t0.elapsed().as_secs_f64());
+        sent = summary.sent;
+        rtt_count = summary
+            .metrics
+            .histograms
+            .get("probe_rtt_ns")
+            .map_or(0, |h| h.count);
+    }
+    (sent as f64 / best_secs, best_secs, rtt_count)
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr5.json".into());
+    let (plain_pps, plain_secs) = transport_pps(64, false);
+    let (metered_pps, metered_secs) = transport_pps(64, true);
+    let ratio = metered_pps / plain_pps;
+    let (hist_rate, hist_secs) = hist_record_per_sec();
+    let (e2e_rate, e2e_secs, rtt_count) = end_to_end(64);
+    let json = format!(
+        "{{\n  \"schema\": \"zmap-bench/1\",\n  \"pr\": 5,\n  \"iters\": {ITERS},\n  \"metrics\": {{\n    \
+         \"transport_batch64_plain_pps\": {plain_pps:.0},\n    \
+         \"transport_batch64_plain_best_secs\": {plain_secs:.6},\n    \
+         \"transport_batch64_metered_pps\": {metered_pps:.0},\n    \
+         \"transport_batch64_metered_best_secs\": {metered_secs:.6},\n    \
+         \"transport_metered_over_plain\": {ratio:.4},\n    \
+         \"hist_record_per_sec\": {hist_rate:.0},\n    \
+         \"hist_record_best_secs\": {hist_secs:.6},\n    \
+         \"end_to_end_batch64_pps\": {e2e_rate:.0},\n    \
+         \"end_to_end_batch64_best_secs\": {e2e_secs:.6},\n    \
+         \"end_to_end_rtt_samples\": {rtt_count}\n  }}\n}}\n"
+    );
+    std::fs::write(&out, &json).expect("write benchmark json");
+    println!("{json}");
+    println!("wrote {out}");
+    assert!(
+        ratio >= 0.95,
+        "metered batch-64 TX fell more than 5% below the bare path: {ratio:.4}"
+    );
+}

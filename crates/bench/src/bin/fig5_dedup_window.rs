@@ -72,6 +72,11 @@ fn main() {
                 }
             }
             let total = summary.results.len() as u64;
+            // RTT quantiles straight from the scan's metrics registry:
+            // the blowback tail shows up as a fat p99 long before the
+            // duplicate counters do.
+            let rtt = summary.metrics.histograms.get("probe_rtt_ns");
+            let ms = |ns: u64| format!("{:.0}", ns as f64 / 1e6);
             rows.push(vec![
                 format!("{rate}"),
                 format!("{w}"),
@@ -79,11 +84,22 @@ fn main() {
                 dups.to_string(),
                 pct(dups as f64 / total.max(1) as f64),
                 summary.duplicates_suppressed.to_string(),
+                rtt.map_or_else(|| "-".into(), |h| ms(h.p50)),
+                rtt.map_or_else(|| "-".into(), |h| ms(h.p99)),
             ]);
         }
     }
     print_table(
-        &["rate (pps)", "window", "records", "dup records", "dup rate", "suppressed"],
+        &[
+            "rate (pps)",
+            "window",
+            "records",
+            "dup records",
+            "dup rate",
+            "suppressed",
+            "rtt p50 (ms)",
+            "rtt p99 (ms)",
+        ],
         &rows,
     );
     println!("\nexpected shape: dup rate falls with window size; higher scan");

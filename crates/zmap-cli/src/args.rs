@@ -20,6 +20,8 @@ pub struct CliOptions {
     pub metadata_path: Option<String>,
     /// Suppress the 1 Hz status stream.
     pub quiet: bool,
+    /// Emit the status stream as machine-readable JSON lines.
+    pub status_json: bool,
     /// Emit debug-level logs.
     pub verbose: bool,
     /// Simulated-world seed.
@@ -106,6 +108,9 @@ OUTPUT (four streams: data, logs, status, metadata)
   --dedup-window N         sliding window size (default 1000000)
   --no-dedup               report every response
   --full-bitmap-dedup      exact 2^32 bitmap (single-port only)
+  --status-json            status stream as JSON lines (one object per
+                           sample, machine-readable; same counters as
+                           the human-readable form)
   -q, --quiet              no status updates
   -v, --verbose            debug logging
   --output-failures        also report RST/unreachable results
@@ -151,6 +156,7 @@ pub fn parse_args(argv: &[String]) -> Result<CliOptions, CliError> {
         output_path: "-".into(),
         metadata_path: None,
         quiet: false,
+        status_json: false,
         verbose: false,
         sim_seed: 1,
         sim_live_fraction: None,
@@ -280,6 +286,7 @@ pub fn parse_args(argv: &[String]) -> Result<CliOptions, CliError> {
             "--no-dedup" => opts.config.dedup = DedupMethod::None,
             "--full-bitmap-dedup" => opts.config.dedup = DedupMethod::FullBitmap,
             "-q" | "--quiet" => opts.quiet = true,
+            "--status-json" => opts.status_json = true,
             "-v" | "--verbose" => opts.verbose = true,
             "--output-failures" => opts.config.report_failures = true,
             "--sim-seed" => opts.sim_seed = parse_num("--sim-seed", &need(&mut it, "--sim-seed")?)?,
@@ -365,6 +372,13 @@ fn validate(opts: &CliOptions) -> Result<(), CliError> {
     if opts.resume && opts.checkpoint_path.is_none() {
         return Err(CliError::Invalid(
             "--resume requires --checkpoint PATH (the journal to resume from)".into(),
+        ));
+    }
+    if opts.status_json && opts.quiet {
+        return Err(CliError::Invalid(
+            "--status-json formats the status stream that --quiet suppresses; \
+             drop one of them"
+                .into(),
         ));
     }
     Ok(())
@@ -472,6 +486,17 @@ mod tests {
         assert!(parse_args(&args("-h")).unwrap().help);
         assert!(USAGE.contains("--subnet"));
         assert!(USAGE.contains("four streams"));
+    }
+
+    #[test]
+    fn status_json_flag() {
+        assert!(!parse_args(&[]).unwrap().status_json, "off by default");
+        assert!(parse_args(&args("--status-json")).unwrap().status_json);
+        assert!(USAGE.contains("--status-json"));
+        // Formatting a suppressed stream is a contradiction, not a no-op.
+        let why = invalid_why("--status-json -q");
+        assert!(why.contains("--status-json"), "{why}");
+        assert!(why.contains("--quiet"), "{why}");
     }
 
     #[test]

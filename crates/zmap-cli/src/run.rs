@@ -7,6 +7,7 @@ use std::path::PathBuf;
 use zmap_core::checkpoint::{CheckpointPolicy, CheckpointState};
 use zmap_core::log::{Level, Logger};
 use zmap_core::output::OutputModule;
+use zmap_core::monitor::StatusUpdate;
 use zmap_core::transport::SimNet;
 use zmap_core::{RunOptions, Scanner};
 use zmap_netsim::{FaultPlan, ServiceModel, WorldConfig};
@@ -106,53 +107,9 @@ pub fn run_scan(opts: CliOptions) -> io::Result<i32> {
     out.finish()?;
 
     // Stream 3: status (replayed at completion in this offline build).
-    // Every Counters field is rendered here — quiet segments only when
-    // nonzero — so nothing the metadata reports is invisible while a
-    // scan runs (enforced by zmap-analyze's counter-wiring lint).
     if !opts.quiet {
         for s in &summary.status {
-            let mut line = format!(
-                "{}s: sent {}/{} ({:.0} pps), {} recv, {} results, {} dups, {:.1}% done",
-                s.t_secs,
-                s.sent,
-                s.targets_total,
-                s.send_rate,
-                s.responses_validated,
-                s.unique_successes,
-                s.duplicates_suppressed,
-                s.percent_complete
-            );
-            if s.unique_failures > 0 {
-                line.push_str(&format!(", {} failures", s.unique_failures));
-            }
-            if s.responses_discarded > 0 {
-                line.push_str(&format!(", {} discarded", s.responses_discarded));
-            }
-            if s.send_retries > 0 || s.sendto_failures > 0 {
-                line.push_str(&format!(
-                    ", {} retries ({} failed)",
-                    s.send_retries, s.sendto_failures
-                ));
-            }
-            if s.responses_corrupted > 0 {
-                line.push_str(&format!(", {} corrupt", s.responses_corrupted));
-            }
-            if s.lock_poison_recoveries > 0 {
-                line.push_str(&format!(", {} lock-recovered", s.lock_poison_recoveries));
-            }
-            if s.checkpoints_written > 0 {
-                line.push_str(&format!(", {} ckpt", s.checkpoints_written));
-            }
-            if s.resume_count > 0 {
-                line.push_str(&format!(", resumed x{}", s.resume_count));
-            }
-            if s.watchdog_stalls > 0 {
-                line.push_str(&format!(", {} stalls", s.watchdog_stalls));
-            }
-            if s.shutdown_clean > 0 {
-                line.push_str(", clean shutdown");
-            }
-            eprintln!("{line}");
+            eprintln!("{}", status_line(s, opts.status_json));
         }
     }
 
@@ -175,12 +132,123 @@ pub fn run_scan(opts: CliOptions) -> io::Result<i32> {
     Ok(0)
 }
 
+/// Renders one status sample. The JSON form serialises the whole
+/// [`StatusUpdate`] (every counter, every sample), so machine consumers
+/// never depend on the elision rules of the human-readable form.
+///
+/// Every Counters field is rendered by name in the text arm — quiet
+/// segments only when nonzero — so nothing the metadata reports is
+/// invisible while a scan runs (enforced by zmap-analyze's
+/// counter-wiring lint).
+fn status_line(s: &StatusUpdate, json: bool) -> String {
+    if json {
+        return serde_json::to_string(s)
+            .unwrap_or_else(|e| format!("{{\"error\":\"status serialization: {e}\"}}"));
+    }
+    let mut line = format!(
+        "{}s: sent {}/{} ({:.0} pps), {} recv, {} results, {} dups, {:.1}% done",
+        s.t_secs,
+        s.sent,
+        s.targets_total,
+        s.send_rate,
+        s.responses_validated,
+        s.unique_successes,
+        s.duplicates_suppressed,
+        s.percent_complete
+    );
+    if s.unique_failures > 0 {
+        line.push_str(&format!(", {} failures", s.unique_failures));
+    }
+    if s.responses_discarded > 0 {
+        line.push_str(&format!(", {} discarded", s.responses_discarded));
+    }
+    if s.send_retries > 0 || s.sendto_failures > 0 {
+        line.push_str(&format!(
+            ", {} retries ({} failed)",
+            s.send_retries, s.sendto_failures
+        ));
+    }
+    if s.responses_corrupted > 0 {
+        line.push_str(&format!(", {} corrupt", s.responses_corrupted));
+    }
+    if s.lock_poison_recoveries > 0 {
+        line.push_str(&format!(", {} lock-recovered", s.lock_poison_recoveries));
+    }
+    if s.checkpoints_written > 0 {
+        line.push_str(&format!(", {} ckpt", s.checkpoints_written));
+    }
+    if s.resume_count > 0 {
+        line.push_str(&format!(", resumed x{}", s.resume_count));
+    }
+    if s.watchdog_stalls > 0 {
+        line.push_str(&format!(", {} stalls", s.watchdog_stalls));
+    }
+    if s.shutdown_clean > 0 {
+        line.push_str(", clean shutdown");
+    }
+    line
+}
+
 #[cfg(test)]
 mod tests {
     use crate::args::parse_args;
 
     fn args(s: &str) -> Vec<String> {
         s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn status_line_json_carries_every_counter() {
+        let s = super::StatusUpdate {
+            t_secs: 2,
+            targets_total: 10,
+            sent: 10,
+            send_rate: 5.0,
+            responses_validated: 4,
+            responses_discarded: 1,
+            duplicates_suppressed: 1,
+            unique_successes: 3,
+            unique_failures: 1,
+            send_retries: 2,
+            sendto_failures: 1,
+            responses_corrupted: 1,
+            lock_poison_recoveries: 0,
+            checkpoints_written: 1,
+            resume_count: 0,
+            watchdog_stalls: 0,
+            shutdown_clean: 1,
+            percent_complete: 100.0,
+        };
+        let line = super::status_line(&s, true);
+        let v: serde_json::Value = serde_json::from_str(&line).unwrap();
+        // Every field the text form may elide is always present here.
+        for key in [
+            "t_secs",
+            "targets_total",
+            "sent",
+            "send_rate",
+            "responses_validated",
+            "responses_discarded",
+            "duplicates_suppressed",
+            "unique_successes",
+            "unique_failures",
+            "send_retries",
+            "sendto_failures",
+            "responses_corrupted",
+            "lock_poison_recoveries",
+            "checkpoints_written",
+            "resume_count",
+            "watchdog_stalls",
+            "shutdown_clean",
+            "percent_complete",
+        ] {
+            assert!(!v[key].is_null(), "missing {key} in {line}");
+        }
+        assert_eq!(v["sent"], 10);
+        // The human-readable form still renders the same sample.
+        let text = super::status_line(&s, false);
+        assert!(text.contains("sent 10/10"), "{text}");
+        assert!(text.contains("clean shutdown"), "{text}");
     }
 
     #[test]

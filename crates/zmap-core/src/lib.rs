@@ -49,6 +49,7 @@ pub mod config;
 pub mod l7;
 pub mod log;
 pub mod metadata;
+pub mod metrics;
 pub mod monitor;
 pub mod output;
 pub mod parallel;
@@ -62,6 +63,7 @@ pub use checkpoint::{CheckpointPolicy, CheckpointState, JournalError};
 pub use config::{DedupMethod, ProbeKind, ScanConfig};
 pub use shutdown::ShutdownToken;
 pub use metadata::ScanMetadata;
+pub use metrics::{CounterId, HistId, ScanMetrics};
 pub use output::{Classification, OutputFormat, ScanResult};
 pub use scanner::{ResumeError, RunOptions, ScanSummary, Scanner};
 pub use transport::{LoopbackTransport, SimNet, SimTransport, Transport};

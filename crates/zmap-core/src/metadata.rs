@@ -7,6 +7,8 @@
 
 use crate::config::ScanConfig;
 use serde::Serialize;
+use std::collections::BTreeMap;
+use zmap_metrics::{HistogramSnapshot, MetricsSnapshot, TraceSnapshot};
 
 /// Machine-readable scan metadata, serialized as a single JSON object at
 /// scan completion.
@@ -23,6 +25,14 @@ pub struct ScanMetadata {
     pub counters: Counters,
     /// Virtual duration of the scan in nanoseconds.
     pub duration_ns: u64,
+    /// Engine latency histograms by name (probe RTT, batch flush span,
+    /// checkpoint journal bytes, cooldown drain), sorted by key.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Bounded trace of scan lifecycle events, sorted by virtual time.
+    pub trace: TraceSnapshot,
+    /// RTT samples lost to in-flight tracker capacity (nonzero marks the
+    /// `probe_rtt_ns` histogram as a lower bound).
+    pub inflight_overflow: u64,
 }
 
 /// The serializable subset of [`ScanConfig`].
@@ -114,6 +124,14 @@ impl ScanMetadata {
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("metadata is always serializable")
     }
+
+    /// Folds a registry snapshot into the metadata's `histograms`,
+    /// `trace`, and `inflight_overflow` sections.
+    pub fn attach_metrics(&mut self, snap: MetricsSnapshot) {
+        self.histograms = snap.histograms;
+        self.trace = snap.trace;
+        self.inflight_overflow = snap.inflight_overflow;
+    }
 }
 
 #[cfg(test)]
@@ -150,7 +168,22 @@ mod tests {
                 shutdown_clean: 1,
             },
             duration_ns: 5_000_000_000,
+            histograms: BTreeMap::new(),
+            trace: TraceSnapshot::default(),
+            inflight_overflow: 0,
         };
+        let mut rtt = zmap_metrics::Log2Histogram::new();
+        rtt.record(50_000);
+        rtt.record(75_000);
+        let mut md = md;
+        let mut snap = MetricsSnapshot::default();
+        snap.histograms.insert("probe_rtt_ns".into(), rtt.snapshot());
+        snap.trace.events.push(zmap_metrics::TraceEventSnapshot {
+            t_ns: 0,
+            kind: "scan_start".into(),
+            detail: 100,
+        });
+        md.attach_metrics(snap);
         let json = md.to_json();
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v["config"]["source_ip"], "192.0.2.1");
@@ -167,6 +200,9 @@ mod tests {
         assert_eq!(v["counters"]["shutdown_clean"], 1);
         assert!(v["config"]["max_retries"].is_u64());
         assert!(v["version"].as_str().unwrap().contains('.'));
+        assert_eq!(v["histograms"]["probe_rtt_ns"]["count"], 2);
+        assert_eq!(v["trace"]["events"][0]["kind"], "scan_start");
+        assert_eq!(v["inflight_overflow"], 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! mode only after the scan completes.
 
 use crate::metadata::Counters;
+use crate::metrics::ScanMetrics;
 use serde::Serialize;
 
 /// One per-second status sample. Counter fields carry the identical
@@ -75,7 +76,10 @@ impl Monitor {
     pub fn tick(&mut self, now_ns: u64, c: &Counters, expected_targets: u64) {
         while now_ns >= self.next_tick {
             let t_secs = self.next_tick / TICK_NS;
-            let send_rate = (c.sent - self.last_sent) as f64;
+            // Saturating: a resumed scan seeds `sent` from the journal
+            // baseline, and a rolled-back counter must never produce a
+            // negative-wrapped (then NaN-breeding) rate.
+            let send_rate = c.sent.saturating_sub(self.last_sent) as f64;
             self.samples.push(StatusUpdate {
                 t_secs,
                 targets_total: c.targets_total,
@@ -94,15 +98,18 @@ impl Monitor {
                 resume_count: c.resume_count,
                 watchdog_stalls: c.watchdog_stalls,
                 shutdown_clean: c.shutdown_clean,
-                percent_complete: if expected_targets == 0 {
-                    100.0
-                } else {
-                    100.0 * c.sent as f64 / expected_targets as f64
-                },
+                percent_complete: percent_complete(c.sent, expected_targets),
             });
             self.last_sent = c.sent;
             self.next_tick += TICK_NS;
         }
+    }
+
+    /// Like [`tick`](Self::tick), reading the counters from the metrics
+    /// registry — the engines' path, which makes the status stream a
+    /// pure consumer of the registry rather than a parallel book.
+    pub fn observe(&mut self, now_ns: u64, metrics: &ScanMetrics, expected_targets: u64) {
+        self.tick(now_ns, &metrics.counters(), expected_targets);
     }
 
     /// All samples so far.
@@ -159,6 +166,18 @@ impl Monitor {
     }
 }
 
+/// Progress as a percentage, always a finite value in `[0, 100]`:
+/// an unknown/zero denominator reports 100 (the scan cannot be "behind"
+/// a target space it never had), and an overshooting numerator — probe
+/// retransmits, a `max_targets` cap below the estimate — clamps at 100.
+fn percent_complete(sent: u64, expected: u64) -> f64 {
+    if expected == 0 {
+        100.0
+    } else {
+        (100.0 * sent as f64 / expected as f64).min(100.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,13 +210,48 @@ mod tests {
     }
 
     #[test]
-    fn percent_complete() {
+    fn percent_complete_is_always_finite_and_bounded() {
         let mut m = Monitor::new();
         m.tick(0, &counts(250, 0, 0, 0), 1000);
         assert!((m.samples()[0].percent_complete - 25.0).abs() < 1e-9);
+        // Zero expected targets (empty shard, zero-sent scan): 100%, not
+        // NaN/inf from a zero denominator.
         let mut m = Monitor::new();
         m.tick(0, &counts(0, 0, 0, 0), 0);
         assert_eq!(m.samples()[0].percent_complete, 100.0);
+        // Overshoot (sent beyond the shard estimate) clamps at 100.
+        let mut m = Monitor::new();
+        m.tick(0, &counts(1500, 0, 0, 0), 1000);
+        assert_eq!(m.samples()[0].percent_complete, 100.0);
+        for s in m.samples() {
+            assert!(s.percent_complete.is_finite());
+            assert!((0.0..=100.0).contains(&s.percent_complete));
+        }
+    }
+
+    #[test]
+    fn rate_never_goes_negative_on_counter_rollback() {
+        let mut m = Monitor::new();
+        m.tick(0, &counts(100, 0, 0, 0), 1000);
+        // A rolled-back `sent` (smaller than the previous sample) must
+        // not wrap into an astronomically large rate.
+        m.tick(1_000_000_000, &counts(40, 0, 0, 0), 1000);
+        let s = m.samples();
+        assert_eq!(s[1].send_rate, 0.0);
+        assert!(s.iter().all(|u| u.send_rate.is_finite() && u.send_rate >= 0.0));
+    }
+
+    #[test]
+    fn observe_reads_the_registry() {
+        use crate::metrics::{CounterId, ScanMetrics};
+        let metrics = ScanMetrics::new(1, Counters::default());
+        metrics.add(CounterId::Sent, 500);
+        metrics.add(CounterId::UniqueSuccesses, 123);
+        let mut m = Monitor::new();
+        m.observe(0, &metrics, 1000);
+        assert_eq!(m.samples()[0].sent, 500);
+        assert_eq!(m.samples()[0].unique_successes, 123);
+        assert!((m.samples()[0].percent_complete - 50.0).abs() < 1e-9);
     }
 
     #[test]

@@ -19,18 +19,19 @@
 use crate::checkpoint::{config_digest, CheckpointPolicy, CheckpointState};
 use crate::config::{ProbeKind, ScanConfig};
 use crate::log::Logger;
-use crate::metadata::Counters;
+use crate::metrics::{CounterId, HistId, ScanMetrics};
 use crate::monitor::{Monitor, StatusUpdate};
 use crate::output::ScanResult;
 use crate::probe_mod;
 use crate::ratecontrol::RateController;
-use crate::scanner::{write_checkpoint, ResumeError};
+use crate::scanner::{checkpoint_via_metrics, ResumeError};
 use crate::shutdown::ShutdownToken;
 use crate::transport::FrameBatch;
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use zmap_dedup::{target_key, SlidingWindow};
+use zmap_metrics::MetricsSnapshot;
 use zmap_netsim::{EndpointId, SendError, World};
 use zmap_targets::generator::BuildError;
 use zmap_targets::TargetGenerator;
@@ -207,6 +208,9 @@ pub struct ParallelSummary {
     pub status: Vec<StatusUpdate>,
     /// Virtual duration, nanoseconds.
     pub duration_ns: u64,
+    /// The metrics registry dump: latency histograms, the event trace,
+    /// and the RTT-tracker overflow count.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Default consecutive no-progress receive polls before the supervisor
@@ -329,15 +333,19 @@ fn run_inner<T: SharedTransport>(
     let digest = config_digest(cfg);
     let logger = Logger::null();
 
-    let sent = AtomicU64::new(0);
-    let retries = AtomicU64::new(0);
-    let send_failures = AtomicU64::new(0);
     let finished_senders = AtomicU64::new(0);
     let interrupted_senders = AtomicU64::new(0);
     let killed = AtomicBool::new(false);
     let start = transport.now();
     let threads = cfg.subshards.max(1);
     let expected_targets = gen.target_count() / u64::from(cfg.num_shards.max(1));
+
+    // The metrics registry: one counter/histogram shard per send thread
+    // plus one for the receive loop, so every hot-path increment is an
+    // uncontended atomic add. The Monitor, the checkpoint journal, and
+    // the final summary are all consumers of this registry.
+    let metrics = ScanMetrics::new(threads as usize + 1, baseline);
+    let rx = metrics.rx_shard();
 
     // Cooperative shutdown: the caller's token if given, else an internal
     // one so the supervisor always has something to trip.
@@ -373,38 +381,26 @@ fn run_inner<T: SharedTransport>(
         results: Vec::new(),
         status: Vec::new(),
         duration_ns: 0,
+        metrics: MetricsSnapshot::default(),
     };
     let mut monitor = Monitor::new();
 
-    // Receive-loop-owned cumulative counters (baseline + this attempt's
-    // RX-side tallies); sender-side tallies live in the atomics above and
-    // are merged into every snapshot.
-    let mut cum = baseline;
-    let merged = |cum: &Counters| {
-        let mut m = *cum;
-        m.sent = baseline.sent + sent.load(Ordering::Relaxed);
-        m.send_retries = baseline.send_retries + retries.load(Ordering::Relaxed);
-        m.sendto_failures = baseline.sendto_failures + send_failures.load(Ordering::Relaxed);
-        m.lock_poison_recoveries =
-            baseline.lock_poison_recoveries + transport.poison_recoveries();
-        m
-    };
+    metrics.trace(0, "scan_start", expected_targets);
+    if journal.is_some() {
+        metrics.trace(0, "resume_rewind", baseline.resume_count);
+    }
 
     // An initial journal before the first probe: a kill at any point
     // after this leaves something to resume from.
     if let Some(policy) = &opts.checkpoint {
         let pos: Vec<u64> = positions.iter().map(|p| p.load(Ordering::Relaxed)).collect();
-        let mut m = merged(&cum);
-        write_checkpoint(policy, digest, cfg, &gen, pos, 0, false, &mut m, &logger);
-        cum.checkpoints_written = m.checkpoints_written;
+        checkpoint_via_metrics(policy, digest, cfg, &gen, pos, 0, false, &metrics, &logger);
     }
 
     std::thread::scope(|scope| {
         for t in 0..threads {
             let gen = &gen;
-            let sent = &sent;
-            let retries = &retries;
-            let send_failures = &send_failures;
+            let metrics = &metrics;
             let finished = &finished_senders;
             let interrupted = &interrupted_senders;
             let killed = &killed;
@@ -436,15 +432,20 @@ fn run_inner<T: SharedTransport>(
                         it.fast_forward_elements(p);
                     }
                 }
+                let shard = t as usize;
                 // Flushes the queued frames through the batched path,
                 // retrying transiently refused frames with the same
                 // linear virtual backoff as the old per-probe loop.
-                // Returns true when a scheduled kill landed.
+                // Returns true when a scheduled kill landed. The flush
+                // latency recorded is the batch's own paced span plus
+                // the backoff this flush accrued — batch-local values
+                // that replay identically, unlike a shared-clock read.
                 let flush = |batch: &FrameBatch| -> bool {
                     let mut idx = 0usize;
+                    let mut backoff_total = 0u64;
                     while idx < batch.len() {
                         let (accepted, err) = transport.send_batch_at(batch, idx);
-                        sent.fetch_add(accepted as u64, Ordering::Relaxed);
+                        metrics.add_at(shard, CounterId::Sent, accepted as u64);
                         idx += accepted;
                         match err {
                             None => break,
@@ -457,17 +458,18 @@ fn run_inner<T: SharedTransport>(
                                 let mut attempt = 0u32;
                                 let died = loop {
                                     if attempt == max_retries {
-                                        send_failures.fetch_add(1, Ordering::Relaxed);
+                                        metrics.add_at(shard, CounterId::SendtoFailures, 1);
                                         break false;
                                     }
-                                    retries.fetch_add(1, Ordering::Relaxed);
+                                    metrics.add_at(shard, CounterId::SendRetries, 1);
+                                    backoff_total += 50_000;
                                     transport
                                         .advance_to(due + u64::from(attempt) * 50_000 + 50_000);
                                     attempt += 1;
                                     let at = due + u64::from(attempt) * 50_000;
                                     match transport.send_frame_at(frame, at) {
                                         Ok(()) => {
-                                            sent.fetch_add(1, Ordering::Relaxed);
+                                            metrics.add_at(shard, CounterId::Sent, 1);
                                             break false;
                                         }
                                         Err(SendError::Killed) => {
@@ -484,6 +486,7 @@ fn run_inner<T: SharedTransport>(
                             }
                         }
                     }
+                    metrics.record_at(shard, HistId::BatchFlush, batch.span_ns() + backoff_total);
                     false
                 };
                 let mut batch = FrameBatch::new(batch_cap);
@@ -508,6 +511,9 @@ fn run_inner<T: SharedTransport>(
                     entropy = entropy.wrapping_add(0x9E37);
                     batch.reserve(due, it.elements_consumed());
                     staged.push(target.ip, target.port, entropy);
+                    metrics.add_at(shard, CounterId::TargetsTotal, 1);
+                    // Stamp the scheduled send time for RTT measurement.
+                    metrics.note_probe(target_key(u32::from(target.ip), target.port), due);
                     if !batch.is_full() {
                         continue;
                     }
@@ -551,14 +557,18 @@ fn run_inner<T: SharedTransport>(
             for (ts, frame) in transport.recv_frames() {
                 match builder.parse_response(&frame) {
                     Ok(Some(resp)) => {
-                        cum.responses_validated += 1;
-                        if !dedup.check_and_insert(target_key(u32::from(resp.ip), resp.port)) {
-                            cum.duplicates_suppressed += 1;
+                        metrics.add_at(rx, CounterId::ResponsesValidated, 1);
+                        let key = target_key(u32::from(resp.ip), resp.port);
+                        // RTT from the probe's scheduled send to this
+                        // arrival (first response wins the sample).
+                        metrics.record_rtt(rx, key, ts);
+                        if !dedup.check_and_insert(key) {
+                            metrics.add_at(rx, CounterId::DuplicatesSuppressed, 1);
                             continue;
                         }
                         let success = probe_mod::is_success(&resp);
                         if success {
-                            cum.unique_successes += 1;
+                            metrics.add_at(rx, CounterId::UniqueSuccesses, 1);
                             summary.results.push(ScanResult {
                                 ts_ns: ts.saturating_sub(start),
                                 saddr: resp.ip,
@@ -567,18 +577,26 @@ fn run_inner<T: SharedTransport>(
                                 ttl: resp.ttl,
                                 success,
                             });
+                        } else {
+                            metrics.add_at(rx, CounterId::UniqueFailures, 1);
                         }
                     }
                     Err(zmap_wire::WireError::BadChecksum) => {
-                        cum.responses_corrupted += 1;
+                        metrics.add_at(rx, CounterId::ResponsesCorrupted, 1);
                     }
-                    Ok(None) | Err(_) => {}
+                    Ok(None) | Err(_) => {
+                        metrics.add_at(rx, CounterId::ResponsesDiscarded, 1);
+                    }
                 }
             }
-            // Stream #3: sample the shared counters on the virtual clock.
-            monitor.tick(
+            // Mirror the transport's cumulative poison-recovery count
+            // into the receive shard (this loop is its only writer).
+            metrics.store_at(rx, CounterId::LockPoisonRecoveries, transport.poison_recoveries());
+            // Stream #3: the Monitor samples the registry on the virtual
+            // clock — a pure consumer, no parallel books.
+            monitor.observe(
                 transport.now().saturating_sub(start),
-                &merged(&cum),
+                &metrics,
                 expected_targets,
             );
             // A scheduled kill can land on the receive path too
@@ -594,23 +612,28 @@ fn run_inner<T: SharedTransport>(
                 if rel.saturating_sub(last_ckpt_at) >= policy.interval_ns {
                     let pos: Vec<u64> =
                         positions.iter().map(|p| p.load(Ordering::Relaxed)).collect();
-                    let mut m = merged(&cum);
-                    write_checkpoint(policy, digest, cfg, &gen, pos, rel, false, &mut m, &logger);
-                    cum.checkpoints_written = m.checkpoints_written;
+                    checkpoint_via_metrics(
+                        policy, digest, cfg, &gen, pos, rel, false, &metrics, &logger,
+                    );
                     last_ckpt_at = rel;
                 }
             }
             // Supervisor: progress signature check.
             let sig = (
                 transport.now(),
-                sent.load(Ordering::Relaxed),
+                metrics.get(CounterId::Sent),
                 finished_senders.load(Ordering::Acquire),
-                cum.responses_validated,
+                metrics.get(CounterId::ResponsesValidated),
             );
             if sig == last_sig {
                 idle_polls += 1;
                 if idle_polls >= opts.watchdog_poll_limit {
-                    cum.watchdog_stalls += 1;
+                    metrics.add_at(rx, CounterId::WatchdogStalls, 1);
+                    metrics.trace(
+                        transport.now().saturating_sub(start),
+                        "watchdog_stall",
+                        idle_polls,
+                    );
                     token.request();
                     break;
                 }
@@ -623,8 +646,23 @@ fn run_inner<T: SharedTransport>(
             // this thread only polls (yielding so they get the mutex).
             if finished_senders.load(Ordering::Acquire) == u64::from(threads) {
                 let now = transport.now();
-                let done = *done_at.get_or_insert(now);
+                let done = *done_at.get_or_insert_with(|| {
+                    // First poll after the last sender finished: the
+                    // clock still reads the last scheduled send time (no
+                    // one else advances it until this branch does), so
+                    // these marks replay deterministically on clean runs.
+                    metrics.trace(
+                        now.saturating_sub(start),
+                        "send_phase_end",
+                        metrics.get(CounterId::Sent),
+                    );
+                    metrics.trace(now.saturating_sub(start), "cooldown_start", 0);
+                    now
+                });
                 if now.saturating_sub(done) >= deadline_after_done {
+                    let drained = now.saturating_sub(done);
+                    metrics.record(HistId::CooldownDrain, drained);
+                    metrics.trace(now.saturating_sub(start), "cooldown_end", drained);
                     break;
                 }
                 transport.advance_to(now + COOLDOWN_STEP_NS);
@@ -634,24 +672,35 @@ fn run_inner<T: SharedTransport>(
         }
     });
 
+    // Final mirror of the transport's poison-recovery count (senders
+    // have quiesced; this thread is again the only writer).
+    metrics.store_at(rx, CounterId::LockPoisonRecoveries, transport.poison_recoveries());
+
     let was_killed = killed.load(Ordering::Acquire);
     if !was_killed {
         // Orderly exit: mark it and write the final journal. The walk is
         // complete only if every sender exhausted its subshard (none
         // stopped for a shutdown request or a stall).
-        cum.shutdown_clean = 1;
+        metrics.add_at(rx, CounterId::ShutdownClean, 1);
         if let Some(policy) = &opts.checkpoint {
             let complete = interrupted_senders.load(Ordering::Relaxed) == 0
-                && cum.watchdog_stalls == baseline.watchdog_stalls;
+                && metrics.get(CounterId::WatchdogStalls) == baseline.watchdog_stalls;
             let pos: Vec<u64> = positions.iter().map(|p| p.load(Ordering::Relaxed)).collect();
             let rel = transport.now().saturating_sub(start);
-            let mut m = merged(&cum);
-            write_checkpoint(policy, digest, cfg, &gen, pos, rel, complete, &mut m, &logger);
-            cum.checkpoints_written = m.checkpoints_written;
+            checkpoint_via_metrics(
+                policy, digest, cfg, &gen, pos, rel, complete, &metrics, &logger,
+            );
         }
+        metrics.trace(
+            transport.now().saturating_sub(start),
+            "scan_complete",
+            metrics.get(CounterId::UniqueSuccesses),
+        );
+    } else {
+        metrics.trace(transport.now().saturating_sub(start), "killed", 0);
     }
 
-    let finals = merged(&cum);
+    let finals = metrics.counters();
     summary.sent = finals.sent;
     summary.responses_validated = finals.responses_validated;
     summary.duplicates_suppressed = finals.duplicates_suppressed;
@@ -667,6 +716,7 @@ fn run_inner<T: SharedTransport>(
     summary.killed = was_killed;
     summary.status = monitor.samples().to_vec();
     summary.duration_ns = transport.now() - start;
+    summary.metrics = metrics.snapshot();
     Ok(summary)
 }
 

@@ -5,6 +5,7 @@ use crate::checkpoint::{config_digest, CheckpointPolicy, CheckpointState, Journa
 use crate::config::{DedupMethod, ProbeKind, ScanConfig};
 use crate::log::{Level, Logger};
 use crate::metadata::{ConfigEcho, Counters, PermutationEcho, ScanMetadata};
+use crate::metrics::{CounterId, HistId, ScanMetrics};
 use crate::monitor::{Monitor, StatusUpdate};
 use crate::output::ScanResult;
 use crate::probe_mod;
@@ -13,8 +14,10 @@ use crate::shutdown::ShutdownToken;
 use crate::transport::{FrameBatch, Transport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 use std::fmt;
 use zmap_dedup::{target_key, PagedBitmap, SlidingWindow};
+use zmap_metrics::{MetricsSnapshot, TraceSnapshot};
 use zmap_netsim::SendError;
 use zmap_targets::generator::BuildError;
 use zmap_targets::{TargetGenerator, Target};
@@ -64,6 +67,9 @@ pub struct ScanSummary {
     pub status: Vec<StatusUpdate>,
     /// Machine-readable metadata (stream #4).
     pub metadata: ScanMetadata,
+    /// The metrics registry dump: latency histograms, the event trace,
+    /// and the RTT-tracker overflow count (also folded into `metadata`).
+    pub metrics: MetricsSnapshot,
 }
 
 impl ScanSummary {
@@ -316,7 +322,7 @@ impl<T: Transport> Scanner<T> {
         let start = transport.now();
         let mut rc = RateController::new(start, cfg.rate_pps);
         let mut monitor = Monitor::new();
-        let mut counters = baseline;
+        let metrics = ScanMetrics::new(1, baseline);
         let mut results: Vec<ScanResult> = Vec::new();
 
         // Shard-local target count (exact only for the whole scan; for a
@@ -347,12 +353,17 @@ impl<T: Transport> Scanner<T> {
         let mut interrupted = false;
         let mut last_ckpt_at = 0u64;
 
+        metrics.trace(0, "scan_start", shard_targets);
+        if start_positions.is_some() {
+            metrics.trace(0, "resume_rewind", baseline.resume_count);
+        }
+
         // An initial journal before the first probe: a kill at any point
         // after this — even probe #1 — leaves something to resume from.
         if let Some(policy) = &checkpoint {
             let positions: Vec<u64> = iters.iter().map(|it| it.elements_consumed()).collect();
-            write_checkpoint(
-                policy, digest, &cfg, &gen, positions, 0, false, &mut counters, &logger,
+            checkpoint_via_metrics(
+                policy, digest, &cfg, &gen, positions, 0, false, &metrics, &logger,
             );
         }
 
@@ -366,12 +377,17 @@ impl<T: Transport> Scanner<T> {
         'scan: while !done {
             if shutdown.as_ref().is_some_and(|t| t.is_requested()) {
                 interrupted = true;
+                metrics.trace(
+                    transport.now().saturating_sub(start),
+                    "shutdown_requested",
+                    0,
+                );
                 logger.info(format_args!(
                     "shutdown requested; stopping sends at cycle boundary"
                 ));
                 break 'scan;
             }
-            if cfg.max_targets > 0 && counters.targets_total >= cfg.max_targets {
+            if cfg.max_targets > 0 && metrics.get(CounterId::TargetsTotal) >= cfg.max_targets {
                 break;
             }
             // Pick the next target, rotating across subshards.
@@ -393,7 +409,8 @@ impl<T: Transport> Scanner<T> {
             let Some(Target { ip, port }) = target else {
                 break;
             };
-            counters.targets_total += 1;
+            metrics.add(CounterId::TargetsTotal, 1);
+            let targets_total = metrics.get(CounterId::TargetsTotal);
 
             for _ in 0..cfg.probes_per_target.max(1) {
                 let at = rc.mark_sent();
@@ -401,17 +418,20 @@ impl<T: Transport> Scanner<T> {
                 // Tag each frame with the target count including its own
                 // target, so a mid-batch kill can roll the count back to
                 // exactly the targets whose probes were in flight.
-                batch.reserve(at, counters.targets_total);
+                batch.reserve(at, targets_total);
                 staged.push(ip, port, entropy);
+                // Stamp the scheduled send time for RTT measurement;
+                // retransmits to the same target keep the first stamp.
+                metrics.note_probe(target_key(u32::from(ip), port), at);
             }
             if !batch.is_full() {
                 continue;
             }
 
             staged.render(&template, &mut batch);
-            match flush_batch(&mut transport, &batch, cfg.max_retries, &mut counters) {
+            match flush_batch(&mut transport, &batch, cfg.max_retries, &metrics) {
                 FlushStatus::Killed { targets_in_flight } => {
-                    counters.targets_total = targets_in_flight;
+                    metrics.store_absolute(CounterId::TargetsTotal, targets_in_flight);
                     killed = true;
                     break 'scan;
                 }
@@ -426,12 +446,12 @@ impl<T: Transport> Scanner<T> {
                 &logger,
                 cfg.report_failures,
                 start,
-                &mut counters,
+                &metrics,
                 &mut results,
             );
-            monitor.tick(
+            monitor.observe(
                 transport.now().saturating_sub(start),
-                &counters,
+                &metrics,
                 shard_targets * u64::from(cfg.probes_per_target.max(1)),
             );
 
@@ -442,15 +462,15 @@ impl<T: Transport> Scanner<T> {
                 if rel.saturating_sub(last_ckpt_at) >= policy.interval_ns {
                     let positions: Vec<u64> =
                         iters.iter().map(|it| it.elements_consumed()).collect();
-                    write_checkpoint(
-                        policy, digest, &cfg, &gen, positions, rel, false, &mut counters,
-                        &logger,
+                    checkpoint_via_metrics(
+                        policy, digest, &cfg, &gen, positions, rel, false, &metrics, &logger,
                     );
                     last_ckpt_at = rel;
                 }
             }
 
-            if cfg.max_results > 0 && counters.unique_successes >= cfg.max_results {
+            if cfg.max_results > 0 && metrics.get(CounterId::UniqueSuccesses) >= cfg.max_results
+            {
                 logger.info(format_args!(
                     "max-results {} reached; entering cooldown",
                     cfg.max_results
@@ -463,20 +483,30 @@ impl<T: Transport> Scanner<T> {
         // targets are already counted, so their probes must still leave.
         if !killed && !batch.is_empty() {
             staged.render(&template, &mut batch);
-            match flush_batch(&mut transport, &batch, cfg.max_retries, &mut counters) {
+            match flush_batch(&mut transport, &batch, cfg.max_retries, &metrics) {
                 FlushStatus::Killed { targets_in_flight } => {
-                    counters.targets_total = targets_in_flight;
+                    metrics.store_absolute(CounterId::TargetsTotal, targets_in_flight);
                     killed = true;
                 }
                 FlushStatus::Flushed => {}
             }
             batch.clear();
         }
+        if !killed {
+            metrics.trace(
+                transport.now().saturating_sub(start),
+                "send_phase_end",
+                metrics.get(CounterId::Sent),
+            );
+        }
         // Cooldown: drain stragglers for cooldown_secs of virtual time.
         // A scheduled kill can still land here — on the receive path —
         // so poll the transport's death flag between drains.
         if !killed {
-            let cooldown_end = transport.now() + cfg.cooldown_secs * 1_000_000_000;
+            let cooldown_entered = transport.now();
+            metrics.trace(cooldown_entered.saturating_sub(start), "cooldown_start", 0);
+            let cooldown_end = cooldown_entered + cfg.cooldown_secs * 1_000_000_000;
+            let mut last_drain = cooldown_entered;
             loop {
                 if transport.killed() {
                     killed = true;
@@ -492,9 +522,10 @@ impl<T: Transport> Scanner<T> {
                             &logger,
                             cfg.report_failures,
                             start,
-                            &mut counters,
+                            &metrics,
                             &mut results,
                         );
+                        last_drain = t;
                     }
                     _ => break,
                 }
@@ -508,10 +539,15 @@ impl<T: Transport> Scanner<T> {
                     &logger,
                     cfg.report_failures,
                     start,
-                    &mut counters,
+                    &metrics,
                     &mut results,
                 );
                 killed = transport.killed();
+            }
+            if !killed {
+                let drained = last_drain.saturating_sub(cooldown_entered);
+                metrics.record(HistId::CooldownDrain, drained);
+                metrics.trace(cooldown_end.saturating_sub(start), "cooldown_end", drained);
             }
         }
 
@@ -520,12 +556,12 @@ impl<T: Transport> Scanner<T> {
             // unless a shutdown token interrupted the walk), then emit
             // the closing status sample and log line — so every stream
             // reflects the clean shutdown.
-            counters.shutdown_clean = 1;
+            metrics.add(CounterId::ShutdownClean, 1);
             if let Some(policy) = &checkpoint {
                 let positions: Vec<u64> =
                     iters.iter().map(|it| it.elements_consumed()).collect();
                 let rel = transport.now().saturating_sub(start);
-                write_checkpoint(
+                checkpoint_via_metrics(
                     policy,
                     digest,
                     &cfg,
@@ -533,29 +569,38 @@ impl<T: Transport> Scanner<T> {
                     positions,
                     rel,
                     !interrupted,
-                    &mut counters,
+                    &metrics,
                     &logger,
                 );
             }
             // Final status samples covering the cooldown (so the stream
-            // ends at 100% complete).
-            monitor.tick(
+            // ends at 100% complete — a zero-sent scan reports 100% via
+            // the zero-denominator guard, never NaN or a stuck 0%).
+            monitor.observe(
                 transport.now().saturating_sub(start),
-                &counters,
-                counters.sent.max(1),
+                &metrics,
+                metrics.get(CounterId::Sent),
+            );
+            let c = metrics.counters();
+            metrics.trace(
+                transport.now().saturating_sub(start),
+                "scan_complete",
+                c.unique_successes,
             );
             logger.info(format_args!(
                 "scan {}: {} sent, {} validated, {} unique successes, {:.4}% hitrate",
                 if interrupted { "interrupted (clean shutdown)" } else { "complete" },
-                counters.sent,
-                counters.responses_validated,
-                counters.unique_successes,
-                if counters.targets_total == 0 {
+                c.sent,
+                c.responses_validated,
+                c.unique_successes,
+                if c.targets_total == 0 {
                     0.0
                 } else {
-                    100.0 * counters.unique_successes as f64 / counters.targets_total as f64
+                    100.0 * c.unique_successes as f64 / c.targets_total as f64
                 }
             ));
+        } else {
+            metrics.trace(transport.now().saturating_sub(start), "killed", 0);
         }
         // A killed process writes nothing more: no final checkpoint, no
         // closing status sample, no completion log line. The summary
@@ -563,8 +608,10 @@ impl<T: Transport> Scanner<T> {
         // `shutdown_clean` still 0.
 
         let duration_ns = transport.now() - start;
+        let counters = metrics.counters();
+        let snapshot = metrics.snapshot();
 
-        let metadata = ScanMetadata {
+        let mut metadata = ScanMetadata {
             version: env!("CARGO_PKG_VERSION").to_string(),
             config: ConfigEcho::from_config(&cfg),
             permutation: PermutationEcho {
@@ -574,7 +621,11 @@ impl<T: Transport> Scanner<T> {
             },
             counters,
             duration_ns,
+            histograms: BTreeMap::new(),
+            trace: TraceSnapshot::default(),
+            inflight_overflow: 0,
         };
+        metadata.attach_metrics(snapshot.clone());
         ScanSummary {
             sent: counters.sent,
             targets_total: counters.targets_total,
@@ -595,14 +646,17 @@ impl<T: Transport> Scanner<T> {
             results,
             status: monitor.samples().to_vec(),
             metadata,
+            metrics: snapshot,
         }
     }
 }
 
 /// Snapshots the walk into a checkpoint journal. A write failure is
 /// logged and otherwise ignored: a failed checkpoint must never take
-/// down a live scan. `checkpoints_written` counts only successful
-/// writes, and the journal's own counters include the write being made.
+/// down a live scan. `counters` must already include the write being
+/// made (`checkpoints_written` pre-incremented by the caller, who
+/// commits that increment to its own books only on success). Returns
+/// the serialized journal size in bytes when the write landed.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn write_checkpoint(
     policy: &CheckpointPolicy,
@@ -612,11 +666,9 @@ pub(crate) fn write_checkpoint(
     positions: Vec<u64>,
     virtual_time_ns: u64,
     complete: bool,
-    counters: &mut Counters,
+    counters: Counters,
     logger: &Logger,
-) {
-    let mut snapshot = *counters;
-    snapshot.checkpoints_written += 1;
+) -> Option<u64> {
     let state = CheckpointState {
         config_digest: digest,
         seed: cfg.seed,
@@ -627,17 +679,49 @@ pub(crate) fn write_checkpoint(
         num_shards: cfg.num_shards.max(1),
         num_subshards: cfg.subshards.max(1),
         positions,
-        dedup_high_water: snapshot.unique_successes + snapshot.unique_failures,
+        dedup_high_water: counters.unique_successes + counters.unique_failures,
         virtual_time_ns,
         complete,
-        counters: snapshot,
+        counters,
     };
+    let bytes = state.to_bytes().len() as u64;
     match state.write_atomic(&policy.path) {
-        Ok(()) => *counters = snapshot,
-        Err(e) => logger.log(
-            Level::Warn,
-            format_args!("checkpoint write failed (scan continues): {e}"),
-        ),
+        Ok(()) => Some(bytes),
+        Err(e) => {
+            logger.log(
+                Level::Warn,
+                format_args!("checkpoint write failed (scan continues): {e}"),
+            );
+            None
+        }
+    }
+}
+
+/// The engine-side checkpoint wrapper: snapshots the registry's counters
+/// (with the pending write included), writes the journal, and on success
+/// commits the write to the registry — counter, size histogram, and
+/// trace event. The journal size stands in for write latency because a
+/// wall-clock duration would not replay deterministically.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn checkpoint_via_metrics(
+    policy: &CheckpointPolicy,
+    digest: u64,
+    cfg: &ScanConfig,
+    gen: &TargetGenerator,
+    positions: Vec<u64>,
+    virtual_time_ns: u64,
+    complete: bool,
+    metrics: &ScanMetrics,
+    logger: &Logger,
+) {
+    let mut snapshot = metrics.counters();
+    snapshot.checkpoints_written += 1;
+    if let Some(bytes) = write_checkpoint(
+        policy, digest, cfg, gen, positions, virtual_time_ns, complete, snapshot, logger,
+    ) {
+        metrics.add(CounterId::CheckpointsWritten, 1);
+        metrics.record(HistId::CheckpointWrite, bytes);
+        metrics.trace(virtual_time_ns, "checkpoint_written", bytes);
     }
 }
 
@@ -666,12 +750,16 @@ fn flush_batch<T: Transport>(
     transport: &mut T,
     batch: &FrameBatch,
     max_retries: u32,
-    counters: &mut Counters,
+    metrics: &ScanMetrics,
 ) -> FlushStatus {
     let mut idx = 0usize;
+    // Retry backoff accumulated by this flush alone: the recorded flush
+    // latency is the batch's paced span plus this — a batch-local value
+    // that replays identically, unlike a read of a shared clock.
+    let mut backoff_total = 0u64;
     while idx < batch.len() {
         let (accepted, err) = transport.send_batch(batch, idx);
-        counters.sent += accepted as u64;
+        metrics.add(CounterId::Sent, accepted as u64);
         idx += accepted;
         match err {
             None => break,
@@ -687,18 +775,19 @@ fn flush_batch<T: Transport>(
                 let mut attempt = 0u32;
                 loop {
                     if attempt == max_retries {
-                        counters.sendto_failures += 1;
+                        metrics.add(CounterId::SendtoFailures, 1);
                         idx += 1;
                         break;
                     }
-                    counters.send_retries += 1;
+                    metrics.add(CounterId::SendRetries, 1);
                     let backoff = 50_000u64 << attempt.min(10);
+                    backoff_total += backoff;
                     let t = transport.now() + backoff;
                     transport.advance_to(t);
                     attempt += 1;
                     match transport.send_frame(frame) {
                         Ok(()) => {
-                            counters.sent += 1;
+                            metrics.add(CounterId::Sent, 1);
                             idx += 1;
                             break;
                         }
@@ -713,6 +802,7 @@ fn flush_batch<T: Transport>(
             }
         }
     }
+    metrics.record(HistId::BatchFlush, batch.span_ns() + backoff_total);
     FlushStatus::Flushed
 }
 
@@ -725,23 +815,27 @@ fn drain_rx<T: Transport>(
     logger: &Logger,
     report_failures: bool,
     start: u64,
-    counters: &mut Counters,
+    metrics: &ScanMetrics,
     results: &mut Vec<ScanResult>,
 ) {
     for (ts, frame) in transport.recv_frames() {
         match builder.parse_response(&frame) {
             Ok(Some(resp)) => {
-                counters.responses_validated += 1;
+                metrics.add(CounterId::ResponsesValidated, 1);
+                // RTT from the probe's scheduled send to this arrival;
+                // the tracker releases on first take, so duplicates and
+                // blowback contribute no sample.
+                metrics.record_rtt(0, target_key(u32::from(resp.ip), resp.port), ts);
                 if !dedup.observe(u32::from(resp.ip), resp.port) {
-                    counters.duplicates_suppressed += 1;
+                    metrics.add(CounterId::DuplicatesSuppressed, 1);
                     continue;
                 }
                 let classification = probe_mod::classify(&resp);
                 let success = probe_mod::is_success(&resp);
                 if success {
-                    counters.unique_successes += 1;
+                    metrics.add(CounterId::UniqueSuccesses, 1);
                 } else {
-                    counters.unique_failures += 1;
+                    metrics.add(CounterId::UniqueFailures, 1);
                 }
                 if success || report_failures {
                     results.push(ScanResult {
@@ -755,14 +849,14 @@ fn drain_rx<T: Transport>(
                 }
             }
             Ok(None) => {
-                counters.responses_discarded += 1;
+                metrics.add(CounterId::ResponsesDiscarded, 1);
             }
             Err(zmap_wire::WireError::BadChecksum) => {
-                counters.responses_corrupted += 1;
+                metrics.add(CounterId::ResponsesCorrupted, 1);
                 logger.log(Level::Debug, format_args!("checksum mismatch: frame dropped"));
             }
             Err(e) => {
-                counters.responses_discarded += 1;
+                metrics.add(CounterId::ResponsesDiscarded, 1);
                 logger.log(Level::Debug, format_args!("malformed frame: {e}"));
             }
         }

@@ -115,6 +115,26 @@ impl FrameBatch {
         &mut self.slots[i].2
     }
 
+    /// Scheduled time of the first queued frame (`None` when empty).
+    pub fn first_at(&self) -> Option<u64> {
+        (self.len > 0).then(|| self.slots[0].0)
+    }
+
+    /// Scheduled time of the last queued frame (`None` when empty).
+    pub fn last_at(&self) -> Option<u64> {
+        (self.len > 0).then(|| self.slots[self.len - 1].0)
+    }
+
+    /// Virtual span the batch covers: last scheduled slot minus first
+    /// (0 when empty or single-frame). Slots are reserved in paced order,
+    /// so this is the time the rate controller spread the batch across.
+    pub fn span_ns(&self) -> u64 {
+        match (self.first_at(), self.last_at()) {
+            (Some(a), Some(b)) => b.saturating_sub(a),
+            _ => 0,
+        }
+    }
+
     /// Empties the batch, keeping every buffer's allocation for reuse.
     pub fn clear(&mut self) {
         self.len = 0;
@@ -320,6 +340,23 @@ impl Transport for LoopbackTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batch_span_tracks_first_and_last_slots() {
+        let mut b = FrameBatch::new(4);
+        assert_eq!(b.first_at(), None);
+        assert_eq!(b.span_ns(), 0);
+        b.reserve(1_000, 1).extend_from_slice(b"a");
+        assert_eq!(b.span_ns(), 0, "single frame spans nothing");
+        b.reserve(4_500, 2).extend_from_slice(b"b");
+        b.reserve(9_000, 3).extend_from_slice(b"c");
+        assert_eq!(b.first_at(), Some(1_000));
+        assert_eq!(b.last_at(), Some(9_000));
+        assert_eq!(b.span_ns(), 8_000);
+        b.clear();
+        assert_eq!(b.last_at(), None);
+        assert_eq!(b.span_ns(), 0);
+    }
 
     #[test]
     fn loopback_clock_is_monotone() {

@@ -1,0 +1,316 @@
+//! Fixed-bucket base-2 latency histograms.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket count: index 0 holds exact zeros, index `k` (1..=64) holds
+/// values in `[2^(k-1), 2^k)` — the full `u64` range with no dynamic
+/// allocation and no configuration to disagree about between runs.
+pub const BUCKETS: usize = 65;
+
+/// The bucket a value lands in: the number of significant bits.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Smallest value bucket `i` can hold.
+#[inline]
+pub fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Largest value bucket `i` can hold.
+#[inline]
+pub fn bucket_ceil(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// A plain (single-writer) log2 histogram with exact min/max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; BUCKETS],
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram {
+            buckets: [0; BUCKETS],
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Folds `other` into `self`. Bucket counts add and min/max combine,
+    /// so merging is associative, commutative, and count-preserving —
+    /// the properties that make sharded recording deterministic.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (0 when
+    /// empty). `q` is clamped to `[0, 1]`. Exact min/max tighten the
+    /// extreme buckets.
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based; ceil without floats going
+        // through u64::MAX territory.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_ceil(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Serializable snapshot (non-empty buckets only).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile_upper(0.50),
+            p90: self.quantile_upper(0.90),
+            p99: self.quantile_upper(0.99),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| BucketCount {
+                    floor: bucket_floor(i),
+                    count: c,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One non-empty bucket in a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct BucketCount {
+    /// Smallest value this bucket can hold.
+    pub floor: u64,
+    /// Recorded values in the bucket.
+    pub count: u64,
+}
+
+/// Serializable histogram dump with precomputed quantile upper bounds,
+/// consumable by experiment binaries without reimplementing the bucket
+/// scheme.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct HistogramSnapshot {
+    /// Total recorded values.
+    pub count: u64,
+    /// Exact smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Exact largest recorded value.
+    pub max: u64,
+    /// Upper bound of the bucket holding the median.
+    pub p50: u64,
+    /// Upper bound of the bucket holding the 90th percentile.
+    pub p90: u64,
+    /// Upper bound of the bucket holding the 99th percentile.
+    pub p99: u64,
+    /// Non-empty buckets, ascending by floor.
+    pub buckets: Vec<BucketCount>,
+}
+
+/// One shard of a [`SharedHistogram`]: lock-free bucket adds plus
+/// monotone min/max races (fetch_min/fetch_max — order-independent).
+struct AtomicShard {
+    buckets: Vec<AtomicU64>,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicShard {
+    fn new() -> Self {
+        AtomicShard {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log2 histogram writable concurrently from many threads: each
+/// recorder passes its shard index, so the hot path is one uncontended
+/// atomic add. [`merged`](Self::merged) folds the shards into a plain
+/// [`Log2Histogram`]; because bucket adds commute, the merged result is
+/// independent of thread interleaving.
+pub struct SharedHistogram {
+    shards: Vec<AtomicShard>,
+}
+
+impl SharedHistogram {
+    /// A histogram with `shards` independent write lanes (min 1).
+    pub fn new(shards: usize) -> Self {
+        SharedHistogram {
+            shards: (0..shards.max(1)).map(|_| AtomicShard::new()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Records `v` into `shard` (clamped into range).
+    #[inline]
+    pub fn record(&self, shard: usize, v: u64) {
+        let s = &self.shards[shard.min(self.shards.len() - 1)];
+        s.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        s.min.fetch_min(v, Ordering::Relaxed);
+        s.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Folds every shard into one plain histogram.
+    pub fn merged(&self) -> Log2Histogram {
+        let mut out = Log2Histogram::new();
+        for s in &self.shards {
+            for (i, b) in s.buckets.iter().enumerate() {
+                out.buckets[i] += b.load(Ordering::Relaxed);
+            }
+            out.min = out.min.min(s.min.load(Ordering::Relaxed));
+            out.max = out.max.max(s.max.load(Ordering::Relaxed));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme_is_exhaustive_and_monotone() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_floor(i)), i);
+            assert_eq!(bucket_index(bucket_ceil(i)), i);
+            if i > 0 {
+                // Buckets tile the u64 range with no gap and no overlap.
+                assert_eq!(bucket_floor(i), bucket_ceil(i - 1) + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn record_count_min_max() {
+        let mut h = Log2Histogram::new();
+        assert_eq!((h.count(), h.min(), h.max()), (0, 0, 0));
+        h.record(7);
+        h.record(0);
+        h.record(1_000_000);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1_000_000);
+    }
+
+    #[test]
+    fn quantiles_bound_the_data() {
+        let mut h = Log2Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile_upper(0.50);
+        let p99 = h.quantile_upper(0.99);
+        assert!(p50 >= 500, "median upper bound below the median: {p50}");
+        assert!(p99 >= p50);
+        assert!(p99 <= h.max());
+        assert_eq!(h.quantile_upper(1.0), h.max());
+    }
+
+    #[test]
+    fn shared_histogram_matches_serial_recording() {
+        let sh = SharedHistogram::new(4);
+        let mut plain = Log2Histogram::new();
+        for v in 0..10_000u64 {
+            sh.record((v % 4) as usize, v * 31);
+            plain.record(v * 31);
+        }
+        assert_eq!(sh.merged(), plain);
+    }
+
+    #[test]
+    fn snapshot_carries_only_nonempty_buckets() {
+        let mut h = Log2Histogram::new();
+        h.record(5);
+        h.record(5);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.buckets.len(), 1);
+        assert_eq!(s.buckets[0].floor, 4);
+        assert_eq!(s.buckets[0].count, 2);
+    }
+}

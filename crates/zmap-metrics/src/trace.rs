@@ -1,0 +1,133 @@
+//! Bounded event-trace ring.
+
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One traced engine event, stamped on the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time relative to scan start, nanoseconds.
+    pub t_ns: u64,
+    /// Static event kind (e.g. `cooldown_start`, `watchdog_stall`).
+    pub kind: &'static str,
+    /// Event-defined payload (a count, a position, an ordinal).
+    pub detail: u64,
+}
+
+struct RingInner {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+/// A bounded ring of [`TraceEvent`]s. When full, the oldest event is
+/// overwritten and the drop is counted — tracing can never grow without
+/// bound, and a nonzero drop count flags the snapshot as truncated.
+///
+/// Events are rare (phase transitions, faults, checkpoints), so a mutex
+/// is fine here; the hot paths never push. The snapshot sorts by
+/// `(t_ns, kind, detail)` so that events pushed concurrently from racing
+/// threads serialize identically as long as the *set* of events is
+/// deterministic (see DESIGN.md §5 for the boundary cases).
+pub struct TraceRing {
+    cap: usize,
+    inner: Mutex<RingInner>,
+}
+
+impl TraceRing {
+    /// A ring holding at most `cap` events (clamped to ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        TraceRing {
+            cap: cap.max(1),
+            inner: Mutex::new(RingInner {
+                events: VecDeque::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&self, t_ns: u64, kind: &'static str, detail: u64) {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if g.events.len() == self.cap {
+            g.events.pop_front();
+            g.dropped += 1;
+        }
+        g.events.push_back(TraceEvent { t_ns, kind, detail });
+    }
+
+    /// Serializable dump, sorted by `(t_ns, kind, detail)`.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let mut events: Vec<TraceEventSnapshot> = g
+            .events
+            .iter()
+            .map(|e| TraceEventSnapshot {
+                t_ns: e.t_ns,
+                kind: e.kind.to_string(),
+                detail: e.detail,
+            })
+            .collect();
+        events.sort_by(|a, b| {
+            (a.t_ns, a.kind.as_str(), a.detail).cmp(&(b.t_ns, b.kind.as_str(), b.detail))
+        });
+        TraceSnapshot {
+            dropped: g.dropped,
+            events,
+        }
+    }
+}
+
+/// One event in a [`TraceSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TraceEventSnapshot {
+    /// Virtual time relative to scan start, nanoseconds.
+    pub t_ns: u64,
+    /// Event kind.
+    pub kind: String,
+    /// Event-defined payload.
+    pub detail: u64,
+}
+
+/// Serializable trace dump.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct TraceSnapshot {
+    /// Events evicted because the ring was full.
+    pub dropped: u64,
+    /// Retained events, sorted by `(t_ns, kind, detail)`.
+    pub events: Vec<TraceEventSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let r = TraceRing::new(2);
+        r.push(1, "a", 0);
+        r.push(2, "b", 0);
+        r.push(3, "c", 0);
+        let s = r.snapshot();
+        assert_eq!(s.dropped, 1);
+        let kinds: Vec<&str> = s.events.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn snapshot_sorts_by_time_then_kind() {
+        let r = TraceRing::new(8);
+        r.push(5, "b", 1);
+        r.push(1, "z", 0);
+        r.push(5, "a", 2);
+        let s = r.snapshot();
+        let order: Vec<(u64, &str)> =
+            s.events.iter().map(|e| (e.t_ns, e.kind.as_str())).collect();
+        assert_eq!(order, vec![(1, "z"), (5, "a"), (5, "b")]);
+    }
+}

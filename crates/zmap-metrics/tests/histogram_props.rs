@@ -1,0 +1,125 @@
+//! Property-based tests over the log2 histogram: the algebraic facts
+//! the metrics registry's determinism argument rests on. Shards merge
+//! by bucket addition, so the merge must be a commutative monoid and
+//! every derived statistic must be a function of the recorded multiset
+//! alone — never of recording or merge order.
+
+use proptest::prelude::*;
+use zmap_metrics::{bucket_ceil, bucket_floor, bucket_index, Log2Histogram, SharedHistogram, BUCKETS};
+
+fn from_values(values: &[u64]) -> Log2Histogram {
+    let mut h = Log2Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merge is commutative: (a ∪ b) == (b ∪ a), byte for byte.
+    #[test]
+    fn merge_commutes(
+        a in prop::collection::vec(any::<u64>(), 0..40),
+        b in prop::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let (ha, hb) = (from_values(&a), from_values(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab.snapshot(), ba.snapshot());
+    }
+
+    /// Merge is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn merge_associates(
+        a in prop::collection::vec(any::<u64>(), 0..30),
+        b in prop::collection::vec(any::<u64>(), 0..30),
+        c in prop::collection::vec(any::<u64>(), 0..30),
+    ) {
+        let (ha, hb, hc) = (from_values(&a), from_values(&b), from_values(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+    }
+
+    /// Splitting a value stream across shards in any pattern and merging
+    /// preserves every statistic: the shard assignment (which thread
+    /// recorded what) is invisible in the dump.
+    #[test]
+    fn shard_split_is_invisible(
+        values in prop::collection::vec(any::<u64>(), 1..80),
+        assign in prop::collection::vec(0usize..4, 1..80),
+    ) {
+        let sharded = SharedHistogram::new(4);
+        for (i, &v) in values.iter().enumerate() {
+            sharded.record(assign[i % assign.len()], v);
+        }
+        let single = from_values(&values);
+        prop_assert_eq!(sharded.merged().snapshot(), single.snapshot());
+        prop_assert_eq!(sharded.merged().count(), values.len() as u64);
+    }
+
+    /// Recording order is invisible: any permutation of the stream
+    /// produces the identical histogram.
+    #[test]
+    fn record_order_is_invisible(values in prop::collection::vec(any::<u64>(), 1..60)) {
+        let forward = from_values(&values);
+        let mut reversed = values.clone();
+        reversed.reverse();
+        prop_assert_eq!(forward.snapshot(), from_values(&reversed).snapshot());
+    }
+
+    /// Bucketing is monotone and self-consistent: every value lands in
+    /// the bucket whose [floor, ceil] range contains it, and bucket
+    /// index never decreases as values grow.
+    #[test]
+    fn bucket_scheme_is_monotone(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        prop_assert!(bucket_floor(i) <= v, "floor({i}) > {v}");
+        prop_assert!(v <= bucket_ceil(i), "{v} > ceil({i})");
+        if v < u64::MAX {
+            prop_assert!(bucket_index(v + 1) >= i);
+        }
+    }
+
+    /// Quantiles are monotone in q — in particular p99 >= p50 — and
+    /// bounded by the recorded extremes' bucket ceilings.
+    #[test]
+    fn quantiles_are_monotone(values in prop::collection::vec(any::<u64>(), 1..60)) {
+        let h = from_values(&values);
+        let (p50, p90, p99) = (
+            h.quantile_upper(0.50),
+            h.quantile_upper(0.90),
+            h.quantile_upper(0.99),
+        );
+        prop_assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+        prop_assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+        let lo = *values.iter().min().expect("non-empty");
+        let hi = *values.iter().max().expect("non-empty");
+        prop_assert!(p50 >= bucket_floor(bucket_index(lo)));
+        prop_assert!(p99 <= bucket_ceil(bucket_index(hi)));
+    }
+
+    /// min/max survive any merge tree exactly (not just to the bucket).
+    #[test]
+    fn merge_preserves_exact_extremes(
+        a in prop::collection::vec(any::<u64>(), 1..40),
+        b in prop::collection::vec(any::<u64>(), 1..40),
+    ) {
+        let mut m = from_values(&a);
+        m.merge(&from_values(&b));
+        let all: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(m.min(), *all.iter().min().expect("non-empty"));
+        prop_assert_eq!(m.max(), *all.iter().max().expect("non-empty"));
+        prop_assert_eq!(m.count(), all.len() as u64);
+    }
+}

@@ -22,6 +22,9 @@ pub use zmap_wire as wire;
 /// Response deduplication: paged bitmap, Judy-style set, sliding window.
 pub use zmap_dedup as dedup;
 
+/// Lock-free counters, log2 latency histograms, bounded event traces.
+pub use zmap_metrics as metrics;
+
 /// The deterministic simulated IPv4 Internet.
 pub use zmap_netsim as netsim;
 
@@ -41,6 +44,8 @@ pub mod prelude {
         OutputFormat, ProbeKind, ResumeError, RunOptions, ScanConfig, ScanResult, ScanSummary,
         Scanner, ShutdownToken, SimNet, Transport,
     };
+    pub use zmap_core::metrics::{CounterId, HistId, ScanMetrics};
+    pub use zmap_metrics::{HistogramSnapshot, Log2Histogram, MetricsSnapshot};
     pub use zmap_netsim::{FaultPlan, SendError, ServiceModel, World, WorldConfig};
     pub use zmap_targets::{Constraint, ShardAlgorithm, Target, TargetGenerator};
     pub use zmap_wire::{IpIdMode, OptionLayout};

@@ -1,0 +1,209 @@
+//! Golden-snapshot harness: a fixed seed×config matrix runs through
+//! both engines and every byte of the four output streams plus the
+//! metrics dump is compared against snapshots checked into
+//! `tests/golden/`. Any behavior drift — an extra trace event, a
+//! reordered CSV row, a histogram bucket moving — fails here with the
+//! offending section named, which is exactly the class of regression
+//! per-field assertions let through.
+//!
+//! Regenerate after an *intentional* change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_outputs
+//! git diff tests/golden/   # review the drift before committing it
+//! ```
+//!
+//! On mismatch the actual bytes land in `target/golden-actual/<name>.txt`
+//! so CI can upload them as an artifact for offline diffing.
+
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use zmap::prelude::*;
+use zmap_core::log::{Level, Logger};
+use zmap_core::output::OutputModule;
+use zmap_core::parallel::{run_parallel, SharedSimTransport};
+use zmap_netsim::loss::LossModel;
+
+fn world_cfg(seed: u64) -> WorldConfig {
+    WorldConfig {
+        seed,
+        model: ServiceModel::default(),
+        loss: LossModel::NONE,
+        faults: FaultPlan::none(),
+        ..WorldConfig::default()
+    }
+}
+
+/// Renders results as the CSV data stream (stream #1).
+fn data_section(results: &[zmap_core::output::ScanResult]) -> String {
+    let mut out = OutputModule::new(OutputFormat::Csv, Vec::new());
+    for r in results {
+        out.record(r).expect("Vec sink never fails");
+    }
+    String::from_utf8(out.finish().expect("Vec sink never fails")).expect("csv is utf8")
+}
+
+/// One snapshot: named sections, each a byte-exact stream.
+fn render(sections: &[(&str, String)]) -> String {
+    let mut s = String::new();
+    for (name, body) in sections {
+        s.push_str(&format!("== {name} ==\n"));
+        s.push_str(body);
+        if !body.ends_with('\n') {
+            s.push('\n');
+        }
+    }
+    s
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+/// Compares `actual` against the checked-in snapshot, or rewrites the
+/// snapshot when `UPDATE_GOLDEN=1`.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden snapshot {}: {e}; run UPDATE_GOLDEN=1 cargo test --test golden_outputs", path.display())
+    });
+    if expected != actual {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/golden-actual");
+        std::fs::create_dir_all(&dir).expect("create golden-actual dir");
+        let actual_path = dir.join(format!("{name}.txt"));
+        std::fs::write(&actual_path, actual).expect("write actual snapshot");
+        // Name the first diverging section + line for a readable failure.
+        let mut at = "end of file".to_string();
+        let mut section = "?".to_string();
+        for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+            if let Some(s) = e.strip_prefix("== ") {
+                section = s.trim_end_matches(" ==").to_string();
+            }
+            if e != a {
+                at = format!("line {} (section {section}):\n  expected: {e}\n  actual:   {a}", i + 1);
+                break;
+            }
+        }
+        panic!(
+            "golden snapshot {name} drifted at {at}\nfull actual written to {}\n\
+             if the change is intentional: UPDATE_GOLDEN=1 cargo test --test golden_outputs",
+            actual_path.display()
+        );
+    }
+}
+
+/// Runs the single-threaded engine and snapshots all five sections:
+/// data, logs, status, metadata, metrics.
+fn scan_and_snapshot(name: &str, mutate: impl FnOnce(&mut ScanConfig)) {
+    let src = Ipv4Addr::new(192, 0, 2, 9);
+    let net = SimNet::new(world_cfg(5));
+    let mut cfg = ScanConfig::new(src);
+    cfg.apply_default_blocklist = false;
+    cfg.seed = 3;
+    cfg.rate_pps = 100_000;
+    cfg.cooldown_secs = 2;
+    mutate(&mut cfg);
+    let logger = Logger::memory(Level::Debug);
+    let summary = Scanner::with_logger(cfg, net.transport(src), logger.clone())
+        .expect("golden config is valid")
+        .run();
+    assert!(!summary.killed, "golden scans are fault-free");
+
+    let logs = logger
+        .lines()
+        .iter()
+        .map(|(lvl, m)| format!("{lvl:?} {m}\n"))
+        .collect::<String>();
+    let status = summary
+        .status
+        .iter()
+        .map(|s| serde_json::to_string(s).expect("status serializes") + "\n")
+        .collect::<String>();
+    let actual = render(&[
+        ("data (csv)", data_section(&summary.results)),
+        ("logs", logs),
+        ("status (json)", status),
+        ("metadata (json)", summary.metadata.to_json()),
+        (
+            "metrics (json)",
+            serde_json::to_string(&summary.metrics).expect("metrics serialize"),
+        ),
+    ]);
+    check_golden(name, &actual);
+}
+
+#[test]
+fn golden_tcp_single_port() {
+    scan_and_snapshot("tcp80_24", |cfg| {
+        cfg.allowlist_prefix(Ipv4Addr::new(81, 40, 7, 0), 24);
+    });
+}
+
+#[test]
+fn golden_tcp_multiport_windowed() {
+    scan_and_snapshot("tcp_multiport_25", |cfg| {
+        cfg.allowlist_prefix(Ipv4Addr::new(81, 40, 8, 0), 25);
+        cfg.ports = vec![80, 443];
+        cfg.dedup = DedupMethod::Window(1000);
+        cfg.report_failures = true;
+    });
+}
+
+#[test]
+fn golden_icmp_echo() {
+    scan_and_snapshot("icmp_24", |cfg| {
+        cfg.allowlist_prefix(Ipv4Addr::new(81, 40, 9, 0), 24);
+        cfg.probe = ProbeKind::IcmpEcho;
+    });
+}
+
+/// The threaded engine: timestamps of *status samples* depend on thread
+/// scheduling, so the snapshot holds the scheduling-independent parts —
+/// the sorted result set, the final counters, and the metrics dump
+/// (histogram merges are order-independent bucket adds; the recorded
+/// multiset is fixed by the per-thread interleaved schedule).
+#[test]
+fn golden_parallel_two_threads() {
+    let src = Ipv4Addr::new(192, 0, 2, 9);
+    let world = Arc::new(Mutex::new(World::new(world_cfg(5))));
+    let transport = SharedSimTransport::new(world, src);
+    let mut cfg = ScanConfig::new(src);
+    cfg.allowlist_prefix(Ipv4Addr::new(81, 41, 0, 0), 24);
+    cfg.apply_default_blocklist = false;
+    cfg.seed = 3;
+    cfg.subshards = 2;
+    cfg.rate_pps = 100_000;
+    cfg.cooldown_secs = 2;
+    let summary = run_parallel(&cfg, &transport).expect("golden config is valid");
+    assert!(!summary.killed, "golden scans are fault-free");
+
+    let mut results = summary.results.clone();
+    results.sort_by_key(|r| (r.saddr, r.sport, r.ts_ns));
+    let counters = format!(
+        "sent={} validated={} dups={} successes={} retries={} sendto_failures={} corrupted={} clean={}\n",
+        summary.sent,
+        summary.responses_validated,
+        summary.duplicates_suppressed,
+        summary.unique_successes,
+        summary.send_retries,
+        summary.sendto_failures,
+        summary.responses_corrupted,
+        summary.shutdown_clean,
+    );
+    let actual = render(&[
+        ("data (csv, sorted)", data_section(&results)),
+        ("counters", counters),
+        (
+            "metrics (json)",
+            serde_json::to_string(&summary.metrics).expect("metrics serialize"),
+        ),
+    ]);
+    check_golden("parallel_2t_24", &actual);
+}
