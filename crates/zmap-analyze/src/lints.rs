@@ -1,7 +1,7 @@
 //! The lint pass: eight project-specific checks over the lexed token
 //! streams. Each lint exists because a paper invariant (determinism,
 //! statelessness, counter completeness) is only as strong as the
-//! codebase's discipline about it; see DESIGN.md §8 for the mapping.
+//! codebase's discipline about it; see DESIGN.md §9 for the mapping.
 
 use crate::lexer::{LexedFile, Tok};
 use std::collections::BTreeMap;

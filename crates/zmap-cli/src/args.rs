@@ -99,6 +99,10 @@ RATE & SHARDING
   --seed N                 scan seed (permutation + validation key)
   --shard I --shards N     this machine's shard (default 0 of 1)
   --threads T              send subshards (default 1)
+  --tx-pipeline            decouple probe generation from transport:
+                           per-thread generator/transport pairs joined
+                           by SPSC frame rings (netmap model; identical
+                           output, pure performance topology)
   --interleaved            2014 interleaved sharding (default: pizza)
 
 OUTPUT (four streams: data, logs, status, metadata)
@@ -261,6 +265,7 @@ pub fn parse_args(argv: &[String]) -> Result<CliOptions, CliError> {
             "--threads" => {
                 opts.config.subshards = parse_num("--threads", &need(&mut it, "--threads")?)?
             }
+            "--tx-pipeline" => opts.config.tx_pipeline = true,
             "--interleaved" => opts.config.shard_algorithm = ShardAlgorithm::Interleaved,
             "-O" | "--output-format" => {
                 let v = need(&mut it, "--output-format")?;
@@ -448,6 +453,18 @@ mod tests {
         assert_eq!(parse_args(&args("--batch 1")).unwrap().config.batch, 1);
         assert!(invalid_why("--batch 0").contains("--batch"));
         assert!(USAGE.contains("--batch"));
+    }
+
+    #[test]
+    fn tx_pipeline_flag() {
+        assert!(!parse_args(&[]).unwrap().config.tx_pipeline, "off by default");
+        let o = parse_args(&args("--tx-pipeline --threads 4")).unwrap();
+        assert!(o.config.tx_pipeline);
+        assert_eq!(o.config.subshards, 4);
+        // Single-threaded pipelining is allowed (one generator/transport
+        // pair) — it is a topology knob, not a thread-count constraint.
+        assert!(parse_args(&args("--tx-pipeline")).unwrap().config.tx_pipeline);
+        assert!(USAGE.contains("--tx-pipeline"));
     }
 
     #[test]

@@ -86,6 +86,13 @@ pub struct ScanConfig {
     /// knob — the results stream is identical for any value ≥ 1 — so it
     /// is excluded from the config digest.
     pub batch: usize,
+    /// Decouple probe generation from transport in the parallel engine:
+    /// each subshard becomes a generator thread rendering batches into a
+    /// bounded SPSC frame ring drained by a dedicated transport thread
+    /// (the netmap/PF_RING shape from §4.2). Pure performance topology —
+    /// schedule, results, and checkpoints are identical either way — so,
+    /// like `batch`, it is excluded from the config digest.
+    pub tx_pipeline: bool,
     /// Internal: whether `allowlist_prefix` has replaced the default
     /// allow-all constraint yet.
     allowlist_started: bool,
@@ -117,6 +124,7 @@ impl ScanConfig {
             report_failures: false,
             max_retries: 3,
             batch: 64,
+            tx_pipeline: false,
             allowlist_started: false,
         }
     }

@@ -55,6 +55,7 @@ pub mod output;
 pub mod parallel;
 pub mod probe_mod;
 pub mod ratecontrol;
+pub mod ring;
 pub mod scanner;
 pub mod shutdown;
 pub mod transport;

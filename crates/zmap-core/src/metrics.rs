@@ -69,13 +69,44 @@ const HIST_NAMES: [&str; 4] = [
     "cooldown_drain_ns",
 ];
 
+/// Splitmix64 finalizer for the tracker maps. The keys are already
+/// well-mixed `target_key` packings, and `note`/`take` run once per
+/// probe on the TX hot path — std's default SipHash costs more there
+/// than the map operation itself. Not DoS-resistant, which is fine:
+/// keys come from the scan's own permutation, not from the network.
+#[derive(Clone, Copy, Default)]
+struct KeyHasher(u64);
+
+impl std::hash::Hasher for KeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let mut z = n.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+type KeyMap = HashMap<u64, u64, std::hash::BuildHasherDefault<KeyHasher>>;
+
 /// In-flight probe tracker: `target key → scheduled send time`, sharded
 /// by key hash so sender inserts and receive-loop takes contend only
 /// within a shard. Bounded: a full shard drops new inserts (counted), so
 /// memory never exceeds `SHARDS × PER_SHARD_CAP` entries even if nothing
 /// ever answers.
 struct InflightClock {
-    shards: Vec<Mutex<HashMap<u64, u64>>>,
+    shards: Vec<Mutex<KeyMap>>,
     overflow: AtomicU64,
 }
 
@@ -85,12 +116,12 @@ const INFLIGHT_PER_SHARD_CAP: usize = 1 << 16;
 impl InflightClock {
     fn new() -> Self {
         InflightClock {
-            shards: (0..INFLIGHT_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..INFLIGHT_SHARDS).map(|_| Mutex::new(KeyMap::default())).collect(),
             overflow: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, u64>> {
+    fn shard(&self, key: u64) -> &Mutex<KeyMap> {
         // Multiplicative hash spreads the (ip, port) packing across
         // shards; the low bits of raw keys are port bits and cluster.
         let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60;
@@ -101,11 +132,13 @@ impl InflightClock {
     /// same target keep the first stamp).
     fn note(&self, key: u64, t_ns: u64) {
         let mut g = self.shard(key).lock().unwrap_or_else(|p| p.into_inner());
-        if g.len() >= INFLIGHT_PER_SHARD_CAP && !g.contains_key(&key) {
+        if g.len() < INFLIGHT_PER_SHARD_CAP {
+            // Common case: one probe → one lookup on the TX hot path.
+            g.entry(key).or_insert(t_ns);
+        } else if !g.contains_key(&key) {
             self.overflow.fetch_add(1, Ordering::Relaxed);
-            return;
         }
-        g.entry(key).or_insert(t_ns);
+        // At cap with the key present: first stamp wins, nothing to do.
     }
 
     /// Takes `key`'s send time; the first response wins, duplicates get

@@ -19,19 +19,22 @@
 use crate::checkpoint::{config_digest, CheckpointPolicy, CheckpointState};
 use crate::config::{ProbeKind, ScanConfig};
 use crate::log::Logger;
+use crate::metadata::{ConfigEcho, PermutationEcho, ScanMetadata};
 use crate::metrics::{CounterId, HistId, ScanMetrics};
 use crate::monitor::{Monitor, StatusUpdate};
 use crate::output::ScanResult;
 use crate::probe_mod;
 use crate::ratecontrol::RateController;
+use crate::ring::SpscRing;
 use crate::scanner::{checkpoint_via_metrics, ResumeError};
 use crate::shutdown::ShutdownToken;
 use crate::transport::FrameBatch;
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::collections::BTreeMap;
 use zmap_dedup::{target_key, SlidingWindow};
-use zmap_metrics::MetricsSnapshot;
+use zmap_metrics::{MetricsSnapshot, TraceSnapshot};
 use zmap_netsim::{EndpointId, SendError, World};
 use zmap_targets::generator::BuildError;
 use zmap_targets::TargetGenerator;
@@ -211,6 +214,9 @@ pub struct ParallelSummary {
     /// The metrics registry dump: latency histograms, the event trace,
     /// and the RTT-tracker overflow count.
     pub metrics: MetricsSnapshot,
+    /// Stream #4: machine-readable completion metadata, same shape as the
+    /// single-threaded engine's.
+    pub metadata: ScanMetadata,
 }
 
 /// Default consecutive no-progress receive polls before the supervisor
@@ -249,6 +255,76 @@ impl Default for ParallelRunOptions {
 /// senders have finished (drains the cooldown quickly without skipping
 /// any scheduled delivery).
 const COOLDOWN_STEP_NS: u64 = 1_000_000;
+
+/// Batches in flight per generator/transport pair in the TX pipeline
+/// (`cfg.tx_pipeline`), per ring direction. The pre-filled recycle pool
+/// is the *only* source of TX buffers, so pipeline memory is bounded at
+/// `depth × batch × frame` per pair — netmap's preallocated-ring model.
+const TX_RING_DEPTH: usize = 4;
+
+/// Flushes a rendered batch through the batched shared-transport path,
+/// retrying transiently refused frames with the same linear virtual
+/// backoff as the per-probe loop. Returns true when a scheduled kill
+/// landed (and raises `killed`). The flush latency recorded is the
+/// batch's own paced span plus the backoff this flush accrued —
+/// batch-local values that replay identically, unlike a shared-clock
+/// read. Counters land in metrics shard `shard`, which must be owned by
+/// the calling thread.
+fn flush_shared<T: SharedTransport>(
+    transport: &T,
+    metrics: &ScanMetrics,
+    shard: usize,
+    killed: &AtomicBool,
+    max_retries: u32,
+    batch: &FrameBatch,
+) -> bool {
+    let mut idx = 0usize;
+    let mut backoff_total = 0u64;
+    while idx < batch.len() {
+        let (accepted, err) = transport.send_batch_at(batch, idx);
+        metrics.add_at(shard, CounterId::Sent, accepted as u64);
+        idx += accepted;
+        match err {
+            None => break,
+            Some(SendError::Killed) => {
+                killed.store(true, Ordering::Release);
+                return true;
+            }
+            Some(_) => {
+                let (due, frame) = batch.frame(idx);
+                let mut attempt = 0u32;
+                let died = loop {
+                    if attempt == max_retries {
+                        metrics.add_at(shard, CounterId::SendtoFailures, 1);
+                        break false;
+                    }
+                    metrics.add_at(shard, CounterId::SendRetries, 1);
+                    backoff_total += 50_000;
+                    transport.advance_to(due + u64::from(attempt) * 50_000 + 50_000);
+                    attempt += 1;
+                    let at = due + u64::from(attempt) * 50_000;
+                    match transport.send_frame_at(frame, at) {
+                        Ok(()) => {
+                            metrics.add_at(shard, CounterId::Sent, 1);
+                            break false;
+                        }
+                        Err(SendError::Killed) => {
+                            killed.store(true, Ordering::Release);
+                            break true;
+                        }
+                        Err(_) => {}
+                    }
+                };
+                if died {
+                    return true;
+                }
+                idx += 1;
+            }
+        }
+    }
+    metrics.record_at(shard, HistId::BatchFlush, batch.span_ns() + backoff_total);
+    false
+}
 
 /// Runs `cfg` with `cfg.subshards` real send threads over `transport`.
 ///
@@ -340,11 +416,17 @@ fn run_inner<T: SharedTransport>(
     let threads = cfg.subshards.max(1);
     let expected_targets = gen.target_count() / u64::from(cfg.num_shards.max(1));
 
-    // The metrics registry: one counter/histogram shard per send thread
-    // plus one for the receive loop, so every hot-path increment is an
-    // uncontended atomic add. The Monitor, the checkpoint journal, and
-    // the final summary are all consumers of this registry.
-    let metrics = ScanMetrics::new(threads as usize + 1, baseline);
+    // The metrics registry: one counter/histogram shard per hot-path
+    // thread (send thread, or generator + transport pair in pipeline
+    // mode) plus one for the receive loop, so every hot-path increment
+    // is an uncontended atomic add. The Monitor, the checkpoint journal,
+    // and the final summary are all consumers of this registry.
+    let metric_shards = if cfg.tx_pipeline {
+        2 * threads as usize + 1
+    } else {
+        threads as usize + 1
+    };
+    let metrics = ScanMetrics::new(metric_shards, baseline);
     let rx = metrics.rx_shard();
 
     // Cooperative shutdown: the caller's token if given, else an internal
@@ -382,6 +464,20 @@ fn run_inner<T: SharedTransport>(
         status: Vec::new(),
         duration_ns: 0,
         metrics: MetricsSnapshot::default(),
+        metadata: ScanMetadata {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            config: ConfigEcho::from_config(cfg),
+            permutation: PermutationEcho {
+                group_prime: gen.cycle().group().prime(),
+                generator: gen.cycle().generator(),
+                offset: gen.cycle().offset(),
+            },
+            counters: baseline,
+            duration_ns: 0,
+            histograms: BTreeMap::new(),
+            trace: TraceSnapshot::default(),
+            inflight_overflow: 0,
+        },
     };
     let mut monitor = Monitor::new();
 
@@ -396,6 +492,28 @@ fn run_inner<T: SharedTransport>(
         let pos: Vec<u64> = positions.iter().map(|p| p.load(Ordering::Relaxed)).collect();
         checkpoint_via_metrics(policy, digest, cfg, &gen, pos, 0, false, &metrics, &logger);
     }
+
+    // TX pipeline plumbing (paper §4.2, the netmap shape): one `ready`
+    // ring carrying rendered batches generator → transport and one
+    // `recycle` ring carrying drained buffers back, per pair. The
+    // recycle rings are pre-filled with every TX buffer that will ever
+    // exist, so the steady state allocates nothing.
+    let rings: Vec<(SpscRing<FrameBatch>, SpscRing<FrameBatch>)> = if cfg.tx_pipeline {
+        (0..threads)
+            .map(|_| {
+                let ready = SpscRing::with_capacity(TX_RING_DEPTH);
+                let recycle = SpscRing::with_capacity(TX_RING_DEPTH);
+                for _ in 0..TX_RING_DEPTH {
+                    recycle
+                        .try_push(FrameBatch::new(cfg.batch.max(1)))
+                        .unwrap_or_else(|_| unreachable!("fresh ring holds its own depth"));
+                }
+                (ready, recycle)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     std::thread::scope(|scope| {
         for t in 0..threads {
@@ -413,6 +531,105 @@ fn run_inner<T: SharedTransport>(
             let max_retries = cfg.max_retries;
             let rate_pps = cfg.rate_pps;
             let batch_cap = cfg.batch.max(1);
+            if cfg.tx_pipeline {
+                let (ready, recycle) = &rings[t as usize];
+                // Generator half of the pair: walks the subshard, paces,
+                // renders — and never touches the transport. The rate
+                // controller interleaving is identical to the combined
+                // sender's, so the probe schedule (and therefore every
+                // output stream) is byte-equal either way.
+                scope.spawn(move || {
+                    let mut rc = RateController::new_interleaved(
+                        0,
+                        rate_pps,
+                        u64::from(t),
+                        u64::from(threads),
+                    );
+                    let mut entropy: u16 = t as u16;
+                    let mut it = gen.iter_shard(shard, t);
+                    if let Some(pos) = resume_positions {
+                        if let Some(&p) = pos.get(t as usize) {
+                            it.fast_forward_elements(p);
+                        }
+                    }
+                    let mshard = t as usize;
+                    let mut staged = probe_mod::StagedRender::with_capacity(batch_cap);
+                    // The recycle ring is pre-filled at setup, so an empty
+                    // pop means the transport half already died (pre-start
+                    // kill closed both rings): nothing to render.
+                    let Some(mut batch) = recycle.pop() else {
+                        interrupted.fetch_add(1, Ordering::Relaxed);
+                        ready.close();
+                        return;
+                    };
+                    let mut dead = false;
+                    loop {
+                        if token.is_requested() || killed.load(Ordering::Acquire) {
+                            interrupted.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        let Some(target) = it.next() else {
+                            break;
+                        };
+                        let due = start + rc.mark_sent();
+                        entropy = entropy.wrapping_add(0x9E37);
+                        batch.reserve(due, it.elements_consumed());
+                        staged.push(target.ip, target.port, entropy);
+                        metrics.add_at(mshard, CounterId::TargetsTotal, 1);
+                        metrics.note_probe(target_key(u32::from(target.ip), target.port), due);
+                        if !batch.is_full() {
+                            continue;
+                        }
+                        staged.render(template, &mut batch);
+                        // Hand the full batch to the transport thread and
+                        // take a drained buffer back. Either ring closing
+                        // means the transport thread died (kill); stop
+                        // rendering — resume re-walks from its positions.
+                        let refill = match ready.push(batch) {
+                            Ok(()) => recycle.pop(),
+                            Err(_) => None,
+                        };
+                        match refill {
+                            Some(b) => batch = b,
+                            None => {
+                                dead = true;
+                                batch = FrameBatch::new(batch_cap);
+                                break;
+                            }
+                        }
+                    }
+                    // The final partial batch still ships: every consumed
+                    // target's frame reaches the transport thread (or dies
+                    // with it) before this generator reports done.
+                    if !dead && !batch.is_empty() {
+                        staged.render(template, &mut batch);
+                        let _ = ready.push(batch);
+                    }
+                    ready.close();
+                });
+                // Transport half: drains rendered batches and owns all
+                // NIC interaction plus this pair's checkpoint position —
+                // a position advances only once its batch's frames have
+                // actually left (resume re-walks, never skips).
+                scope.spawn(move || {
+                    let mshard = threads as usize + t as usize;
+                    while let Some(mut batch) = ready.pop() {
+                        if flush_shared(transport, metrics, mshard, killed, max_retries, &batch)
+                        {
+                            break;
+                        }
+                        positions[t as usize].store(batch.tag(batch.len() - 1), Ordering::Relaxed);
+                        batch.clear();
+                        let _ = recycle.try_push(batch);
+                    }
+                    // Unblock a generator waiting on either ring, then
+                    // report this pair's send path done.
+                    ready.close();
+                    recycle.close();
+                    finished.fetch_add(1, Ordering::Release);
+                });
+                continue;
+            }
             scope.spawn(move || {
                 // Interleaved pacing: thread t owns global schedule slots
                 // t, t+threads, t+2·threads, … so the union across all
@@ -433,61 +650,10 @@ fn run_inner<T: SharedTransport>(
                     }
                 }
                 let shard = t as usize;
-                // Flushes the queued frames through the batched path,
-                // retrying transiently refused frames with the same
-                // linear virtual backoff as the old per-probe loop.
-                // Returns true when a scheduled kill landed. The flush
-                // latency recorded is the batch's own paced span plus
-                // the backoff this flush accrued — batch-local values
-                // that replay identically, unlike a shared-clock read.
+                // Flushes the queued frames through the batched path
+                // ([`flush_shared`]); true means a scheduled kill landed.
                 let flush = |batch: &FrameBatch| -> bool {
-                    let mut idx = 0usize;
-                    let mut backoff_total = 0u64;
-                    while idx < batch.len() {
-                        let (accepted, err) = transport.send_batch_at(batch, idx);
-                        metrics.add_at(shard, CounterId::Sent, accepted as u64);
-                        idx += accepted;
-                        match err {
-                            None => break,
-                            Some(SendError::Killed) => {
-                                killed.store(true, Ordering::Release);
-                                return true;
-                            }
-                            Some(_) => {
-                                let (due, frame) = batch.frame(idx);
-                                let mut attempt = 0u32;
-                                let died = loop {
-                                    if attempt == max_retries {
-                                        metrics.add_at(shard, CounterId::SendtoFailures, 1);
-                                        break false;
-                                    }
-                                    metrics.add_at(shard, CounterId::SendRetries, 1);
-                                    backoff_total += 50_000;
-                                    transport
-                                        .advance_to(due + u64::from(attempt) * 50_000 + 50_000);
-                                    attempt += 1;
-                                    let at = due + u64::from(attempt) * 50_000;
-                                    match transport.send_frame_at(frame, at) {
-                                        Ok(()) => {
-                                            metrics.add_at(shard, CounterId::Sent, 1);
-                                            break false;
-                                        }
-                                        Err(SendError::Killed) => {
-                                            killed.store(true, Ordering::Release);
-                                            break true;
-                                        }
-                                        Err(_) => {}
-                                    }
-                                };
-                                if died {
-                                    return true;
-                                }
-                                idx += 1;
-                            }
-                        }
-                    }
-                    metrics.record_at(shard, HistId::BatchFlush, batch.span_ns() + backoff_total);
-                    false
+                    flush_shared(transport, metrics, shard, killed, max_retries, batch)
                 };
                 let mut batch = FrameBatch::new(batch_cap);
                 let mut staged = probe_mod::StagedRender::with_capacity(batch_cap);
@@ -717,6 +883,9 @@ fn run_inner<T: SharedTransport>(
     summary.status = monitor.samples().to_vec();
     summary.duration_ns = transport.now() - start;
     summary.metrics = metrics.snapshot();
+    summary.metadata.counters = finals;
+    summary.metadata.duration_ns = summary.duration_ns;
+    summary.metadata.attach_metrics(summary.metrics.clone());
     Ok(summary)
 }
 
@@ -1040,6 +1209,129 @@ mod tests {
             s.duration_ns
         );
         assert_eq!(s.unique_successes, 16, "slow scans still cover everything");
+    }
+
+    #[test]
+    fn tx_pipeline_covers_everything_once() {
+        let world = shared_world();
+        let src = Ipv4Addr::new(192, 0, 2, 9);
+        let transport = SharedSimTransport::new(world, src);
+        let mut cfg = ScanConfig::new(src);
+        cfg.allowlist_prefix(Ipv4Addr::new(44, 11, 0, 0), 24);
+        cfg.apply_default_blocklist = false;
+        cfg.subshards = 4;
+        cfg.rate_pps = 200_000;
+        cfg.cooldown_secs = 1;
+        cfg.tx_pipeline = true;
+        let s = run_parallel(&cfg, &transport).unwrap();
+        assert_eq!(s.sent, 256, "4 generator/transport pairs cover the /24");
+        assert_eq!(s.unique_successes, 256);
+        let distinct: HashSet<_> = s.results.iter().map(|r| r.saddr).collect();
+        assert_eq!(distinct.len(), 256);
+        assert_eq!(s.shutdown_clean, 1);
+    }
+
+    #[test]
+    fn tx_pipeline_matches_the_combined_sender_exactly() {
+        // The pipeline is a pure topology change: same interleaved rate
+        // schedule, same frames, same world — so every counter, every
+        // result record, and the virtual duration must be byte-equal to
+        // the combined-sender engine under the same seed.
+        let run = |pipeline: bool| {
+            let world = shared_world();
+            let src = Ipv4Addr::new(192, 0, 2, 9);
+            let transport = SharedSimTransport::new(world, src);
+            let mut cfg = ScanConfig::new(src);
+            cfg.allowlist_prefix(Ipv4Addr::new(44, 12, 0, 0), 24);
+            cfg.apply_default_blocklist = false;
+            cfg.subshards = 3;
+            cfg.rate_pps = 300_000;
+            cfg.cooldown_secs = 1;
+            cfg.batch = 16; // partial final batches on every subshard
+            cfg.tx_pipeline = pipeline;
+            let mut s = run_parallel(&cfg, &transport).unwrap();
+            s.results.sort_by_key(|r| (r.ts_ns, r.saddr, r.sport));
+            s
+        };
+        let plain = run(false);
+        let piped = run(true);
+        assert_eq!(piped.sent, plain.sent);
+        assert_eq!(piped.responses_validated, plain.responses_validated);
+        assert_eq!(piped.duplicates_suppressed, plain.duplicates_suppressed);
+        assert_eq!(piped.unique_successes, plain.unique_successes);
+        assert_eq!(piped.results, plain.results, "records must be identical");
+        assert_eq!(piped.duration_ns, plain.duration_ns);
+    }
+
+    #[test]
+    fn tx_pipeline_kill_then_resume_covers_everything() {
+        use crate::checkpoint::CheckpointPolicy;
+        use zmap_netsim::FaultPlan;
+        let src = Ipv4Addr::new(192, 0, 2, 9);
+        let dir = std::env::temp_dir().join("zmap-parallel-ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pipeline-resume.ckpt");
+        let mut cfg = ScanConfig::new(src);
+        cfg.allowlist_prefix(Ipv4Addr::new(44, 13, 0, 0), 24);
+        cfg.apply_default_blocklist = false;
+        cfg.subshards = 4;
+        cfg.rate_pps = 200_000;
+        cfg.cooldown_secs = 1;
+        cfg.tx_pipeline = true;
+        let world = Arc::new(Mutex::new(World::new(WorldConfig {
+            seed: 5,
+            model: ServiceModel::dense(&[80]),
+            loss: LossModel::NONE,
+            faults: FaultPlan::builder().kill_at(300).build(),
+            ..WorldConfig::default()
+        })));
+        let transport = SharedSimTransport::new(world, src);
+        let policy = CheckpointPolicy::new(&path).with_interval_ns(100_000);
+        let opts = ParallelRunOptions {
+            checkpoint: Some(policy),
+            ..Default::default()
+        };
+        let first = run_parallel_with(&cfg, &transport, opts.clone()).unwrap();
+        assert!(first.killed, "kill at NIC event 300 lands mid-scan");
+        assert!(first.checkpoints_written >= 1);
+
+        let journal = CheckpointState::load(&path).unwrap();
+        assert!(!journal.complete);
+        let transport2 = SharedSimTransport::new(shared_world(), src);
+        let second = resume_parallel(&cfg, &transport2, &journal, opts).unwrap();
+        assert!(!second.killed);
+        assert_eq!(second.resume_count, 1);
+        let mut union: HashSet<_> = first.results.iter().map(|r| r.saddr).collect();
+        union.extend(second.results.iter().map(|r| r.saddr));
+        assert_eq!(union.len(), 256, "kill/resume must lose nothing");
+    }
+
+    #[test]
+    fn tx_pipeline_honors_a_pre_requested_shutdown() {
+        let world = shared_world();
+        let src = Ipv4Addr::new(192, 0, 2, 9);
+        let transport = SharedSimTransport::new(world, src);
+        let mut cfg = ScanConfig::new(src);
+        cfg.allowlist_prefix(Ipv4Addr::new(44, 14, 0, 0), 24);
+        cfg.apply_default_blocklist = false;
+        cfg.subshards = 2;
+        cfg.rate_pps = 100_000;
+        cfg.cooldown_secs = 1;
+        cfg.tx_pipeline = true;
+        let token = ShutdownToken::new();
+        token.request();
+        let s = run_parallel_with(
+            &cfg,
+            &transport,
+            ParallelRunOptions {
+                shutdown: Some(token),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.sent, 0, "no probe leaves after a shutdown request");
+        assert_eq!(s.shutdown_clean, 1);
+        assert!(!s.killed);
     }
 
     #[test]

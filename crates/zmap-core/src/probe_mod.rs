@@ -46,10 +46,12 @@ pub fn build_template(
 
 /// Staged batch rendering: while the sender reserves batch slots, the
 /// targets queue here; just before a flush the frames are rendered in
-/// interleaved groups of four ([`ProbeTemplate::probe_values_x4`]), so
-/// the per-probe MAC latency overlaps across lanes. Slot `i` of the
-/// batch always corresponds to entry `i` here — both are filled and
-/// cleared in lockstep.
+/// interleaved lane groups — eight wide while they last
+/// ([`ProbeTemplate::probe_values_x8`]), then four
+/// ([`ProbeTemplate::probe_values_x4`]), then scalar — so the per-probe
+/// MAC latency overlaps across lanes. Slot `i` of the batch always
+/// corresponds to entry `i` here — both are filled and cleared in
+/// lockstep.
 pub(crate) struct StagedRender {
     targets: Vec<(Ipv4Addr, u16, u16)>,
 }
@@ -71,6 +73,36 @@ impl StagedRender {
         debug_assert_eq!(self.targets.len(), batch.len(), "slots and stages move in lockstep");
         let n = self.targets.len();
         let mut i = 0;
+        while i + 8 <= n {
+            let lane = |k: usize| self.targets[i + k];
+            let vs = template.probe_values_x8(
+                [
+                    lane(0).0,
+                    lane(1).0,
+                    lane(2).0,
+                    lane(3).0,
+                    lane(4).0,
+                    lane(5).0,
+                    lane(6).0,
+                    lane(7).0,
+                ],
+                [
+                    lane(0).1,
+                    lane(1).1,
+                    lane(2).1,
+                    lane(3).1,
+                    lane(4).1,
+                    lane(5).1,
+                    lane(6).1,
+                    lane(7).1,
+                ],
+            );
+            for (k, v) in vs.into_iter().enumerate() {
+                let (ip, port, entropy) = self.targets[i + k];
+                template.render_with(v, ip, port, entropy, batch.frame_mut(i + k));
+            }
+            i += 8;
+        }
         while i + 4 <= n {
             let lane = |k: usize| self.targets[i + k];
             let vs = template.probe_values_x4(

@@ -18,13 +18,21 @@
 #[derive(Debug, Clone, Copy)]
 pub struct RateController {
     start_ns: u64,
-    interval_num: u64,
+    /// Denominator of the exact `1e9 / rate` interval (the rate in pps).
     interval_den: u64,
-    /// Global schedule slot of this controller's first probe.
-    slot_base: u64,
-    /// Global slots advanced per probe (1 = sole sender).
-    slot_stride: u64,
     sent: u64,
+    /// `floor(slot · num / den)` for the *next* slot, carried
+    /// incrementally so the hot path never divides: a 128-bit division
+    /// per probe costs more than the whole frame render.
+    next_offset: u64,
+    /// `slot · num mod den` for the next slot (the Bresenham error term
+    /// that keeps the incremental offset exactly equal to the closed
+    /// form).
+    next_rem: u64,
+    /// Whole nanoseconds the offset advances per probe.
+    step_whole: u64,
+    /// Fractional advance per probe, in units of `1/den` ns.
+    step_rem: u64,
 }
 
 impl RateController {
@@ -50,31 +58,46 @@ impl RateController {
         assert!(rate_pps > 0, "rate must be positive");
         assert!(stride > 0, "stride must be positive");
         assert!(base < stride, "slot base must be below the stride");
-        // interval = 1e9 / rate as an exact rational (num/den ns).
+        // interval = 1e9 / rate as an exact rational (num/den ns). The
+        // one-time setup divisions run in 128 bits (`slot * 1e9`
+        // overflows u64 past ~18e9 slots); after this the schedule
+        // advances by exact addition only.
+        let num = 1_000_000_000u64;
+        let den = rate_pps;
+        let first = u128::from(base) * u128::from(num);
+        let step = u128::from(stride) * u128::from(num);
         RateController {
             start_ns,
-            interval_num: 1_000_000_000,
-            interval_den: rate_pps,
-            slot_base: base,
-            slot_stride: stride,
+            interval_den: den,
             sent: 0,
+            next_offset: (first / u128::from(den)) as u64,
+            next_rem: (first % u128::from(den)) as u64,
+            step_whole: (step / u128::from(den)) as u64,
+            step_rem: (step % u128::from(den)) as u64,
         }
     }
 
-    /// Timestamp at which the next probe departs. The slot product is
-    /// carried in 128 bits: `slot * 1e9` overflows u64 past ~18e9 slots,
-    /// which a long multi-threaded scan reaches.
+    /// Timestamp at which the next probe departs: exactly
+    /// `start + floor((base + sent · stride) · 1e9 / rate)`, read from
+    /// the incrementally-carried offset.
+    #[inline]
     pub fn next_send_at(&self) -> u64 {
-        let slot = u128::from(self.sent) * u128::from(self.slot_stride)
-            + u128::from(self.slot_base);
-        let offset = slot * u128::from(self.interval_num) / u128::from(self.interval_den);
-        self.start_ns + offset as u64
+        self.start_ns + self.next_offset
     }
 
     /// Marks one probe sent and returns its departure time.
+    #[inline]
     pub fn mark_sent(&mut self) -> u64 {
-        let t = self.next_send_at();
+        let t = self.start_ns + self.next_offset;
         self.sent += 1;
+        // Advance slot by `stride`: add the exact rational step; the
+        // error term carries at most one extra whole nanosecond.
+        self.next_offset += self.step_whole;
+        self.next_rem += self.step_rem;
+        if self.next_rem >= self.interval_den {
+            self.next_rem -= self.interval_den;
+            self.next_offset += 1;
+        }
         t
     }
 

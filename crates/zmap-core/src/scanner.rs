@@ -374,6 +374,10 @@ impl<T: Transport> Scanner<T> {
         // performs zero allocations per probe.
         let mut batch = FrameBatch::new(cfg.batch.max(1));
         let mut staged = probe_mod::StagedRender::with_capacity(cfg.batch.max(1));
+        // Local mirror of the TargetsTotal counter (which includes any
+        // resume baseline): the hot loop reads it once per target, and a
+        // registry read walks every counter shard.
+        let mut targets_total = metrics.get(CounterId::TargetsTotal);
         'scan: while !done {
             if shutdown.as_ref().is_some_and(|t| t.is_requested()) {
                 interrupted = true;
@@ -387,7 +391,7 @@ impl<T: Transport> Scanner<T> {
                 ));
                 break 'scan;
             }
-            if cfg.max_targets > 0 && metrics.get(CounterId::TargetsTotal) >= cfg.max_targets {
+            if cfg.max_targets > 0 && targets_total >= cfg.max_targets {
                 break;
             }
             // Pick the next target, rotating across subshards.
@@ -410,7 +414,7 @@ impl<T: Transport> Scanner<T> {
                 break;
             };
             metrics.add(CounterId::TargetsTotal, 1);
-            let targets_total = metrics.get(CounterId::TargetsTotal);
+            targets_total += 1;
 
             for _ in 0..cfg.probes_per_target.max(1) {
                 let at = rc.mark_sent();

@@ -54,12 +54,17 @@ impl LossModel {
         unit(h) < self.path_loss_fraction
     }
 
-    /// Whether packet number `pkt_id` transiently drops.
-    pub fn transient_drop(&self, seed: u64, pkt_id: u64) -> bool {
+    /// Whether the packet for `dst` stamped `at_ns` transiently drops.
+    /// `dir` disambiguates the probe (0) from each response it triggers
+    /// (1, 2, …). Keyed on the frame itself rather than a global send
+    /// ordinal so that multi-threaded senders — whose interleave through
+    /// the world is nondeterministic — draw identical loss for identical
+    /// probe schedules (same invariance the response-jitter draw keeps).
+    pub fn transient_drop(&self, seed: u64, dst: u32, at_ns: u64, dir: u64) -> bool {
         if self.transient <= 0.0 {
             return false;
         }
-        let h = hash3(seed ^ 0x7415_0CA7, (pkt_id >> 32) as u32, pkt_id | (1 << 41));
+        let h = hash3(seed ^ 0x7415_0CA7, dst, at_ns ^ (dir << 41));
         unit(h) < self.transient
     }
 
@@ -123,16 +128,38 @@ mod tests {
     fn transient_rate_is_calibrated() {
         let m = LossModel::default();
         let n = 400_000u64;
-        let drops = (0..n).filter(|&i| m.transient_drop(7, i)).count() as f64;
+        let drops = (0..n)
+            .filter(|&i| m.transient_drop(7, i as u32, i.wrapping_mul(10_000), 0))
+            .count() as f64;
         let rate = drops / n as f64;
         assert!((rate - 0.005).abs() < 0.001, "{rate}");
+    }
+
+    #[test]
+    fn transient_draw_ignores_send_order() {
+        // The draw is a pure function of (seed, dst, stamp, dir): no
+        // hidden ordinal, so any interleave of the same probes drops the
+        // same subset.
+        let m = LossModel::default();
+        let probes: Vec<(u32, u64)> = (0..1_000u32).map(|i| (i, u64::from(i) * 7)).collect();
+        let forward: Vec<bool> = probes
+            .iter()
+            .map(|&(dst, at)| m.transient_drop(9, dst, at, 0))
+            .collect();
+        let backward: Vec<bool> = probes
+            .iter()
+            .rev()
+            .map(|&(dst, at)| m.transient_drop(9, dst, at, 0))
+            .collect();
+        assert!(forward.iter().eq(backward.iter().rev()));
+        assert!(forward.iter().any(|&d| d), "calibrated rate finds some drop");
     }
 
     #[test]
     fn none_model_never_drops() {
         let m = LossModel::NONE;
         assert!(!m.path_lossy(1, 1, 1));
-        assert!(!m.transient_drop(1, 1));
+        assert!(!m.transient_drop(1, 1, 1, 0));
         assert_eq!(m.delivery_prob(), 1.0);
     }
 }

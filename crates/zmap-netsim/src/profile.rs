@@ -186,6 +186,13 @@ pub fn middlebox(seed: u64, ip: u32, model: &ServiceModel) -> bool {
 
 /// Whether a dead address draws an upstream ICMP host-unreachable.
 pub fn dead_unreach(seed: u64, ip: u32, model: &ServiceModel) -> bool {
+    // Skip the hash entirely when the model can never fire: `unit` is in
+    // [0, 1), so a non-positive threshold is always false — and dead
+    // space dominates a realistic walk, making this the common case in
+    // unreach-free worlds (every transport bench runs one).
+    if model.unreach_for_dead <= 0.0 {
+        return false;
+    }
     unit(hash3(seed, ip, salt::UNREACH)) < model.unreach_for_dead
 }
 

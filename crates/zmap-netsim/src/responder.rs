@@ -77,10 +77,25 @@ pub fn respond(seed: u64, model: &ServiceModel, frame: &[u8]) -> Vec<ResponseAct
     };
     let dst = u32::from(ip.dst());
     let profile = host_profile(seed, dst, model);
+    respond_routed(seed, model, &eth, &ip, profile)
+}
+
+/// [`respond`] for a caller that already parsed the frame and derived
+/// the destination's profile. The world's delivery path computes the
+/// profile once per probe (it also needs the one-way delay from it);
+/// re-deriving it here would roughly double the per-frame hashing for
+/// live destinations.
+pub fn respond_routed(
+    seed: u64,
+    model: &ServiceModel,
+    eth: &EthernetView<'_>,
+    ip: &Ipv4View<'_>,
+    profile: Option<HostProfile>,
+) -> Vec<ResponseAction> {
     match ip.protocol() {
-        IpProtocol::Tcp => respond_tcp(seed, model, &eth, &ip, profile),
-        IpProtocol::Icmp => respond_icmp(seed, &eth, &ip, profile),
-        IpProtocol::Udp => respond_udp(seed, model, &eth, &ip, profile),
+        IpProtocol::Tcp => respond_tcp(seed, model, eth, ip, profile),
+        IpProtocol::Icmp => respond_icmp(seed, eth, ip, profile),
+        IpProtocol::Udp => respond_udp(seed, model, eth, ip, profile),
         IpProtocol::Other(_) => vec![],
     }
 }

@@ -156,6 +156,18 @@ impl ProbeTemplate {
             .probe_x4(self.src_ip, dst_ip.map(u32::from), ports)
     }
 
+    /// Eight targets' MAC material at once via the 8-lane interleaved
+    /// SipHash — the pipelined TX fill path renders in lane groups of
+    /// eight. Lane `i` equals `probe_values(dst_ip[i], dst_port[i])`.
+    pub fn probe_values_x8(&self, dst_ip: [Ipv4Addr; 8], dst_port: [u16; 8]) -> [ProbeValues; 8] {
+        let mut ports = dst_port;
+        for p in ports.iter_mut() {
+            *p = self.mac_port(*p);
+        }
+        self.key
+            .probe_x8(self.src_ip, dst_ip.map(u32::from), ports)
+    }
+
     /// Renders the probe for one target into `out` (cleared first). After
     /// the first call on a given buffer this allocates nothing.
     pub fn render_into(
@@ -358,6 +370,37 @@ mod tests {
         ] {
             let vs = tpl.probe_values_x4(dst, ports);
             for k in 0..4 {
+                let mut out = Vec::new();
+                tpl.render_with(vs[k], dst[k], ports[k], 9, &mut out);
+                assert_eq!(out, tpl.render(dst[k], ports[k], 9), "lane {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn x8_fill_path_matches_serial_render() {
+        // The widened batch fill (probe_values_x8 + render_with) must
+        // produce byte-identical frames to the one-shot render for every
+        // probe shape, exactly like the x4 path.
+        let b = builder();
+        let dst = [
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(0, 0, 0, 0),
+            Ipv4Addr::new(255, 255, 255, 255),
+            Ipv4Addr::new(203, 0, 113, 5),
+            Ipv4Addr::new(8, 8, 8, 8),
+            Ipv4Addr::new(192, 168, 1, 1),
+            Ipv4Addr::new(100, 64, 0, 1),
+            Ipv4Addr::new(1, 1, 1, 1),
+        ];
+        let ports = [80u16, 0, 65535, 443, 53, 22, 8443, 1];
+        for tpl in [
+            ProbeTemplate::tcp_syn(&b),
+            ProbeTemplate::icmp_echo(&b),
+            ProbeTemplate::udp(&b, b"probe").unwrap(),
+        ] {
+            let vs = tpl.probe_values_x8(dst, ports);
+            for k in 0..8 {
                 let mut out = Vec::new();
                 tpl.render_with(vs[k], dst[k], ports[k], 9, &mut out);
                 assert_eq!(out, tpl.render(dst[k], ports[k], 9), "lane {k}");

@@ -207,3 +207,54 @@ fn golden_parallel_two_threads() {
     ]);
     check_golden("parallel_2t_24", &actual);
 }
+
+/// The TX pipeline (`cfg.tx_pipeline`): decoupling generation from
+/// transport must not move a single byte of the scheduling-independent
+/// streams. The same scan runs through the combined senders and the
+/// ring pipeline; both renders must agree with each other *and* with
+/// the checked-in snapshot — so a pipeline regression is caught even if
+/// it breaks both engines symmetrically.
+#[test]
+fn golden_parallel_tx_pipeline() {
+    let src = Ipv4Addr::new(192, 0, 2, 9);
+    let mut cfg = ScanConfig::new(src);
+    cfg.allowlist_prefix(Ipv4Addr::new(81, 41, 0, 0), 24);
+    cfg.apply_default_blocklist = false;
+    cfg.seed = 3;
+    cfg.subshards = 2;
+    cfg.rate_pps = 100_000;
+    cfg.cooldown_secs = 2;
+
+    let snapshot = |cfg: &ScanConfig| {
+        let world = Arc::new(Mutex::new(World::new(world_cfg(5))));
+        let transport = SharedSimTransport::new(world, src);
+        let summary = run_parallel(cfg, &transport).expect("golden config is valid");
+        assert!(!summary.killed, "golden scans are fault-free");
+        let mut results = summary.results.clone();
+        results.sort_by_key(|r| (r.saddr, r.sport, r.ts_ns));
+        let counters = format!(
+            "sent={} validated={} dups={} successes={} retries={} sendto_failures={} corrupted={} clean={}\n",
+            summary.sent,
+            summary.responses_validated,
+            summary.duplicates_suppressed,
+            summary.unique_successes,
+            summary.send_retries,
+            summary.sendto_failures,
+            summary.responses_corrupted,
+            summary.shutdown_clean,
+        );
+        render(&[
+            ("data (csv, sorted)", data_section(&results)),
+            ("counters", counters),
+        ])
+    };
+
+    let combined = snapshot(&cfg);
+    cfg.tx_pipeline = true;
+    let pipelined = snapshot(&cfg);
+    assert_eq!(
+        combined, pipelined,
+        "ring pipeline must be byte-identical to the combined senders"
+    );
+    check_golden("parallel_tx_pipeline_24", &pipelined);
+}

@@ -140,14 +140,41 @@ pub mod collection {
     }
 }
 
+/// Fixed-length array strategies, mirroring `proptest::array`.
+pub mod array {
+    use super::Strategy;
+    use rand::StdRng;
+
+    /// An `[S::Value; N]` with each element drawn from `element`.
+    pub struct UniformArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+        fn sample(&self, rng: &mut StdRng) -> [S::Value; N] {
+            core::array::from_fn(|_| self.element.sample(rng))
+        }
+    }
+
+    pub fn uniform4<S: Strategy>(element: S) -> UniformArrayStrategy<S, 4> {
+        UniformArrayStrategy { element }
+    }
+
+    pub fn uniform8<S: Strategy>(element: S) -> UniformArrayStrategy<S, 8> {
+        UniformArrayStrategy { element }
+    }
+}
+
 /// Everything test files import.
 pub mod prelude {
     pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
     pub use crate::{ProptestConfig, Strategy};
 
     /// Mirror of the `proptest::prop` module path used by call sites
-    /// (`prop::collection::vec`).
+    /// (`prop::collection::vec`, `prop::array::uniform8`).
     pub mod prop {
+        pub use crate::array;
         pub use crate::collection;
     }
 }
