@@ -20,6 +20,7 @@
 pub mod baseline;
 pub mod lexer;
 pub mod lints;
+pub mod parse;
 pub mod report;
 
 use lexer::LexedFile;

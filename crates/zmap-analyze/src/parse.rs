@@ -1,0 +1,588 @@
+//! A lightweight item/signature parser on top of the lexer: resolves
+//! `fn` items (with body spans and impl owners), trait method
+//! declarations, call sites, and macro invocations — enough structure to
+//! build an intra-workspace call graph without pulling in `syn`.
+//!
+//! Like the lexer, the parser is deliberately approximate where lints
+//! don't care: generics are skipped by angle-bracket matching, closure
+//! bodies belong to their enclosing `fn`, and call resolution is by
+//! name (documented per lint). It is exact about the things that make
+//! naive scanning wrong: body extents via brace matching, `impl X for Y`
+//! owner attribution, and innermost-function attribution of call sites.
+
+use crate::lexer::LexedFile;
+
+/// Keywords that look like calls when followed by `(`.
+const NON_CALL_KEYWORDS: [&str; 12] = [
+    "if", "while", "for", "match", "return", "fn", "loop", "in", "as", "let", "else", "move",
+];
+
+/// One `fn` item: free function, inherent/trait-impl method, or trait
+/// declaration (body-less when the trait gives no default).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub decl_idx: usize,
+    /// Token range `(open_brace, past_close_brace)` of the body; `None`
+    /// for body-less trait method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Enclosing `impl` type name (`impl SpscRing<T>` → `SpscRing`).
+    pub owner: Option<String>,
+    /// Trait name for `impl Trait for Type` methods.
+    pub trait_name: Option<String>,
+    /// Whether the item sits inside a `#[cfg(test)]` region / `#[test]`.
+    pub in_test: bool,
+    /// Whether the doc comments directly above declare a `# Panics`
+    /// section (a documented panic contract).
+    pub has_panics_doc: bool,
+    /// Calls made from this fn's body (innermost attribution).
+    pub calls: Vec<CallSite>,
+    /// Macro invocations in this fn's body (`name!`).
+    pub macros: Vec<MacroSite>,
+}
+
+impl FnItem {
+    /// True when token index `i` falls inside this fn's body.
+    pub fn contains(&self, i: usize) -> bool {
+        self.body.is_some_and(|(s, e)| i >= s && i < e)
+    }
+}
+
+/// One call site inside a fn body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (`foo` in `foo(…)`, `x.foo(…)`, `T::foo(…)`).
+    pub name: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Token index of the callee ident.
+    pub idx: usize,
+    /// True for `x.foo(…)` method-call syntax.
+    pub is_method: bool,
+    /// The path qualifier for `Qual::foo(…)` (e.g. `Vec`), if any.
+    pub qualifier: Option<String>,
+    /// Receiver ident for method calls (`x` in `x.foo(…)`; `self.y.foo`
+    /// resolves to `y`, `a[b].foo` to `a`), when recoverable.
+    pub receiver: Option<String>,
+}
+
+/// One macro invocation (`vec!`, `panic!`, `format!`, …).
+#[derive(Debug, Clone)]
+pub struct MacroSite {
+    pub name: String,
+    pub line: u32,
+    pub idx: usize,
+}
+
+/// The parsed form of one source file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Every fn item, in source order.
+    pub fns: Vec<FnItem>,
+    /// Method names declared in `trait … { … }` bodies (used to treat
+    /// `.name(…)` calls as dynamic dispatch over all impls).
+    pub trait_methods: Vec<String>,
+}
+
+impl ParsedFile {
+    /// Index of the innermost fn whose body contains token `i`.
+    pub fn fn_at(&self, i: usize) -> Option<usize> {
+        // Innermost = the fn with the latest body start among those
+        // containing `i` (nested fns start later than their parent).
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.contains(i))
+            .max_by_key(|(_, f)| f.body.map(|(s, _)| s).unwrap_or(0))
+            .map(|(k, _)| k)
+    }
+}
+
+/// Index just past the `}` matching the `{` at `open`.
+fn skip_brace(lexed: &LexedFile, open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < lexed.tokens.len() {
+        if lexed.punct(i, '{') {
+            depth += 1;
+        } else if lexed.punct(i, '}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    lexed.tokens.len()
+}
+
+/// Index just past the `]` matching the `[` at `open`.
+fn skip_bracket(lexed: &LexedFile, open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < lexed.tokens.len() {
+        if lexed.punct(i, '[') {
+            depth += 1;
+        } else if lexed.punct(i, ']') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    lexed.tokens.len()
+}
+
+/// Index just past the `>` matching the `<` at `open` (generics).
+fn skip_angles(lexed: &LexedFile, open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < lexed.tokens.len() {
+        if lexed.punct(i, '<') {
+            depth += 1;
+        } else if lexed.punct(i, '>') {
+            // `->` arrives as '-' '>' — don't count the arrow's '>'.
+            if !(i > 0 && lexed.punct(i - 1, '-')) {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+        } else if lexed.punct(i, '{') || lexed.punct(i, ';') {
+            // Unbalanced (e.g. a `<` comparison): bail at item structure.
+            return i;
+        }
+        i += 1;
+    }
+    lexed.tokens.len()
+}
+
+/// Same `#[cfg(test)]`/`#[test]` region detection as lints.rs (shared
+/// here so parse results carry test membership).
+fn attr_is_cfg_test(lexed: &LexedFile, start: usize, end: usize) -> bool {
+    let mut saw_cfg = false;
+    for i in start..end {
+        match lexed.ident(i) {
+            Some("cfg") => saw_cfg = true,
+            Some("not") => return false,
+            Some("test") | Some("tests") if saw_cfg => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Token-index ranges covered by `#[cfg(test)]` items and `#[test]` fns.
+pub fn test_regions(lexed: &LexedFile) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < lexed.tokens.len() {
+        if lexed.punct(i, '#') && lexed.punct(i + 1, '[') {
+            let attr_end = skip_bracket(lexed, i + 1);
+            let is_test_attr = attr_is_cfg_test(lexed, i + 1, attr_end)
+                || (attr_end == i + 3 && lexed.ident(i + 2) == Some("test"));
+            let mut j = attr_end;
+            while lexed.punct(j, '#') && lexed.punct(j + 1, '[') {
+                j = skip_bracket(lexed, j + 1);
+            }
+            if is_test_attr {
+                let mut k = j;
+                while k < lexed.tokens.len() {
+                    if lexed.punct(k, ';') {
+                        break;
+                    }
+                    if lexed.punct(k, '{') {
+                        let end = skip_brace(lexed, k);
+                        regions.push((i, end));
+                        i = end;
+                        break;
+                    }
+                    k += 1;
+                }
+                if i <= k {
+                    i = k.max(j);
+                }
+            }
+            i = i.max(attr_end);
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+fn in_regions(regions: &[(usize, usize)], idx: usize) -> bool {
+    regions.iter().any(|&(s, e)| idx >= s && idx < e)
+}
+
+/// The impl header's `(owner, trait_name)` given the token index just
+/// past `impl` and the index of the opening `{`. The name recorded for
+/// each side is the *last* path segment outside generics, so
+/// `impl std::fmt::Debug for Foo<T>` yields `(Foo, Debug)`.
+fn impl_owner(lexed: &LexedFile, mut i: usize, open: usize) -> (Option<String>, Option<String>) {
+    let mut before_for: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut seen_for = false;
+    while i < open {
+        if lexed.punct(i, '<') {
+            i = skip_angles(lexed, i).max(i + 1);
+            continue;
+        }
+        match lexed.ident(i) {
+            Some("for") => seen_for = true,
+            Some("where") => break,
+            Some("dyn") | Some("mut") | Some("impl") => {}
+            Some(id) => {
+                let slot = if seen_for { &mut after_for } else { &mut before_for };
+                *slot = Some(id.to_string());
+            }
+            None => {}
+        }
+        i += 1;
+    }
+    match (before_for, after_for, seen_for) {
+        (trait_, Some(owner), true) => (Some(owner), trait_),
+        (Some(owner), None, false) => (Some(owner), None),
+        _ => (None, None),
+    }
+}
+
+/// Parses `lexed` into fn items, trait methods, and call sites.
+pub fn parse(lexed: &LexedFile) -> ParsedFile {
+    let tests = test_regions(lexed);
+    let mut out = ParsedFile::default();
+
+    // Pass 1: impl block extents (so fns get owners) + trait bodies.
+    // impl_spans: (body_start, body_end, owner, trait_name)
+    let mut impl_spans: Vec<(usize, usize, Option<String>, Option<String>)> = Vec::new();
+    let mut trait_bodies: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < lexed.tokens.len() {
+        match lexed.ident(i) {
+            Some("impl") => {
+                let mut k = i + 1;
+                while k < lexed.tokens.len() && !lexed.punct(k, '{') && !lexed.punct(k, ';') {
+                    if lexed.punct(k, '<') {
+                        let nk = skip_angles(lexed, k);
+                        k = nk.max(k + 1);
+                    } else {
+                        k += 1;
+                    }
+                }
+                if lexed.punct(k, '{') {
+                    let end = skip_brace(lexed, k);
+                    let (owner, trait_name) = impl_owner(lexed, i + 1, k);
+                    impl_spans.push((k + 1, end - 1, owner, trait_name));
+                }
+                i = k + 1;
+            }
+            Some("trait") => {
+                let mut k = i + 1;
+                while k < lexed.tokens.len() && !lexed.punct(k, '{') && !lexed.punct(k, ';') {
+                    k += 1;
+                }
+                if lexed.punct(k, '{') {
+                    trait_bodies.push((k + 1, skip_brace(lexed, k) - 1));
+                    // Don't skip the body: default method bodies inside
+                    // still get parsed as fns below.
+                }
+                i = k + 1;
+            }
+            _ => i += 1,
+        }
+    }
+
+    // Pass 2: fn items. Lines holding a `fn` keyword, so a `# Panics`
+    // doc block can be tied to the *next* fn only (no leaking past an
+    // intervening declaration).
+    let fn_lines: Vec<u32> = (0..lexed.tokens.len())
+        .filter(|&k| lexed.ident(k) == Some("fn"))
+        .map(|k| lexed.line(k))
+        .collect();
+    let mut i = 0usize;
+    while i < lexed.tokens.len() {
+        if lexed.ident(i) != Some("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = lexed.ident(i + 1) else {
+            i += 1;
+            continue;
+        };
+        // Find the body `{` or the trailing `;` (trait declaration).
+        let mut k = i + 2;
+        let mut body = None;
+        while k < lexed.tokens.len() {
+            if lexed.punct(k, ';') {
+                break;
+            }
+            if lexed.punct(k, '<') {
+                let nk = skip_angles(lexed, k);
+                k = nk.max(k + 1);
+                continue;
+            }
+            if lexed.punct(k, '{') {
+                body = Some((k, skip_brace(lexed, k)));
+                break;
+            }
+            k += 1;
+        }
+        let enclosing = impl_spans
+            .iter()
+            .filter(|(s, e, _, _)| i >= *s && i < *e)
+            .max_by_key(|(s, _, _, _)| *s);
+        let in_trait = trait_bodies.iter().any(|&(s, e)| i >= s && i < e);
+        if in_trait {
+            out.trait_methods.push(name.to_string());
+        }
+        let line = lexed.line(i + 1);
+        let has_panics_doc = lexed.comments.iter().any(|c| {
+            c.text.contains("# Panics")
+                && c.line < line
+                && c.line + 20 >= line
+                && !fn_lines.iter().any(|&l| l > c.line && l < line)
+        });
+        out.fns.push(FnItem {
+            name: name.to_string(),
+            line: lexed.line(i),
+            decl_idx: i,
+            body: body.map(|(open, end)| (open + 1, end.saturating_sub(1))),
+            owner: enclosing.and_then(|(_, _, o, _)| o.clone()),
+            trait_name: enclosing.and_then(|(_, _, _, t)| t.clone()),
+            in_test: in_regions(&tests, i),
+            has_panics_doc,
+            calls: Vec::new(),
+            macros: Vec::new(),
+        });
+        i = match body {
+            // Step inside the body so nested fns are found too.
+            Some((open, _)) => open + 1,
+            None => k + 1,
+        };
+    }
+
+    // Pass 3: call sites and macro invocations, attributed to the
+    // innermost containing fn.
+    for idx in 0..lexed.tokens.len() {
+        let Some(name) = lexed.ident(idx) else { continue };
+        if NON_CALL_KEYWORDS.contains(&name) {
+            continue;
+        }
+        // Macro invocation: `name ! ( | [ | {`.
+        if lexed.punct(idx + 1, '!')
+            && (lexed.punct(idx + 2, '(') || lexed.punct(idx + 2, '[') || lexed.punct(idx + 2, '{'))
+        {
+            if let Some(f) = out.fn_at(idx) {
+                out.fns[f].macros.push(MacroSite {
+                    name: name.to_string(),
+                    line: lexed.line(idx),
+                    idx,
+                });
+            }
+            continue;
+        }
+        // Call: `name (` — but not a declaration (`fn name(`) and not a
+        // tuple-struct pattern context we can't distinguish (accepted
+        // over-approximation).
+        if !lexed.punct(idx + 1, '(') {
+            continue;
+        }
+        if idx > 0 && lexed.ident(idx - 1) == Some("fn") {
+            continue;
+        }
+        let Some(f) = out.fn_at(idx) else { continue };
+        let is_method = idx > 0 && lexed.punct(idx - 1, '.');
+        let qualifier = if idx >= 3 && lexed.punct(idx - 1, ':') && lexed.punct(idx - 2, ':') {
+            lexed.ident(idx - 3).map(str::to_string)
+        } else {
+            None
+        };
+        let receiver = if is_method { receiver_of(lexed, idx - 1) } else { None };
+        out.fns[f].calls.push(CallSite {
+            name: name.to_string(),
+            line: lexed.line(idx),
+            idx,
+            is_method,
+            qualifier,
+            receiver,
+        });
+    }
+    out
+}
+
+/// The receiver ident of a method call, walking back from the `.` at
+/// `dot`: `x.m(…)` → `x`; `self.y.m(…)` → `y`; `a[i].m(…)` → `a`;
+/// `f(…).m(…)` → the ident before the call's `(`.
+pub fn receiver_of(lexed: &LexedFile, dot: usize) -> Option<String> {
+    let mut j = dot;
+    loop {
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+        if lexed.punct(j, ')') {
+            // Walk to the matching `(`, then take the ident before it.
+            let mut depth = 0i32;
+            loop {
+                if lexed.punct(j, ')') {
+                    depth += 1;
+                } else if lexed.punct(j, '(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return None;
+                }
+                j -= 1;
+            }
+            continue; // token before the `(` is the method/fn name
+        }
+        if lexed.punct(j, ']') {
+            let mut depth = 0i32;
+            loop {
+                if lexed.punct(j, ']') {
+                    depth += 1;
+                } else if lexed.punct(j, '[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return None;
+                }
+                j -= 1;
+            }
+            continue; // token before the `[` is the indexed ident
+        }
+        return match lexed.ident(j) {
+            Some("self") => None, // `self.m(…)`: no useful field name
+            Some(id) => Some(id.to_string()),
+            None => None,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn free_fns_and_bodies() {
+        let p = parse_src("fn a() { b(); }\nfn b() {}\npub fn c(x: u32) -> u32 { x }\n");
+        let names: Vec<_> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert_eq!(p.fns[0].calls.len(), 1);
+        assert_eq!(p.fns[0].calls[0].name, "b");
+        assert!(p.fns[1].calls.is_empty());
+    }
+
+    #[test]
+    fn impl_owner_attribution() {
+        let src = "impl<T: Clone> SpscRing<T> {\n fn try_push(&self) { self.check(); }\n}\n\
+                   impl Transport for SimNet {\n fn send_frame(&self) {}\n}\n";
+        let p = parse_src(src);
+        assert_eq!(p.fns[0].owner.as_deref(), Some("SpscRing"));
+        assert_eq!(p.fns[0].trait_name, None);
+        assert_eq!(p.fns[1].owner.as_deref(), Some("SimNet"));
+        assert_eq!(p.fns[1].trait_name.as_deref(), Some("Transport"));
+    }
+
+    #[test]
+    fn trait_methods_and_default_bodies() {
+        let src = "trait T {\n fn send(&self) -> Result<(), E>;\n fn helper(&self) { self.send(); }\n}";
+        let p = parse_src(src);
+        assert_eq!(p.trait_methods, vec!["send", "helper"]);
+        let helper = p.fns.iter().find(|f| f.name == "helper").unwrap();
+        assert_eq!(helper.calls.len(), 1);
+        assert_eq!(helper.calls[0].name, "send");
+        let send = p.fns.iter().find(|f| f.name == "send").unwrap();
+        assert!(send.body.is_none(), "declaration has no body");
+    }
+
+    #[test]
+    fn method_receivers_resolve_through_fields_and_indexing() {
+        let src = "fn f() { self.tail.load(x); positions[t].store(v); q.pop(); g().h(); }";
+        let p = parse_src(src);
+        let calls = &p.fns[0].calls;
+        let by_name = |n: &str| calls.iter().find(|c| c.name == n).unwrap();
+        assert_eq!(by_name("load").receiver.as_deref(), Some("tail"));
+        assert_eq!(by_name("store").receiver.as_deref(), Some("positions"));
+        assert_eq!(by_name("pop").receiver.as_deref(), Some("q"));
+        assert_eq!(
+            by_name("h").receiver.as_deref(),
+            Some("g"),
+            "call-result receiver resolves to the producing call's name"
+        );
+    }
+
+    #[test]
+    fn qualified_calls_carry_their_qualifier() {
+        let src = "fn f() { Vec::with_capacity(8); std::mem::take(x); plain(); }";
+        let p = parse_src(src);
+        let calls = &p.fns[0].calls;
+        assert_eq!(
+            calls.iter().find(|c| c.name == "with_capacity").unwrap().qualifier.as_deref(),
+            Some("Vec")
+        );
+        assert_eq!(
+            calls.iter().find(|c| c.name == "take").unwrap().qualifier.as_deref(),
+            Some("mem")
+        );
+        assert_eq!(calls.iter().find(|c| c.name == "plain").unwrap().qualifier, None);
+    }
+
+    #[test]
+    fn macros_are_separated_from_calls() {
+        let src = "fn f() { vec![1]; panic!(\"x\"); format!(\"y\"); real(); }";
+        let p = parse_src(src);
+        let macros: Vec<_> = p.fns[0].macros.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(macros, vec!["vec", "panic", "format"]);
+        assert_eq!(p.fns[0].calls.len(), 1);
+        assert_eq!(p.fns[0].calls[0].name, "real");
+    }
+
+    #[test]
+    fn nested_fns_get_innermost_attribution() {
+        let src = "fn outer() { inner_call(); fn nested() { deep_call(); } }";
+        let p = parse_src(src);
+        let outer = p.fns.iter().find(|f| f.name == "outer").unwrap();
+        let nested = p.fns.iter().find(|f| f.name == "nested").unwrap();
+        assert_eq!(outer.calls.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(), vec!["inner_call"]);
+        assert_eq!(nested.calls.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(), vec!["deep_call"]);
+    }
+
+    #[test]
+    fn test_region_membership_and_panics_doc() {
+        let src = "/// Checks a thing.\n/// # Panics\n/// Panics when x is 0.\nfn checked(x: u32) { assert!(x > 0); }\n\
+                   #[cfg(test)]\nmod tests {\n fn t() {}\n}\n";
+        let p = parse_src(src);
+        let checked = p.fns.iter().find(|f| f.name == "checked").unwrap();
+        assert!(checked.has_panics_doc);
+        assert!(!checked.in_test);
+        let t = p.fns.iter().find(|f| f.name == "t").unwrap();
+        assert!(t.in_test);
+        assert!(!t.has_panics_doc);
+    }
+
+    #[test]
+    fn generic_signatures_do_not_confuse_body_detection() {
+        let src = "fn f<T: Iterator<Item = u8>>(x: T) -> Vec<u8> where T: Clone { x.collect() }";
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 1);
+        assert!(p.fns[0].body.is_some());
+        assert_eq!(p.fns[0].calls[0].name, "collect");
+    }
+}

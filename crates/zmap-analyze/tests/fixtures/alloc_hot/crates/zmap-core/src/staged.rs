@@ -1,0 +1,22 @@
+//! Fixture: alloc-in-hot-path — an allocation one call-graph hop below
+//! a hot root fires; the same allocation in an unreachable fn stays
+//! quiet.
+
+pub struct StagedRender {
+    out: Vec<u8>,
+}
+
+impl StagedRender {
+    pub fn push(&mut self, frame: &[u8]) {
+        self.stage(frame);
+    }
+
+    fn stage(&mut self, frame: &[u8]) {
+        let copy = frame.to_vec();
+        self.out.extend_from_slice(&copy);
+    }
+
+    pub fn label(&self) -> String {
+        format!("staged:{}", self.out.len())
+    }
+}

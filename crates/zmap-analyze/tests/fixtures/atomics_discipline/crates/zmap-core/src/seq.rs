@@ -1,0 +1,34 @@
+//! Fixture: atomics-ordering-discipline positive and negative cases.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Seq {
+    // [atomics] good: Relaxed or Acquire load by either side,
+    // Release store to publish.
+    good: AtomicU64,
+    bad: AtomicU64,
+}
+
+impl Seq {
+    pub fn covered(&self) -> u64 {
+        self.good.load(Ordering::Acquire)
+    }
+
+    pub fn uncovered(&self) -> u64 {
+        self.bad.load(Ordering::Acquire)
+    }
+
+    pub fn seqcst(&self) {
+        self.good.store(1, Ordering::SeqCst);
+    }
+
+    pub fn guarded(&self, slots: &[u64]) -> u64 {
+        let i = self.good.load(Ordering::Acquire) as usize;
+        slots[i % 4]
+    }
+
+    pub fn unguarded(&self, slots: &[u64]) -> u64 {
+        let i = self.good.load(Ordering::Relaxed) as usize;
+        slots[i % 4]
+    }
+}

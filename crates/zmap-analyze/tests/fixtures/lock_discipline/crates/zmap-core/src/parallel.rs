@@ -1,0 +1,25 @@
+//! Fixture: lock-discipline — guard held across a send, drop-first and
+//! through-the-guard negatives, and an acquisition order that the
+//! sibling log.rs fixture reverses.
+
+pub fn hold_across_send(tx: &Tx, link: &Link) {
+    let g = tx.world.lock().unwrap_or_else(|p| p.into_inner());
+    link.send_batch(&[*g]);
+}
+
+pub fn drop_before_send(tx: &Tx, link: &Link) {
+    let g = tx.world.lock().unwrap_or_else(|p| p.into_inner());
+    let v = *g;
+    drop(g);
+    link.send_batch(&[v]);
+}
+
+pub fn through_guard(tx: &Tx) {
+    let world = tx.world.lock().unwrap_or_else(|p| p.into_inner());
+    world.send_batch(&[1]);
+}
+
+pub fn ordered(tx: &Tx) {
+    let _log = tx.log.lock().unwrap_or_else(|p| p.into_inner());
+    let _stats = tx.stats.lock().unwrap_or_else(|p| p.into_inner());
+}

@@ -1,0 +1,28 @@
+//! Fixture: panic-reachability — an unwrap one hop below an engine
+//! entry point fires; a documented `# Panics` contract and a fn no
+//! entry point reaches stay quiet.
+
+pub struct Engine;
+
+impl Engine {
+    pub fn run(&self) -> u64 {
+        self.step()
+    }
+
+    fn step(&self) -> u64 {
+        let v: Option<u64> = None;
+        v.unwrap()
+    }
+
+    /// Escape hatch: the abort below is part of the documented contract.
+    ///
+    /// # Panics
+    /// Panics whenever called; the fixture wants it that way.
+    pub fn run_with(&self) {
+        panic!("documented contract");
+    }
+}
+
+pub fn helper() -> u64 {
+    todo!()
+}

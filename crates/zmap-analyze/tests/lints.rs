@@ -153,6 +153,78 @@ fn deferred_work_markers_fire() {
 }
 
 #[test]
+fn atomics_discipline_requires_protocol_comments_and_bans_seqcst() {
+    let f = fixture("atomics_discipline");
+    assert_eq!(
+        spans(&f, "atomics-ordering-discipline"),
+        vec![
+            ("crates/zmap-core/src/seq.rs".to_string(), 18),
+            ("crates/zmap-core/src/seq.rs".to_string(), 22),
+            ("crates/zmap-core/src/seq.rs".to_string(), 32),
+        ],
+        "L18: `bad` has no protocol comment; L22: SeqCst is always denied; \
+         L32: slot read guarded only by a Relaxed load. The annotated \
+         `good` sites and the Acquire-guarded slot read stay quiet"
+    );
+    assert!(f[0].message.contains("[atomics] bad"), "{:?}", f[0]);
+    assert!(f[1].message.contains("SeqCst"), "{:?}", f[1]);
+    assert!(f[2].message.contains("Relaxed"), "{:?}", f[2]);
+    assert_eq!(f.len(), 3, "{f:?}");
+}
+
+#[test]
+fn lock_discipline_flags_sends_under_guard_and_abba_order() {
+    let f = fixture("lock_discipline");
+    assert_eq!(
+        spans(&f, "lock-discipline"),
+        vec![
+            ("crates/zmap-core/src/parallel.rs".to_string(), 7),
+            ("crates/zmap-core/src/parallel.rs".to_string(), 24),
+        ],
+        "L7: send_batch while the world guard lives; L24: log→stats order \
+         reversed by log.rs. drop-before-send and sending through the \
+         guard itself stay quiet"
+    );
+    assert!(f[0].message.contains("send_batch") && f[0].message.contains("world"), "{:?}", f[0]);
+    assert!(f[1].message.contains("opposite order") && f[1].message.contains("log.rs"), "{:?}", f[1]);
+    assert_eq!(f.len(), 2, "{f:?}");
+}
+
+#[test]
+fn alloc_in_hot_path_follows_the_call_graph() {
+    let f = fixture("alloc_hot");
+    assert_eq!(
+        spans(&f, "alloc-in-hot-path"),
+        vec![("crates/zmap-core/src/staged.rs".to_string(), 15)],
+        "to_vec one hop below StagedRender::push fires; the format! in \
+         the unreachable `label` stays quiet"
+    );
+    assert!(
+        f[0].message.contains("StagedRender::push → StagedRender::stage"),
+        "the finding names the reaching chain: {:?}",
+        f[0]
+    );
+    assert_eq!(f.len(), 1, "{f:?}");
+}
+
+#[test]
+fn panic_reachability_follows_entry_points_and_honors_panics_docs() {
+    let f = fixture("panic_reach");
+    assert_eq!(
+        spans(&f, "panic-reachability"),
+        vec![("crates/zmap-core/src/engine.rs".to_string(), 14)],
+        "unwrap below Engine::run fires; the documented `# Panics` \
+         contract in run_with and the unreachable helper stay quiet"
+    );
+    assert!(
+        f[0].message.contains("Engine::run → Engine::step"),
+        "the finding names the reaching chain: {:?}",
+        f[0]
+    );
+    assert_eq!(f.len(), 1, "{f:?}");
+}
+
+#[test]
 fn findings_come_back_sorted_by_path_line_lint() {
     let f = fixture("counter_wiring");
     let mut sorted = f.clone();

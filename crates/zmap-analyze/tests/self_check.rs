@@ -1,6 +1,7 @@
-//! The workspace must pass its own analyzer: `check --deny` with the
-//! shipped baseline exits 0, and the baseline carries no stale entries —
-//! so the suppression file can only shrink over time.
+//! The workspace must pass its own analyzer: `check --deny` exits 0
+//! with an EMPTY baseline. The suppression file shrank to nothing over
+//! successive PRs; these tests keep it that way — any new finding must
+//! be fixed in the code, not suppressed.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -32,9 +33,14 @@ fn workspace_is_clean_under_the_shipped_baseline() {
         "stale baseline entries — the finding is gone, delete the entry:\n{}",
         zmap_analyze::report::text(&applied)
     );
+    assert_eq!(
+        applied.suppressed, 0,
+        "the baseline is empty and must stay empty — fix findings in \
+         the code instead of suppressing them"
+    );
     assert!(
-        applied.suppressed > 0,
-        "the shipped baseline should still be load-bearing"
+        suppressions.is_empty(),
+        "no entries may be added to analyze-baseline.toml"
     );
 }
 
@@ -78,5 +84,5 @@ fn json_report_is_machine_readable() {
         serde_json::from_str(stdout.trim()).expect("valid JSON on stdout");
     assert_eq!(v["findings"].as_array().map(Vec::len), Some(0));
     assert_eq!(v["stale_baseline"].as_array().map(Vec::len), Some(0));
-    assert!(v["suppressed"].as_u64().unwrap() > 0);
+    assert_eq!(v["suppressed"].as_u64(), Some(0));
 }

@@ -50,6 +50,8 @@ pub mod l7;
 pub mod log;
 pub mod metadata;
 pub mod metrics;
+#[cfg(test)]
+mod model_check;
 pub mod monitor;
 pub mod output;
 pub mod parallel;

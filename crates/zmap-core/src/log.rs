@@ -83,9 +83,12 @@ impl Logger {
         }
     }
 
-    /// Logs at `level`.
+    /// Logs at `level`. A poisoned logger recovers rather than panics:
+    /// the sink only ever appends lines, so the state behind a poisoned
+    /// lock is still coherent — and losing the whole scan because a
+    /// *logging* thread died would invert the priority order.
     pub fn log(&self, level: Level, args: Arguments<'_>) {
-        let mut inner = self.inner.lock().expect("logger poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         if level < inner.min {
             return;
         }
@@ -114,7 +117,7 @@ impl Logger {
 
     /// Snapshot of collected lines (memory sink only; empty otherwise).
     pub fn lines(&self) -> Vec<(Level, String)> {
-        match &self.inner.lock().expect("logger poisoned").sink {
+        match &self.inner.lock().unwrap_or_else(|p| p.into_inner()).sink {
             Sink::Memory(v) => v.clone(),
             _ => Vec::new(),
         }

@@ -107,6 +107,8 @@ type KeyMap = HashMap<u64, u64, std::hash::BuildHasherDefault<KeyHasher>>;
 /// ever answers.
 struct InflightClock {
     shards: Vec<Mutex<KeyMap>>,
+    // [atomics] overflow: Relaxed counter of dropped inserts; summed at
+    // snapshot time after the scan quiesces, so no ordering is needed.
     overflow: AtomicU64,
 }
 

@@ -115,8 +115,15 @@ impl<W: Write> OutputModule<W> {
             }
             OutputFormat::Csv => {
                 if !self.wrote_header {
-                    let names: Vec<&str> = SCHEMA.iter().map(|&(n, _)| n).collect();
-                    writeln!(self.out, "{}", names.join(","))?;
+                    // Write the header straight from SCHEMA: this runs
+                    // lazily on the record path, which must not allocate.
+                    for (i, &(name, _)) in SCHEMA.iter().enumerate() {
+                        if i > 0 {
+                            write!(self.out, ",")?;
+                        }
+                        write!(self.out, "{name}")?;
+                    }
+                    writeln!(self.out)?;
                     self.wrote_header = true;
                 }
                 writeln!(

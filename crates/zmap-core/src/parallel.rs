@@ -119,7 +119,12 @@ pub fn lock_world<'a>(
 pub struct SharedSimTransport {
     world: Arc<Mutex<World>>,
     ep: EndpointId,
+    // [atomics] clock: monotone virtual time — AcqRel fetch_max to
+    // publish each thread's latest send time, Acquire load so a reader
+    // sees every event at or before the observed instant.
     clock: AtomicU64,
+    // [atomics] recoveries: Relaxed counter of poisoned-lock recoveries;
+    // diagnostic only, ordered by the world mutex it annotates.
     recoveries: AtomicU64,
 }
 
@@ -409,8 +414,17 @@ fn run_inner<T: SharedTransport>(
     let digest = config_digest(cfg);
     let logger = Logger::null();
 
+    // [atomics] finished_senders: Release increment as each sender's last
+    // visible write, Acquire load by the supervisor so a full count means
+    // every sender's effects are visible. (Closures bind it as
+    // `finished`; same protocol.)
     let finished_senders = AtomicU64::new(0);
+    // [atomics] interrupted_senders: Relaxed count of senders that bailed
+    // on shutdown/kill; read after the join barrier, which orders it.
+    // (Closures bind it as `interrupted`; same protocol.)
     let interrupted_senders = AtomicU64::new(0);
+    // [atomics] killed: Release store when any thread observes the kill,
+    // Acquire load so whoever sees the flag also sees the killing state.
     let killed = AtomicBool::new(false);
     let start = transport.now();
     let threads = cfg.subshards.max(1);
@@ -435,6 +449,8 @@ fn run_inner<T: SharedTransport>(
 
     // Per-sender element positions, observable by the receive loop for
     // checkpointing without stopping the senders.
+    // [atomics] positions: Relaxed stores/loads — checkpoint snapshots
+    // tolerate slight staleness (a rewound resume re-sends, never skips).
     let positions: Vec<AtomicU64> = (0..threads)
         .map(|t| {
             AtomicU64::new(

@@ -22,17 +22,34 @@
 //! unblocks promptly — no frame is silently dropped, and no thread can
 //! deadlock on a dead partner.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Mutex;
+
+// Test builds swap the sequence counters for zmap-sched shims so the
+// model checker (src/model_check.rs) can explore every interleaving of
+// the real ring code; release builds use the std atomics unchanged.
+#[cfg(not(test))]
+use std::sync::atomic::{AtomicBool, AtomicU64};
+#[cfg(test)]
+use zmap_sched::{ShimAtomicBool as AtomicBool, ShimAtomicU64 as AtomicU64};
 
 /// Bounded SPSC queue. See the module docs for the concurrency contract:
 /// one pushing thread, one popping thread, either may close.
 pub struct SpscRing<T> {
     slots: Vec<Mutex<Option<T>>>,
     /// Sequence number of the next value to pop (consumer-owned).
+    // [atomics] head: Relaxed load by its owner (the consumer — nobody
+    // else writes it), Acquire load by the producer so a freed slot is
+    // seen empty, Release store to publish the take.
     head: AtomicU64,
     /// Sequence number of the next value to push (producer-owned).
+    // [atomics] tail: Relaxed load by its owner (the producer), Acquire
+    // load by the consumer so the slot's contents are visible before the
+    // counter that announces them, Release store to publish the write.
     tail: AtomicU64,
+    // [atomics] closed: Release store (either side), Acquire load — the
+    // closer's final pushes must be visible to a consumer that observes
+    // the flag and drains.
     closed: AtomicBool,
 }
 

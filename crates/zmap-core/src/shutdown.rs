@@ -13,13 +13,23 @@
 //! handler in a real deployment, or call [`ShutdownToken::request`]
 //! programmatically (what the tests and the watchdog do).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+// Test builds swap the flag for a zmap-sched shim so the model checker
+// (src/model_check.rs) can explore request/observe interleavings.
+#[cfg(not(test))]
+use std::sync::atomic::AtomicBool;
+#[cfg(test)]
+use zmap_sched::ShimAtomicBool as AtomicBool;
 
 /// Shared stop-request flag. Cheap to clone; all clones observe the
 /// same state.
 #[derive(Debug, Clone, Default)]
 pub struct ShutdownToken {
+    // [atomics] requested: Release store by the requester so everything
+    // it did before asking for shutdown is visible to engine threads
+    // that Acquire-load the flag and begin the cooldown drain.
     requested: Arc<AtomicBool>,
 }
 

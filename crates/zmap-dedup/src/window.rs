@@ -51,8 +51,11 @@ impl SlidingWindow {
             return false;
         }
         if self.ring.len() == self.capacity {
-            let oldest = self.ring.pop_front().expect("ring is non-empty at capacity");
-            self.set.remove(oldest);
+            // At capacity the ring is non-empty, so this always evicts;
+            // written as an if-let so a live scan can never panic here.
+            if let Some(oldest) = self.ring.pop_front() {
+                self.set.remove(oldest);
+            }
         }
         self.set.insert(key);
         self.ring.push_back(key);

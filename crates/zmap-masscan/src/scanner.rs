@@ -150,11 +150,13 @@ impl<T: Transport> MasscanScanner<T> {
             let v = self.shuffler.shuffle(i);
             let ip_idx = v % self.num_ips;
             let port_idx = (v / self.num_ips) as usize;
-            let ip = Ipv4Addr::from(
-                self.constraint
-                    .lookup(ip_idx)
-                    .expect("index within allowed count"),
-            );
+            // `ip_idx < num_ips = allowed_count`, so the lookup cannot
+            // miss; skipping (rather than panicking) on any future drift
+            // keeps a live sweep alive.
+            let Some(addr) = self.constraint.lookup(ip_idx) else {
+                continue;
+            };
+            let ip = Ipv4Addr::from(addr);
             let port = self.cfg.ports[port_idx.min(self.cfg.ports.len() - 1)];
             if probed.check_and_insert(target_key(u32::from(ip), port)) {
                 sum.distinct_probed += 1;

@@ -16,6 +16,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// loop's mirror of the transport's poison-recovery count).
 pub struct CounterBank {
     width: usize,
+    // [atomics] shards: all ops Relaxed — each lane has one writer, sums
+    // commute, and snapshots happen after the writers quiesce (join),
+    // which supplies the ordering.
     shards: Vec<Vec<AtomicU64>>,
 }
 

@@ -183,8 +183,14 @@ pub struct HistogramSnapshot {
 /// One shard of a [`SharedHistogram`]: lock-free bucket adds plus
 /// monotone min/max races (fetch_min/fetch_max — order-independent).
 struct AtomicShard {
+    // [atomics] buckets: Relaxed adds — addition commutes and snapshots
+    // run after writers quiesce (the join supplies the ordering).
     buckets: Vec<AtomicU64>,
+    // [atomics] min: Relaxed fetch_min — monotone race, any interleaving
+    // converges to the same value.
     min: AtomicU64,
+    // [atomics] max: Relaxed fetch_max — monotone race, any interleaving
+    // converges to the same value.
     max: AtomicU64,
 }
 

@@ -188,6 +188,11 @@ fn respond_tcp(
     }
 }
 
+/// Echo reply (plus duplicate blowback) for an ICMP echo request.
+///
+/// # Panics
+/// Panics if the reply overflows the IPv4 length field — unreachable
+/// for the bounded echo replies built here; `emit` checks it.
 fn respond_icmp(
     seed: u64,
     eth: &EthernetView<'_>,
@@ -227,6 +232,11 @@ fn respond_icmp(
     out
 }
 
+/// UDP service reply (or ICMP port-unreachable) for a UDP probe.
+///
+/// # Panics
+/// Panics if the reply overflows the IPv4 length field — unreachable
+/// for the bounded datagrams built here; `emit` checks it.
 fn respond_udp(
     seed: u64,
     model: &ServiceModel,
@@ -296,6 +306,11 @@ fn reply_eth(eth: &EthernetView<'_>, ip: &Ipv4View<'_>, frame: &mut Vec<u8>) {
     .emit(frame);
 }
 
+/// SYN-ACK frame for a live host's open port, with OS-specific options.
+///
+/// # Panics
+/// Panics if the reply overflows the IPv4 length field — unreachable
+/// for the header-only segments built here; `emit` checks it.
 fn build_synack(
     eth: &EthernetView<'_>,
     ip: &Ipv4View<'_>,
@@ -336,6 +351,10 @@ fn build_synack(
 
 /// Middlebox SYN-ACK: a bland, embedded-looking stack that answers any
 /// port (no blowback, no options beyond MSS).
+///
+/// # Panics
+/// Panics if the reply overflows the IPv4 length field — unreachable
+/// for the header-only segments built here; `emit` checks it.
 fn build_middlebox_synack(
     eth: &EthernetView<'_>,
     ip: &Ipv4View<'_>,
@@ -372,6 +391,10 @@ fn build_middlebox_synack(
 
 /// L7 banner reply: PSH|ACK carrying the service banner, acknowledging
 /// the client's data.
+///
+/// # Panics
+/// Panics if the reply overflows the IPv4 length field — unreachable
+/// for the short banners served here; `emit` checks it.
 fn build_banner(
     eth: &EthernetView<'_>,
     ip: &Ipv4View<'_>,
@@ -411,6 +434,11 @@ fn build_banner(
     frame
 }
 
+/// RST-ACK for a closed port.
+///
+/// # Panics
+/// Panics if the reply overflows the IPv4 length field — unreachable
+/// for the header-only segments built here; `emit` checks it.
 fn build_rst(
     eth: &EthernetView<'_>,
     ip: &Ipv4View<'_>,
@@ -447,6 +475,10 @@ fn build_rst(
 /// An ICMP destination-unreachable from `router`, quoting the probe's IP
 /// header + 8 bytes (RFC 792). Also used by the fault layer's ICMP
 /// rate-limit storms.
+///
+/// # Panics
+/// Panics if the reply overflows the IPv4 length field — unreachable
+/// for the 28-byte quote bound here; `emit` checks it.
 pub(crate) fn build_unreach(
     eth: &EthernetView<'_>,
     ip: &Ipv4View<'_>,

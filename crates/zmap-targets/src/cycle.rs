@@ -27,6 +27,11 @@ impl Cycle {
     /// for every group element `x < p` — mirroring ZMap's constraint even
     /// though our arithmetic routes through `u128` and would be safe
     /// regardless. For the 2^48 group this bound is 2^16.
+    ///
+    /// # Panics
+    /// Panics if the generator search exhausts `u32::MAX` attempts —
+    /// mathematically unreachable (φ(p−1)/(p−1) of residues generate the
+    /// group, so the expected attempt count is single-digit).
     pub fn new(group: CyclicGroup, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let p = group.prime();

@@ -94,10 +94,10 @@ impl TargetGenerator {
         if port_idx >= self.ports.len() || ip_idx >= self.num_ips {
             return None;
         }
-        let addr = self
-            .constraint
-            .lookup(ip_idx)
-            .expect("ip_idx < allowed_count by check above");
+        // `ip_idx < num_ips` was checked above, so this lookup cannot
+        // miss; routing the impossible case through `?` keeps the decode
+        // path panic-free (rejection, not abort, on any future drift).
+        let addr = self.constraint.lookup(ip_idx)?;
         Some(Target {
             ip: Ipv4Addr::from(addr),
             port: self.ports[port_idx],

@@ -121,6 +121,12 @@ pub fn parse_target_file_contents(contents: &str) -> Result<Vec<Cidr>, ParseErro
 
 /// The IANA reserved/special-purpose prefixes ZMap blocks by default
 /// (RFC 6890 and friends): never probed even with a `0.0.0.0/0` allowlist.
+///
+/// # Panics
+/// Panics if the static prefix table fails to parse — a compile-time
+/// constant, so only a broken edit can trip it. Silently skipping a
+/// malformed entry would weaken the blocklist, which is safety-relevant;
+/// failing loudly at startup is the correct trade.
 pub fn default_blocklist() -> Vec<Cidr> {
     const PREFIXES: [&str; 15] = [
         "0.0.0.0/8",          // "this" network
