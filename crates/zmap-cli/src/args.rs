@@ -36,6 +36,17 @@ pub struct CliOptions {
     pub checkpoint_interval_secs: u64,
     /// Resume the scan recorded in the journal at `checkpoint_path`.
     pub resume: bool,
+    /// Drain-watchdog threshold in virtual seconds: how long a frozen
+    /// progress signature is tolerated before the stall is declared
+    /// (`None` = engine default).
+    pub watchdog_secs: Option<u64>,
+    /// Supervisor mode: path to a job-spec JSON file. The process runs
+    /// the scan supervisor over the jobs in the file instead of a single
+    /// scan.
+    pub serve_path: Option<String>,
+    /// Directory for per-job output files in `--serve` mode (default
+    /// current directory).
+    pub serve_output_dir: Option<String>,
     /// Print help and exit.
     pub help: bool,
 }
@@ -130,6 +141,27 @@ CRASH TOLERANCE
                            refuses a journal written by a different
                            configuration. Exit code 3 means the scan was
                            killed mid-flight and the journal is resumable.
+  --watchdog-secs N        declare a worker stalled after N virtual
+                           seconds without progress (clock, pending RX,
+                           or RX counters); must exceed
+                           --checkpoint-interval-secs so a checkpoint
+                           pause can never trip it (default 1000)
+
+SUPERVISOR (scan-as-a-service mode)
+  --serve FILE             run the scan supervisor over the jobs in FILE
+                           (JSON job specs: tenant, config, shard plan,
+                           per-worker fault plans). Jobs are sharded
+                           across a bounded worker pool with fair-share
+                           admission per tenant; dead workers (kill,
+                           panic, stall) are quarantined and their jobs
+                           replayed from checkpoint journals with capped
+                           exponential backoff; jobs that keep dying are
+                           parked as degraded. Per-job status JSON lines
+                           go to stderr; per-job data/metadata files go
+                           to --serve-output-dir. Exit 0 when every job
+                           completes, 4 when any job degraded.
+  --serve-output-dir DIR   where --serve writes per-job files
+                           (default .)
 
 SIMULATION (this build scans a simulated Internet)
   --sim-seed N             world seed (default 1)
@@ -168,6 +200,9 @@ pub fn parse_args(argv: &[String]) -> Result<CliOptions, CliError> {
         checkpoint_path: None,
         checkpoint_interval_secs: 1,
         resume: false,
+        watchdog_secs: None,
+        serve_path: None,
+        serve_output_dir: None,
         help: false,
     };
     let mut it = argv.iter().peekable();
@@ -310,6 +345,16 @@ pub fn parse_args(argv: &[String]) -> Result<CliOptions, CliError> {
                 )?
             }
             "--resume" => opts.resume = true,
+            "--watchdog-secs" => {
+                opts.watchdog_secs = Some(parse_num(
+                    "--watchdog-secs",
+                    &need(&mut it, "--watchdog-secs")?,
+                )?)
+            }
+            "--serve" => opts.serve_path = Some(need(&mut it, "--serve")?),
+            "--serve-output-dir" => {
+                opts.serve_output_dir = Some(need(&mut it, "--serve-output-dir")?)
+            }
             "--source-ip" => {
                 let v = need(&mut it, "--source-ip")?;
                 opts.config.source_ip = v.parse().map_err(|_| {
@@ -384,6 +429,30 @@ fn validate(opts: &CliOptions) -> Result<(), CliError> {
             "--status-json formats the status stream that --quiet suppresses; \
              drop one of them"
                 .into(),
+        ));
+    }
+    if let Some(w) = opts.watchdog_secs {
+        if w == 0 {
+            return Err(CliError::Invalid(
+                "--watchdog-secs must be at least 1".into(),
+            ));
+        }
+        if w <= opts.checkpoint_interval_secs {
+            return Err(CliError::Invalid(format!(
+                "--watchdog-secs {w} must exceed --checkpoint-interval-secs {}: \
+                 a checkpoint pause would trip the watchdog",
+                opts.checkpoint_interval_secs
+            )));
+        }
+    }
+    if opts.serve_output_dir.is_some() && opts.serve_path.is_none() {
+        return Err(CliError::Invalid(
+            "--serve-output-dir only applies to --serve mode".into(),
+        ));
+    }
+    if opts.serve_path.is_some() && opts.resume {
+        return Err(CliError::Invalid(
+            "--serve manages per-job journals itself; --resume does not apply".into(),
         ));
     }
     Ok(())
@@ -588,6 +657,38 @@ mod tests {
         assert!(invalid_why("--checkpoint-interval-secs 0").contains("--checkpoint-interval-secs"));
         let o = parse_args(&args("--checkpoint s.ckpt --checkpoint-interval-secs 5")).unwrap();
         assert_eq!(o.checkpoint_interval_secs, 5);
+    }
+
+    #[test]
+    fn watchdog_secs_is_validated_against_the_checkpoint_interval() {
+        assert!(parse_args(&[]).unwrap().watchdog_secs.is_none(), "default unchanged");
+        let o = parse_args(&args("--watchdog-secs 30")).unwrap();
+        assert_eq!(o.watchdog_secs, Some(30));
+        assert!(invalid_why("--watchdog-secs 0").contains("--watchdog-secs"));
+        // A watchdog at or below the checkpoint interval would fire
+        // during a legitimate checkpoint pause.
+        let why = invalid_why("--watchdog-secs 5 --checkpoint-interval-secs 5");
+        assert!(why.contains("--watchdog-secs 5"), "{why}");
+        assert!(why.contains("--checkpoint-interval-secs 5"), "{why}");
+        assert!(invalid_why("--watchdog-secs 1").contains("checkpoint"));
+        assert!(parse_args(&args(
+            "--watchdog-secs 6 --checkpoint-interval-secs 5"
+        ))
+        .is_ok());
+        assert!(USAGE.contains("--watchdog-secs"));
+    }
+
+    #[test]
+    fn serve_flags() {
+        let o = parse_args(&args("--serve jobs.json --serve-output-dir /tmp/out")).unwrap();
+        assert_eq!(o.serve_path.as_deref(), Some("jobs.json"));
+        assert_eq!(o.serve_output_dir.as_deref(), Some("/tmp/out"));
+        assert!(parse_args(&[]).unwrap().serve_path.is_none());
+        assert!(invalid_why("--serve-output-dir /tmp").contains("--serve"));
+        let why = invalid_why("--serve jobs.json --checkpoint a.ckpt --resume");
+        assert!(why.contains("--serve"), "{why}");
+        assert!(USAGE.contains("--serve"));
+        assert!(USAGE.contains("--serve-output-dir"));
     }
 
     #[test]

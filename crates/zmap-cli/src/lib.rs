@@ -13,6 +13,7 @@
 
 pub mod args;
 pub mod run;
+pub mod serve;
 
 pub use args::{parse_args, CliError, CliOptions};
 pub use run::run_scan;

@@ -11,6 +11,7 @@ use zmap_core::output::OutputModule;
 use zmap_core::monitor::StatusUpdate;
 use zmap_core::parallel::{
     resume_parallel, run_parallel_with, ParallelRunOptions, SharedSimTransport,
+    DEFAULT_WATCHDOG_POLL_LIMIT,
 };
 use zmap_core::transport::SimNet;
 use zmap_core::{RunOptions, Scanner};
@@ -20,8 +21,23 @@ use zmap_netsim::{FaultPlan, ServiceModel, World, WorldConfig};
 /// watchdog tripped). The journal at `--checkpoint` is resumable.
 pub const EXIT_KILLED: i32 = 3;
 
+/// Converts `--watchdog-secs` into the engines' poll-count threshold.
+/// The threaded engine burns one idle poll per millisecond of virtual
+/// time, so N seconds is N × 1000 polls; the sequential drain loop uses
+/// the same count as its frozen-signature budget.
+pub fn watchdog_poll_limit(watchdog_secs: Option<u64>) -> u64 {
+    watchdog_secs
+        .map(|n| n.saturating_mul(1_000).max(1))
+        .unwrap_or(DEFAULT_WATCHDOG_POLL_LIMIT)
+}
+
 /// Runs the scan described by `opts`. Returns the process exit code.
 pub fn run_scan(opts: CliOptions) -> io::Result<i32> {
+    // Supervisor mode is a different process shape (many jobs, per-job
+    // streams); hand off before any single-scan setup.
+    if let Some(spec_path) = opts.serve_path.clone() {
+        return crate::serve::run_serve(&opts, &spec_path);
+    }
     // Build the simulated Internet this scan runs against.
     let mut model = ServiceModel::default();
     if let Some(f) = opts.sim_live_fraction {
@@ -78,7 +94,7 @@ pub fn run_scan(opts: CliOptions) -> io::Result<i32> {
         let run_opts = ParallelRunOptions {
             shutdown: None,
             checkpoint,
-            ..ParallelRunOptions::default()
+            watchdog_poll_limit: watchdog_poll_limit(opts.watchdog_secs),
         };
         let mut summary = match &journal {
             Some(j) => match resume_parallel(&opts.config, &transport, j, run_opts) {
@@ -142,7 +158,8 @@ pub fn run_scan(opts: CliOptions) -> io::Result<i32> {
     };
     let summary = scanner.run_with(RunOptions {
         checkpoint,
-        shutdown: None,
+        watchdog_poll_limit: watchdog_poll_limit(opts.watchdog_secs),
+        ..RunOptions::default()
     });
     emit_streams(
         &opts,
@@ -251,6 +268,18 @@ fn status_line(s: &StatusUpdate, json: bool) -> String {
     if s.watchdog_stalls > 0 {
         line.push_str(&format!(", {} stalls", s.watchdog_stalls));
     }
+    if s.jobs_admitted > 0 {
+        line.push_str(&format!(", {} jobs", s.jobs_admitted));
+    }
+    if s.worker_restarts > 0 {
+        line.push_str(&format!(", {} restarts", s.worker_restarts));
+    }
+    if s.jobs_degraded > 0 {
+        line.push_str(&format!(", {} degraded", s.jobs_degraded));
+    }
+    if s.migrations > 0 {
+        line.push_str(&format!(", {} migrations", s.migrations));
+    }
     if s.shutdown_clean > 0 {
         line.push_str(", clean shutdown");
     }
@@ -285,6 +314,10 @@ mod tests {
             resume_count: 0,
             watchdog_stalls: 0,
             shutdown_clean: 1,
+            jobs_admitted: 0,
+            worker_restarts: 0,
+            jobs_degraded: 0,
+            migrations: 0,
             percent_complete: 100.0,
         };
         let line = super::status_line(&s, true);
@@ -308,6 +341,10 @@ mod tests {
             "resume_count",
             "watchdog_stalls",
             "shutdown_clean",
+            "jobs_admitted",
+            "worker_restarts",
+            "jobs_degraded",
+            "migrations",
             "percent_complete",
         ] {
             assert!(!v[key].is_null(), "missing {key} in {line}");

@@ -1,0 +1,413 @@
+//! `--serve`: scan-as-a-service mode.
+//!
+//! Reads a job-spec JSON file, runs the [`zmap_core::Supervisor`] over
+//! every job in it, and emits:
+//!
+//! * per-job **status JSON lines** on stderr (one [`JobEvent`] object per
+//!   line, in virtual-time order) unless `--quiet`,
+//! * per-job **data files** (`job-<id>.<ext>` in `--serve-output-dir`,
+//!   format from `-O`),
+//! * per-job **metadata files** (`job-<id>.meta.json`),
+//! * one **supervisor metadata file** (`supervisor.json`: counters,
+//!   registry snapshot, final virtual clock).
+//!
+//! Exit codes: `0` every job completed, `4` at least one job degraded,
+//! `2` the spec failed to parse or validate.
+//!
+//! The spec schema (all durations in integer milliseconds):
+//!
+//! ```json
+//! {
+//!   "workers": 4,
+//!   "capacity_pps": 1000000,
+//!   "breaker_limit": 3,
+//!   "backoff_base_ms": 250,
+//!   "backoff_cap_ms": 8000,
+//!   "quarantine_ms": 1000,
+//!   "checkpoint_interval_ms": 100,
+//!   "watchdog_poll_limit": 2048,
+//!   "worker_faults": { "entries": [
+//!     { "worker": 0, "attempt": 1, "kind": "kill", "at": 40 }
+//!   ] },
+//!   "jobs": [
+//!     { "id": "alpha", "tenant": "alice",
+//!       "prefix": "11.30.0.0", "prefix_len": 24, "ports": [80],
+//!       "rate_pps": 20000, "tasks": 2, "submit_ms": 0,
+//!       "seed": 3, "sim_seed": 5, "cooldown_secs": 1,
+//!       "live_fraction": 1.0, "probes": 1 }
+//!   ]
+//! }
+//! ```
+//!
+//! Unknown keys are rejected — a typo must not silently yield a
+//! different scenario than the one the operator reviewed.
+
+use crate::args::CliOptions;
+use std::fs::File;
+use std::io::{self, Write};
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+use zmap_core::log::{Level, Logger};
+use zmap_core::output::OutputModule;
+use zmap_core::{JobOutcome, JobSpec, OutputFormat, ScanConfig, Supervisor, SupervisorConfig};
+use zmap_netsim::{ServiceModel, WorkerFaultPlan, WorldConfig};
+
+/// Exit code when the supervisor parked at least one job as degraded.
+pub const EXIT_DEGRADED: i32 = 4;
+
+const NS_PER_MS: u64 = 1_000_000;
+
+/// Runs supervisor mode. Returns the process exit code.
+pub fn run_serve(opts: &CliOptions, spec_path: &str) -> io::Result<i32> {
+    let text = std::fs::read_to_string(spec_path)?;
+    let out_dir = PathBuf::from(opts.serve_output_dir.as_deref().unwrap_or("."));
+    let supervisor = match build_supervisor(&text, &out_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ERROR invalid job spec {spec_path}: {e}");
+            return Ok(2);
+        }
+    };
+    std::fs::create_dir_all(&out_dir)?;
+
+    let logger = Logger::writer(
+        if opts.verbose { Level::Debug } else { Level::Info },
+        Box::new(io::stderr()),
+    );
+    let report = supervisor.run_with_logger(logger);
+
+    // Per-job status stream (stream 3 of the supervised world): one JSON
+    // object per lifecycle event, already in deterministic order.
+    if !opts.quiet {
+        for ev in &report.events {
+            match serde_json::to_string(ev) {
+                Ok(line) => eprintln!("{line}"),
+                Err(e) => eprintln!("{{\"error\":\"event serialization: {e}\"}}"),
+            }
+        }
+    }
+
+    // Per-job data + metadata files.
+    let ext = match opts.format {
+        OutputFormat::Text => "txt",
+        OutputFormat::Csv => "csv",
+        OutputFormat::JsonLines => "jsonl",
+    };
+    for job in &report.jobs {
+        let data_path = out_dir.join(format!("job-{}.{ext}", job.id));
+        let mut out = OutputModule::new(opts.format, Box::new(File::create(&data_path)?));
+        for r in &job.results {
+            out.record(r)?;
+        }
+        out.finish()?;
+
+        let outcome = match job.outcome {
+            JobOutcome::Completed => "Completed",
+            JobOutcome::Degraded => "Degraded",
+        };
+        let meta = serde_json::json!({
+            "id": (job.id.as_str()),
+            "tenant": (job.tenant.as_str()),
+            "outcome": outcome,
+            "granted_pps": (job.granted_pps),
+            "per_task_pps": (job.per_task_pps),
+            "tasks": (job.tasks),
+            "restarts": (job.restarts),
+            "migrations": (job.migrations),
+            "result_count": (job.results.len())
+        });
+        let mut f = File::create(out_dir.join(format!("job-{}.meta.json", job.id)))?;
+        writeln!(f, "{meta}")?;
+    }
+
+    // Whole-run metadata: the supervisor's counters and registry dump.
+    // Counters and MetricsSnapshot serialize themselves; splice their
+    // JSON into the envelope rather than rebuilding them as Values.
+    let mut f = File::create(out_dir.join("supervisor.json"))?;
+    writeln!(
+        f,
+        "{{\"finished_at_ns\":{},\"jobs\":{},\"counters\":{},\"metrics\":{}}}",
+        report.finished_at_ns,
+        report.jobs.len(),
+        serde_json::to_string(&report.counters)
+            .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}")),
+        serde_json::to_string(&report.metrics)
+            .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}")),
+    )?;
+
+    if report.all_completed() {
+        Ok(0)
+    } else {
+        eprintln!("ERROR at least one job degraded; see per-job metadata");
+        Ok(EXIT_DEGRADED)
+    }
+}
+
+/// Parses the spec text and builds a loaded supervisor.
+fn build_supervisor(text: &str, out_dir: &Path) -> Result<Supervisor, String> {
+    let v: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let obj = v.as_object().ok_or("top level must be a JSON object")?;
+    for key in obj.keys() {
+        if !matches!(
+            key.as_str(),
+            "workers"
+                | "capacity_pps"
+                | "breaker_limit"
+                | "backoff_base_ms"
+                | "backoff_cap_ms"
+                | "quarantine_ms"
+                | "checkpoint_interval_ms"
+                | "watchdog_poll_limit"
+                | "worker_faults"
+                | "jobs"
+        ) {
+            return Err(format!("unknown key {key:?}"));
+        }
+    }
+
+    let workers = opt_u64(obj, "workers")?.unwrap_or(4);
+    let capacity = opt_u64(obj, "capacity_pps")?.unwrap_or(1_000_000);
+    let mut cfg = SupervisorConfig::new(
+        u32::try_from(workers).map_err(|_| "workers out of range")?,
+        capacity,
+        out_dir.join("journals"),
+    );
+    if let Some(n) = opt_u64(obj, "breaker_limit")? {
+        if n == 0 {
+            return Err("breaker_limit must be at least 1".into());
+        }
+        cfg.breaker_limit = u32::try_from(n).map_err(|_| "breaker_limit out of range")?;
+    }
+    if let Some(n) = opt_u64(obj, "backoff_base_ms")? {
+        cfg.backoff_base_ns = n.saturating_mul(NS_PER_MS);
+    }
+    if let Some(n) = opt_u64(obj, "backoff_cap_ms")? {
+        cfg.backoff_cap_ns = n.saturating_mul(NS_PER_MS);
+    }
+    if let Some(n) = opt_u64(obj, "quarantine_ms")? {
+        cfg.quarantine_ns = n.saturating_mul(NS_PER_MS);
+    }
+    if let Some(n) = opt_u64(obj, "checkpoint_interval_ms")? {
+        if n == 0 {
+            return Err("checkpoint_interval_ms must be at least 1".into());
+        }
+        cfg.checkpoint_interval_ns = n.saturating_mul(NS_PER_MS);
+    }
+    if let Some(n) = opt_u64(obj, "watchdog_poll_limit")? {
+        if n == 0 {
+            return Err("watchdog_poll_limit must be at least 1".into());
+        }
+        cfg.watchdog_poll_limit = n;
+    }
+    if let Some(wf) = obj.get("worker_faults") {
+        cfg.worker_faults = WorkerFaultPlan::from_json_value(wf)?;
+    }
+
+    let jobs = obj
+        .get("jobs")
+        .and_then(|j| j.as_array())
+        .ok_or("\"jobs\" must be an array")?;
+    if jobs.is_empty() {
+        return Err("\"jobs\" must not be empty".into());
+    }
+    let mut supervisor = Supervisor::new(cfg);
+    for (i, job) in jobs.iter().enumerate() {
+        let spec = parse_job(job).map_err(|e| format!("jobs[{i}]: {e}"))?;
+        supervisor
+            .submit(spec)
+            .map_err(|e| format!("jobs[{i}]: {e}"))?;
+    }
+    Ok(supervisor)
+}
+
+/// Parses one entry of the `jobs` array into a [`JobSpec`].
+fn parse_job(v: &serde_json::Value) -> Result<JobSpec, String> {
+    let obj = v.as_object().ok_or("job must be a JSON object")?;
+    for key in obj.keys() {
+        if !matches!(
+            key.as_str(),
+            "id" | "tenant"
+                | "prefix"
+                | "prefix_len"
+                | "ports"
+                | "rate_pps"
+                | "tasks"
+                | "submit_ms"
+                | "seed"
+                | "sim_seed"
+                | "cooldown_secs"
+                | "live_fraction"
+                | "probes"
+        ) {
+            return Err(format!("unknown key {key:?}"));
+        }
+    }
+    let id = req_str(obj, "id")?;
+    let tenant = req_str(obj, "tenant")?;
+    let prefix: Ipv4Addr = req_str(obj, "prefix")?
+        .parse()
+        .map_err(|_| "\"prefix\" is not an IPv4 address".to_string())?;
+    let prefix_len = req_u64(obj, "prefix_len")?;
+    if prefix_len > 32 {
+        return Err("\"prefix_len\" must be 0..=32".into());
+    }
+
+    let mut cfg = ScanConfig::new(Ipv4Addr::new(192, 0, 2, 9));
+    cfg.allowlist_prefix(prefix, prefix_len as u8);
+    if let Some(ports) = obj.get("ports") {
+        let arr = ports.as_array().ok_or("\"ports\" must be an array")?;
+        let mut list = Vec::with_capacity(arr.len());
+        for p in arr {
+            let n = p.as_u64().ok_or("\"ports\" entries must be integers")?;
+            list.push(u16::try_from(n).map_err(|_| "port out of range")?);
+        }
+        if list.is_empty() {
+            return Err("\"ports\" must not be empty".into());
+        }
+        cfg.ports = list;
+    }
+    cfg.rate_pps = req_u64(obj, "rate_pps")?;
+    if let Some(n) = opt_u64(obj, "seed")? {
+        cfg.seed = n;
+    }
+    if let Some(n) = opt_u64(obj, "cooldown_secs")? {
+        cfg.cooldown_secs = n;
+    }
+    if let Some(n) = opt_u64(obj, "probes")? {
+        cfg.probes_per_target = u32::try_from(n).map_err(|_| "probes out of range")?;
+    }
+
+    let mut model = ServiceModel::default();
+    if let Some(f) = obj.get("live_fraction") {
+        let f = f.as_f64().ok_or("\"live_fraction\" must be a number")?;
+        model.live_fraction = f.clamp(0.0, 1.0);
+    }
+    let world = WorldConfig {
+        seed: opt_u64(obj, "sim_seed")?.unwrap_or(1),
+        model,
+        ..WorldConfig::default()
+    };
+
+    Ok(JobSpec {
+        id,
+        tenant,
+        cfg,
+        world,
+        tasks: u32::try_from(opt_u64(obj, "tasks")?.unwrap_or(1))
+            .map_err(|_| "tasks out of range")?,
+        submit_at_ns: opt_u64(obj, "submit_ms")?.unwrap_or(0).saturating_mul(NS_PER_MS),
+    })
+}
+
+fn req_str(obj: &serde_json::Map, key: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(|v| v.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| format!("{key:?} must be a string"))
+}
+
+fn req_u64(obj: &serde_json::Map, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("{key:?} must be a non-negative integer"))
+}
+
+fn opt_u64(
+    obj: &serde_json::Map,
+    key: &str,
+) -> Result<Option<u64>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("{key:?} must be a non-negative integer")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::args::parse_args;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    const SPEC: &str = r#"{
+        "workers": 2,
+        "capacity_pps": 1000000,
+        "worker_faults": { "entries": [
+            { "worker": 0, "attempt": 1, "kind": "kill", "at": 40 }
+        ] },
+        "jobs": [
+            { "id": "alpha", "tenant": "alice", "prefix": "11.40.0.0",
+              "prefix_len": 25, "ports": [80], "rate_pps": 2000,
+              "tasks": 2, "seed": 3, "sim_seed": 5,
+              "cooldown_secs": 1, "live_fraction": 1.0 },
+            { "id": "beta", "tenant": "bob", "prefix": "11.41.0.0",
+              "prefix_len": 25, "ports": [80], "rate_pps": 2000,
+              "submit_ms": 50, "seed": 4, "sim_seed": 5,
+              "cooldown_secs": 1, "live_fraction": 1.0 }
+        ]
+    }"#;
+
+    #[test]
+    fn serve_mode_runs_jobs_and_writes_per_job_files() {
+        let dir = std::env::temp_dir().join("zmap-cli-serve-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("jobs.json");
+        std::fs::write(&spec, SPEC).unwrap();
+        let opts = parse_args(&args(&format!(
+            "--serve {} --serve-output-dir {} -O csv -q",
+            spec.display(),
+            dir.display()
+        )))
+        .unwrap();
+        let code = crate::run::run_scan(opts).unwrap();
+        assert_eq!(code, 0, "both jobs recover and complete");
+        for id in ["alpha", "beta"] {
+            let csv = std::fs::read_to_string(dir.join(format!("job-{id}.csv"))).unwrap();
+            assert!(csv.starts_with("ts_ns,saddr,sport,"), "{csv}");
+            // live_fraction 1.0 makes every host live; the default model
+            // still opens port 80 on only ~a quarter of them.
+            assert!(csv.lines().count() > 10, "a /25 all-live world fills the file");
+            let meta: serde_json::Value = serde_json::from_str(
+                &std::fs::read_to_string(dir.join(format!("job-{id}.meta.json"))).unwrap(),
+            )
+            .unwrap();
+            assert_eq!(meta["outcome"], "Completed");
+        }
+        // The killed worker shows up in the supervisor's counters.
+        let meta: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(dir.join("supervisor.json")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(meta["counters"]["jobs_admitted"], 2);
+        assert_eq!(meta["counters"]["worker_restarts"], 1);
+        assert_eq!(meta["counters"]["migrations"], 1);
+        assert_eq!(meta["counters"]["jobs_degraded"], 0);
+    }
+
+    #[test]
+    fn malformed_spec_is_a_config_error() {
+        let dir = std::env::temp_dir().join("zmap-cli-serve-bad-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, body) in [
+            ("not-json.json", "{"),
+            ("typo.json", r#"{"wrokers": 2, "jobs": []}"#),
+            ("no-jobs.json", r#"{"workers": 2, "jobs": []}"#),
+            (
+                "bad-job.json",
+                r#"{"jobs": [{"id": "x!", "tenant": "t", "prefix": "11.0.0.0",
+                   "prefix_len": 24, "rate_pps": 100}]}"#,
+            ),
+        ] {
+            let spec = dir.join(name);
+            std::fs::write(&spec, body).unwrap();
+            let opts = parse_args(&args(&format!("--serve {} -q", spec.display()))).unwrap();
+            assert_eq!(crate::run::run_scan(opts).unwrap(), 2, "{name}");
+        }
+    }
+}

@@ -174,6 +174,10 @@ const COUNTER_FIELDS: &[CounterField] = &[
     ("resume_count", |c| c.resume_count, |c, v| c.resume_count = v),
     ("watchdog_stalls", |c| c.watchdog_stalls, |c, v| c.watchdog_stalls = v),
     ("shutdown_clean", |c| c.shutdown_clean, |c, v| c.shutdown_clean = v),
+    ("jobs_admitted", |c| c.jobs_admitted, |c, v| c.jobs_admitted = v),
+    ("worker_restarts", |c| c.worker_restarts, |c, v| c.worker_restarts = v),
+    ("jobs_degraded", |c| c.jobs_degraded, |c, v| c.jobs_degraded = v),
+    ("migrations", |c| c.migrations, |c, v| c.migrations = v),
 ];
 
 impl CheckpointState {
@@ -493,8 +497,8 @@ mod tests {
     #[test]
     fn counters_table_is_exhaustive() {
         // Setting every tabled field to a distinct value must visit each
-        // struct field exactly once — serde sees 15 fields, so does the
-        // table.
+        // struct field exactly once — serde and the table must agree on
+        // the field count.
         let mut c = Counters::default();
         for (i, (_, _, set)) in COUNTER_FIELDS.iter().enumerate() {
             set(&mut c, i as u64 + 1);

@@ -60,6 +60,7 @@ pub mod ratecontrol;
 pub mod ring;
 pub mod scanner;
 pub mod shutdown;
+pub mod supervisor;
 pub mod transport;
 
 pub use checkpoint::{CheckpointPolicy, CheckpointState, JournalError};
@@ -69,4 +70,8 @@ pub use metadata::ScanMetadata;
 pub use metrics::{CounterId, HistId, ScanMetrics};
 pub use output::{Classification, OutputFormat, ScanResult};
 pub use scanner::{ResumeError, RunOptions, ScanSummary, Scanner};
+pub use supervisor::{
+    JobEvent, JobOutcome, JobReport, JobSpec, Supervisor, SupervisorConfig, SupervisorError,
+    SupervisorReport,
+};
 pub use transport::{LoopbackTransport, SimNet, SimTransport, Transport};

@@ -94,6 +94,19 @@ pub struct Counters {
     /// (cooldown drained, streams flushed, final checkpoint written);
     /// 0 when it was killed mid-flight.
     pub shutdown_clean: u64,
+    /// Jobs the supervisor admitted to the worker pool (supervisor runs
+    /// only; always 0 for a standalone scan).
+    pub jobs_admitted: u64,
+    /// Worker attempts restarted after a death (kill, panic, or
+    /// watchdog stall) — each restart replays the job's journal.
+    pub worker_restarts: u64,
+    /// Jobs the circuit breaker parked as `degraded` after exhausting
+    /// the restart budget, instead of crash-looping.
+    pub jobs_degraded: u64,
+    /// Checkpoint journals migrated onto a fresh worker (a restart that
+    /// had a journal to rewind; first-attempt retries without one are
+    /// restarts but not migrations).
+    pub migrations: u64,
 }
 
 impl ConfigEcho {
@@ -166,6 +179,10 @@ mod tests {
                 resume_count: 1,
                 watchdog_stalls: 0,
                 shutdown_clean: 1,
+                jobs_admitted: 2,
+                worker_restarts: 3,
+                jobs_degraded: 1,
+                migrations: 2,
             },
             duration_ns: 5_000_000_000,
             histograms: BTreeMap::new(),
@@ -198,6 +215,10 @@ mod tests {
         assert_eq!(v["counters"]["resume_count"], 1);
         assert_eq!(v["counters"]["watchdog_stalls"], 0);
         assert_eq!(v["counters"]["shutdown_clean"], 1);
+        assert_eq!(v["counters"]["jobs_admitted"], 2);
+        assert_eq!(v["counters"]["worker_restarts"], 3);
+        assert_eq!(v["counters"]["jobs_degraded"], 1);
+        assert_eq!(v["counters"]["migrations"], 2);
         assert!(v["config"]["max_retries"].is_u64());
         assert!(v["version"].as_str().unwrap().contains('.'));
         assert_eq!(v["histograms"]["probe_rtt_ns"]["count"], 2);

@@ -41,12 +41,16 @@ pub enum CounterId {
     ResumeCount,
     WatchdogStalls,
     ShutdownClean,
+    JobsAdmitted,
+    WorkerRestarts,
+    JobsDegraded,
+    Migrations,
 }
 
 /// Number of counters in the bank (one per `Counters` field).
-pub const COUNTER_WIDTH: usize = 15;
+pub const COUNTER_WIDTH: usize = 19;
 
-/// The four engine latency histograms.
+/// The engine latency histograms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(usize)]
 pub enum HistId {
@@ -60,13 +64,17 @@ pub enum HistId {
     CheckpointWrite,
     /// Virtual time from cooldown entry to the last drained event.
     CooldownDrain,
+    /// Supervisor restart backoff: the virtual delay imposed before a
+    /// dead worker's task is requeued (empty outside supervised runs).
+    RestartBackoff,
 }
 
-const HIST_NAMES: [&str; 4] = [
+const HIST_NAMES: [&str; 5] = [
     "probe_rtt_ns",
     "batch_flush_ns",
     "checkpoint_write_bytes",
     "cooldown_drain_ns",
+    "restart_backoff_ns",
 ];
 
 /// Splitmix64 finalizer for the tracker maps. The keys are already
@@ -160,7 +168,7 @@ pub struct ScanMetrics {
     /// snapshot, never written after construction.
     baseline: Counters,
     bank: CounterBank,
-    hists: [SharedHistogram; 4],
+    hists: [SharedHistogram; 5],
     trace: TraceRing,
     inflight: InflightClock,
 }
@@ -179,6 +187,7 @@ impl ScanMetrics {
             baseline,
             bank: CounterBank::new(shards, COUNTER_WIDTH),
             hists: [
+                SharedHistogram::new(shards),
                 SharedHistogram::new(shards),
                 SharedHistogram::new(shards),
                 SharedHistogram::new(shards),
@@ -256,6 +265,10 @@ impl ScanMetrics {
             resume_count: b.resume_count + t[CounterId::ResumeCount as usize],
             watchdog_stalls: b.watchdog_stalls + t[CounterId::WatchdogStalls as usize],
             shutdown_clean: b.shutdown_clean + t[CounterId::ShutdownClean as usize],
+            jobs_admitted: b.jobs_admitted + t[CounterId::JobsAdmitted as usize],
+            worker_restarts: b.worker_restarts + t[CounterId::WorkerRestarts as usize],
+            jobs_degraded: b.jobs_degraded + t[CounterId::JobsDegraded as usize],
+            migrations: b.migrations + t[CounterId::Migrations as usize],
         }
     }
 
@@ -328,6 +341,10 @@ fn counter_field(c: &Counters, id: CounterId) -> u64 {
         CounterId::ResumeCount => c.resume_count,
         CounterId::WatchdogStalls => c.watchdog_stalls,
         CounterId::ShutdownClean => c.shutdown_clean,
+        CounterId::JobsAdmitted => c.jobs_admitted,
+        CounterId::WorkerRestarts => c.worker_restarts,
+        CounterId::JobsDegraded => c.jobs_degraded,
+        CounterId::Migrations => c.migrations,
     }
 }
 
@@ -396,8 +413,13 @@ mod tests {
         m.record(HistId::CheckpointWrite, 512);
         m.record(HistId::CooldownDrain, 1_000_000_000);
         let snap = m.snapshot();
-        for name in ["probe_rtt_ns", "batch_flush_ns", "checkpoint_write_bytes", "cooldown_drain_ns"]
-        {
+        for name in [
+            "probe_rtt_ns",
+            "batch_flush_ns",
+            "checkpoint_write_bytes",
+            "cooldown_drain_ns",
+            "restart_backoff_ns",
+        ] {
             assert!(snap.histograms.contains_key(name), "missing {name}");
         }
         assert_eq!(snap.histograms["batch_flush_ns"].count, 1);

@@ -49,6 +49,14 @@ pub struct StatusUpdate {
     pub watchdog_stalls: u64,
     /// 1 once the engine has entered the orderly shutdown path.
     pub shutdown_clean: u64,
+    /// Jobs admitted by the supervisor (supervisor runs only).
+    pub jobs_admitted: u64,
+    /// Worker attempts restarted after a death.
+    pub worker_restarts: u64,
+    /// Jobs parked as degraded by the circuit breaker.
+    pub jobs_degraded: u64,
+    /// Checkpoint journals migrated onto fresh workers.
+    pub migrations: u64,
     /// Percent of targets completed (0–100).
     pub percent_complete: f64,
 }
@@ -98,6 +106,10 @@ impl Monitor {
                 resume_count: c.resume_count,
                 watchdog_stalls: c.watchdog_stalls,
                 shutdown_clean: c.shutdown_clean,
+                jobs_admitted: c.jobs_admitted,
+                worker_restarts: c.worker_restarts,
+                jobs_degraded: c.jobs_degraded,
+                migrations: c.migrations,
                 percent_complete: percent_complete(c.sent, expected_targets),
             });
             self.last_sent = c.sent;
@@ -157,6 +169,18 @@ impl Monitor {
             }
             if s.watchdog_stalls > 0 {
                 line.push_str(&format!("; stalls: {}", s.watchdog_stalls));
+            }
+            if s.jobs_admitted > 0 {
+                line.push_str(&format!("; jobs: {}", s.jobs_admitted));
+            }
+            if s.worker_restarts > 0 {
+                line.push_str(&format!("; restarts: {}", s.worker_restarts));
+            }
+            if s.jobs_degraded > 0 {
+                line.push_str(&format!("; degraded: {}", s.jobs_degraded));
+            }
+            if s.migrations > 0 {
+                line.push_str(&format!("; migrations: {}", s.migrations));
             }
             if s.shutdown_clean > 0 {
                 line.push_str("; shutdown: clean");
@@ -318,6 +342,10 @@ mod tests {
             "resume_count",
             "watchdog_stalls",
             "shutdown_clean",
+            "jobs_admitted",
+            "worker_restarts",
+            "jobs_degraded",
+            "migrations",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }

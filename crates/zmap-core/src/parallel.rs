@@ -361,13 +361,15 @@ pub fn run_parallel_with<T: SharedTransport>(
 /// fast-forwards to its recorded position (rewound by the in-flight
 /// grace window), and the journal's counters become the baseline so
 /// metadata stays cumulative across attempts. Refuses a journal whose
-/// config digest does not match `cfg`.
+/// config digest does not match `cfg`; a journal recording a different
+/// shard of the same scan gets the distinct [`ResumeError::ShardSpec`].
 pub fn resume_parallel<T: SharedTransport>(
     cfg: &ScanConfig,
     transport: &T,
     journal: &CheckpointState,
     opts: ParallelRunOptions,
 ) -> Result<ParallelSummary, ResumeError> {
+    crate::scanner::check_shard_spec(journal, cfg)?;
     journal.check_config(cfg).map_err(ResumeError::Journal)?;
     run_inner(cfg, transport, opts, Some(journal)).map_err(ResumeError::Build)
 }

@@ -106,6 +106,28 @@ impl RateController {
         self.sent
     }
 
+    /// Skips `slots` schedule slots without sending, as if that many
+    /// probes had already departed. The supervisor's schedule-aligned
+    /// resume uses this to re-enter the global schedule at the slot the
+    /// interrupted attempt had reached, so a replayed probe leaves at
+    /// exactly the virtual time its uninterrupted twin would have.
+    ///
+    /// Exact for any slot count: the skip is applied to the Bresenham
+    /// error term in 128-bit arithmetic, so the post-skip schedule equals
+    /// the closed form `start + floor((base + sent · stride) · 1e9 / rate)`
+    /// slot for slot.
+    pub fn fast_forward(&mut self, slots: u64) {
+        let den = u128::from(self.interval_den);
+        let carry =
+            u128::from(self.next_rem) + u128::from(slots) * u128::from(self.step_rem);
+        self.next_offset = self
+            .next_offset
+            .wrapping_add(slots.wrapping_mul(self.step_whole))
+            .wrapping_add((carry / den) as u64);
+        self.next_rem = (carry % den) as u64;
+        self.sent += slots;
+    }
+
     /// The exact average rate achieved over `n` probes (pps), for tests.
     pub fn achieved_rate(&self, elapsed_ns: u64) -> f64 {
         if elapsed_ns == 0 {
@@ -162,6 +184,26 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn zero_rate_panics() {
         RateController::new(0, 0);
+    }
+
+    #[test]
+    fn fast_forward_matches_marking_each_slot_sent() {
+        // Awkward rate so the Bresenham error term is exercised: the
+        // skipped controller must land on exactly the schedule the
+        // step-by-step controller reaches.
+        for skip in [0u64, 1, 2, 6, 999, 1_000_000] {
+            let mut stepped = RateController::new(7, 14_880);
+            for _ in 0..skip {
+                stepped.mark_sent();
+            }
+            let mut skipped = RateController::new(7, 14_880);
+            skipped.fast_forward(skip);
+            assert_eq!(skipped.next_send_at(), stepped.next_send_at(), "skip {skip}");
+            assert_eq!(skipped.sent(), stepped.sent());
+            // And the schedules stay aligned after the skip point.
+            assert_eq!(skipped.mark_sent(), stepped.mark_sent());
+            assert_eq!(skipped.mark_sent(), stepped.mark_sent());
+        }
     }
 
     /// The timestamps of `threads` interleaved controllers, merged, for

@@ -85,7 +85,7 @@ impl ScanSummary {
 
 /// Optional run-time machinery for [`Scanner::run_with`]. `Default` is a
 /// plain uninstrumented run.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RunOptions {
     /// Write an initial, periodic (virtual-time interval), and final
     /// checkpoint journal to this policy's path.
@@ -94,6 +94,31 @@ pub struct RunOptions {
     /// cycle boundary and the scan proceeds straight through cooldown to
     /// an orderly exit (all four streams flushed, final checkpoint).
     pub shutdown: Option<ShutdownToken>,
+    /// Consecutive cooldown-drain polls with a frozen progress signature
+    /// (virtual clock, pending-RX timestamp, RX counters) tolerated
+    /// before the drain watchdog declares the transport stalled, records
+    /// a `watchdog_stalls` intervention, and abandons the wait. Without
+    /// it, a transport whose clock stops advancing pins the drain loop
+    /// forever. The supervisor converts `--watchdog-secs` into this.
+    pub watchdog_poll_limit: u64,
+    /// Schedule-aligned resume: re-enter the global rate schedule at the
+    /// slot the rewound walk position corresponds to, so a replayed
+    /// probe departs at exactly the virtual time its uninterrupted twin
+    /// would have. Exact for single-subshard scans (the supervisor's
+    /// worker shape); `false` (the default) keeps the historical resume
+    /// pacing, which restarts the schedule from the transport's clock.
+    pub align_resume: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            checkpoint: None,
+            shutdown: None,
+            watchdog_poll_limit: crate::parallel::DEFAULT_WATCHDOG_POLL_LIMIT,
+            align_resume: false,
+        }
+    }
 }
 
 /// Why [`Scanner::resume`] refused to build.
@@ -103,6 +128,18 @@ pub enum ResumeError {
     Journal(JournalError),
     /// The configuration itself failed validation.
     Build(BuildError),
+    /// The journal belongs to this scan (same config once the shard
+    /// spec is set aside) but records a different slice of it — e.g. a
+    /// supervisor migrating worker 2's journal onto worker 3. Distinct
+    /// from [`ResumeError::Journal`] so the caller can name both specs
+    /// instead of surfacing an opaque digest mismatch. Tuples are
+    /// `(shard, num_shards, num_subshards)`.
+    ShardSpec {
+        /// The spec recorded in the journal.
+        journal: (u32, u32, u32),
+        /// The spec the offered configuration targets.
+        config: (u32, u32, u32),
+    },
 }
 
 impl fmt::Display for ResumeError {
@@ -110,6 +147,13 @@ impl fmt::Display for ResumeError {
         match self {
             ResumeError::Journal(e) => write!(f, "cannot resume: {e}"),
             ResumeError::Build(e) => write!(f, "cannot resume: {e}"),
+            ResumeError::ShardSpec { journal, config } => write!(
+                f,
+                "cannot resume: journal records shard {}/{} ({} subshards) but the \
+                 offered config targets shard {}/{} ({} subshards); a journal only \
+                 resumes the exact shard that wrote it",
+                journal.0, journal.1, journal.2, config.0, config.1, config.2,
+            ),
         }
     }
 }
@@ -195,6 +239,7 @@ impl<T: Transport> Scanner<T> {
         journal: &CheckpointState,
         logger: Logger,
     ) -> Result<Self, ResumeError> {
+        check_shard_spec(journal, &cfg)?;
         journal.check_config(&cfg).map_err(ResumeError::Journal)?;
         let mut scanner = Self::assemble(
             cfg,
@@ -296,6 +341,11 @@ impl<T: Transport> Scanner<T> {
         &self.gen
     }
 
+    /// The configuration (read-only).
+    pub fn config(&self) -> &ScanConfig {
+        &self.cfg
+    }
+
     /// Runs the scan to completion (send phase + cooldown) and returns
     /// the summary. Consumes the scanner.
     pub fn run(self) -> ScanSummary {
@@ -305,7 +355,12 @@ impl<T: Transport> Scanner<T> {
     /// Like [`run`](Self::run) with checkpointing and cooperative
     /// shutdown wired in.
     pub fn run_with(self, opts: RunOptions) -> ScanSummary {
-        let RunOptions { checkpoint, shutdown } = opts;
+        let RunOptions {
+            checkpoint,
+            shutdown,
+            watchdog_poll_limit,
+            align_resume,
+        } = opts;
         let Scanner {
             cfg,
             mut transport,
@@ -345,12 +400,39 @@ impl<T: Transport> Scanner<T> {
             for (it, &p) in iters.iter_mut().zip(positions.iter()) {
                 it.fast_forward_elements(p);
             }
+            if align_resume {
+                // Schedule-aligned resume: the first replayed probe must
+                // depart at the slot its uninterrupted twin occupied, not
+                // at slot 0 of a restarted schedule. Count the targets
+                // the walk accepted before each rewound position with a
+                // throwaway iterator — an accept that lands past the
+                // position is the resumed stream's first yield, so it is
+                // not counted — then skip the schedule that many slots.
+                let mut replayed = 0u64;
+                for (t, &p) in positions.iter().enumerate() {
+                    let mut probe_iter = gen.iter_shard(cfg.shard, t as u32);
+                    while probe_iter.elements_consumed() < p {
+                        if probe_iter.next().is_none() {
+                            break;
+                        }
+                        if probe_iter.elements_consumed() <= p {
+                            replayed += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                let slots = replayed * u64::from(cfg.probes_per_target.max(1));
+                rc.fast_forward(slots);
+                metrics.trace(0, "resume_align", slots);
+            }
         }
         let mut live: Vec<usize> = (0..iters.len()).collect();
         let mut next = 0usize;
         let mut done = false;
         let mut killed = false;
         let mut interrupted = false;
+        let mut stalled = false;
         let mut last_ckpt_at = 0u64;
 
         metrics.trace(0, "scan_start", shard_targets);
@@ -511,12 +593,49 @@ impl<T: Transport> Scanner<T> {
             metrics.trace(cooldown_entered.saturating_sub(start), "cooldown_start", 0);
             let cooldown_end = cooldown_entered + cfg.cooldown_secs * 1_000_000_000;
             let mut last_drain = cooldown_entered;
+            // Drain watchdog: a transport whose clock refuses to advance
+            // (a wedged NIC thread, a stalled shared-clock peer) leaves
+            // `next_rx_at` pending forever and would pin this loop. Track
+            // a progress signature — clock, pending-RX time, RX counters —
+            // and once it freezes for `watchdog_poll_limit` consecutive
+            // polls, record the intervention and abandon the wait. The
+            // interrupted flag keeps the final journal resumable, so a
+            // supervisor can migrate the stalled attempt.
+            let mut signature = (0u64, None, 0u64);
+            let mut frozen_polls = 0u64;
             loop {
                 if transport.killed() {
                     killed = true;
                     break;
                 }
-                match transport.next_rx_at() {
+                let pending = transport.next_rx_at();
+                let rx_seen = metrics.get(CounterId::ResponsesValidated)
+                    + metrics.get(CounterId::ResponsesDiscarded)
+                    + metrics.get(CounterId::ResponsesCorrupted)
+                    + metrics.get(CounterId::DuplicatesSuppressed);
+                let sig = (transport.now(), pending, rx_seen);
+                if sig == signature {
+                    frozen_polls += 1;
+                    if frozen_polls >= watchdog_poll_limit {
+                        metrics.add(CounterId::WatchdogStalls, 1);
+                        metrics.trace(
+                            transport.now().saturating_sub(start),
+                            "watchdog_stall",
+                            frozen_polls,
+                        );
+                        logger.warn(format_args!(
+                            "drain watchdog: no progress across {frozen_polls} polls; \
+                             abandoning cooldown wait"
+                        ));
+                        stalled = true;
+                        interrupted = true;
+                        break;
+                    }
+                } else {
+                    signature = sig;
+                    frozen_polls = 0;
+                }
+                match pending {
                     Some(t) if t <= cooldown_end => {
                         transport.advance_to(t);
                         drain_rx(
@@ -534,7 +653,7 @@ impl<T: Transport> Scanner<T> {
                     _ => break,
                 }
             }
-            if !killed {
+            if !killed && !stalled {
                 transport.advance_to(cooldown_end);
                 drain_rx(
                     &mut transport,
@@ -548,7 +667,7 @@ impl<T: Transport> Scanner<T> {
                 );
                 killed = transport.killed();
             }
-            if !killed {
+            if !killed && !stalled {
                 let drained = last_drain.saturating_sub(cooldown_entered);
                 metrics.record(HistId::CooldownDrain, drained);
                 metrics.trace(cooldown_end.saturating_sub(start), "cooldown_end", drained);
@@ -559,9 +678,16 @@ impl<T: Transport> Scanner<T> {
             // Orderly exit: mark it, write the final journal (complete
             // unless a shutdown token interrupted the walk), then emit
             // the closing status sample and log line — so every stream
-            // reflects the clean shutdown.
-            metrics.add(CounterId::ShutdownClean, 1);
-            if let Some(policy) = &checkpoint {
+            // reflects the clean shutdown. A watchdog stall is neither
+            // orderly nor journaled: the worker was wedged, its walk
+            // positions are untrustworthy (sends may have been swallowed
+            // by the stalled transport), so the last periodic journal —
+            // written while the clock still advanced — stays the resume
+            // point for a supervisor migration.
+            if !stalled {
+                metrics.add(CounterId::ShutdownClean, 1);
+            }
+            if let Some(policy) = checkpoint.as_ref().filter(|_| !stalled) {
                 let positions: Vec<u64> =
                     iters.iter().map(|it| it.elements_consumed()).collect();
                 let rel = transport.now().saturating_sub(start);
@@ -653,6 +779,31 @@ impl<T: Transport> Scanner<T> {
             metrics: snapshot,
         }
     }
+}
+
+/// Shard-spec gate ahead of the digest check. The config digest covers
+/// the shard spec, so a journal migrated onto the wrong worker slice
+/// would otherwise surface as an opaque digest mismatch; this
+/// distinguishes "same scan, wrong slice" (everything agrees once the
+/// journal's spec is substituted into the offered config) from a truly
+/// foreign config, which falls through to the digest check.
+pub(crate) fn check_shard_spec(
+    journal: &CheckpointState,
+    cfg: &ScanConfig,
+) -> Result<(), ResumeError> {
+    let config = (cfg.shard, cfg.num_shards.max(1), cfg.subshards.max(1));
+    let recorded = (journal.shard, journal.num_shards, journal.num_subshards);
+    if recorded == config {
+        return Ok(());
+    }
+    let mut as_journal = cfg.clone();
+    as_journal.shard = journal.shard;
+    as_journal.num_shards = journal.num_shards;
+    as_journal.subshards = journal.num_subshards;
+    if config_digest(&as_journal) == journal.config_digest {
+        return Err(ResumeError::ShardSpec { journal: recorded, config });
+    }
+    Ok(())
 }
 
 /// Snapshots the walk into a checkpoint journal. A write failure is
@@ -1329,6 +1480,66 @@ mod tests {
         other.seed = 999; // different permutation => different scan
         let net2 = dense_net(&[80]);
         let err = Scanner::resume(other, net2.transport(Ipv4Addr::new(192, 0, 2, 9)), &journal);
+        assert!(matches!(
+            err,
+            Err(ResumeError::Journal(JournalError::ConfigMismatch { .. }))
+        ));
+    }
+
+    /// Migrating a journal onto the wrong shard of the *same* scan is a
+    /// distinct, precisely-worded refusal — not the opaque digest
+    /// mismatch a foreign config gets — so a supervisor can tell a bad
+    /// migration from a corrupted or unrelated journal.
+    #[test]
+    fn resume_names_both_specs_on_a_shard_mismatch() {
+        let path = temp_journal("shard-mismatch.ckpt");
+        let mut cfg = base_cfg(&[80]);
+        cfg.shard = 1;
+        cfg.num_shards = 4;
+        let net = dense_net(&[80]);
+        let s = Scanner::new(cfg, net.transport(Ipv4Addr::new(192, 0, 2, 9)))
+            .unwrap()
+            .run_with(RunOptions {
+                checkpoint: Some(CheckpointPolicy::new(&path)),
+                ..Default::default()
+            });
+        assert_eq!(s.shutdown_clean, 1);
+        let journal = CheckpointState::load(&path).unwrap();
+
+        // Same scan, wrong slice: everything matches but the shard index.
+        let mut wrong_slice = base_cfg(&[80]);
+        wrong_slice.shard = 2;
+        wrong_slice.num_shards = 4;
+        let net2 = dense_net(&[80]);
+        let err = Scanner::resume(
+            wrong_slice,
+            net2.transport(Ipv4Addr::new(192, 0, 2, 9)),
+            &journal,
+        );
+        match err {
+            Err(ResumeError::ShardSpec { journal: j, config: c }) => {
+                assert_eq!(j, (1, 4, 1));
+                assert_eq!(c, (2, 4, 1));
+                let msg = ResumeError::ShardSpec { journal: j, config: c }.to_string();
+                assert!(msg.contains("shard 1/4"), "{msg}");
+                assert!(msg.contains("shard 2/4"), "{msg}");
+            }
+            Err(other) => panic!("expected ShardSpec, got {other}"),
+            Ok(_) => panic!("expected ShardSpec, journal was accepted"),
+        }
+
+        // A config that differs beyond the slice stays a digest mismatch:
+        // the distinct error must not hide a genuinely foreign journal.
+        let mut foreign = base_cfg(&[80]);
+        foreign.shard = 2;
+        foreign.num_shards = 4;
+        foreign.seed = 999;
+        let net3 = dense_net(&[80]);
+        let err = Scanner::resume(
+            foreign,
+            net3.transport(Ipv4Addr::new(192, 0, 2, 9)),
+            &journal,
+        );
         assert!(matches!(
             err,
             Err(ResumeError::Journal(JournalError::ConfigMismatch { .. }))

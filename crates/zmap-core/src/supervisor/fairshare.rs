@@ -1,0 +1,174 @@
+//! Multi-tenant TX bandwidth admission: a reservation ledger with
+//! equal-split tenant budgets, layered on the per-worker
+//! [`RateController`](crate::ratecontrol::RateController) token buckets.
+//!
+//! The model (DESIGN.md §10.3): the supervisor owns one link budget of
+//! `capacity_pps`. Every active tenant is entitled to an equal slice
+//! `capacity / tenants`, and a job's grant at admission is
+//!
+//! ```text
+//! grant = min(demand,
+//!             max(MIN_GRANT_PPS, min(tenant_budget − tenant_used,
+//!                                    capacity − reserved)))
+//! ```
+//!
+//! Grants are *reservations*: held from admission until the job leaves
+//! (completed or degraded), never re-clamped when later tenants arrive —
+//! re-clamping would change a running job's rate and with it the config
+//! digest its checkpoint journals are bound to, making every in-flight
+//! journal unmigratable. The price of that stability is that an early
+//! sole tenant can hold more than a later equal split would give it;
+//! the budget math only constrains *new* grants.
+//!
+//! `MIN_GRANT_PPS` is the progress guarantee: admission never returns
+//! zero, so a saturated link degrades to slow progress, not starvation.
+//! The link can therefore be oversubscribed by at most one minimum
+//! grant per admitted job.
+
+/// Smallest rate any admitted job receives, regardless of contention.
+pub const MIN_GRANT_PPS: u64 = 1;
+
+/// Opaque handle for releasing a grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrantId(u64);
+
+#[derive(Debug)]
+struct Grant {
+    id: u64,
+    tenant: String,
+    pps: u64,
+}
+
+/// The reservation ledger. Single-threaded, owned by the supervisor's
+/// event loop.
+#[derive(Debug)]
+pub struct FairShareLedger {
+    capacity_pps: u64,
+    grants: Vec<Grant>,
+    next_id: u64,
+}
+
+impl FairShareLedger {
+    /// A ledger over one link budget.
+    pub fn new(capacity_pps: u64) -> Self {
+        FairShareLedger { capacity_pps: capacity_pps.max(1), grants: Vec::new(), next_id: 0 }
+    }
+
+    /// Total pps currently reserved.
+    pub fn reserved(&self) -> u64 {
+        self.grants.iter().map(|g| g.pps).sum()
+    }
+
+    /// Distinct tenants holding at least one grant.
+    pub fn tenants(&self) -> usize {
+        let mut names: Vec<&str> = self.grants.iter().map(|g| g.tenant.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len()
+    }
+
+    fn tenant_used(&self, tenant: &str) -> u64 {
+        self.grants.iter().filter(|g| g.tenant == tenant).map(|g| g.pps).sum()
+    }
+
+    /// Admits a job: reserves and returns its granted pps (≤ `demand`,
+    /// ≥ [`MIN_GRANT_PPS`] when `demand` allows).
+    pub fn admit(&mut self, tenant: &str, demand_pps: u64) -> (GrantId, u64) {
+        let demand = demand_pps.max(1);
+        let mut tenants_after = self.tenants() as u64;
+        if self.tenant_used(tenant) == 0 {
+            tenants_after += 1;
+        }
+        let tenant_budget = self.capacity_pps / tenants_after.max(1);
+        let tenant_headroom = tenant_budget.saturating_sub(self.tenant_used(tenant));
+        let link_headroom = self.capacity_pps.saturating_sub(self.reserved());
+        let grant = demand.min(tenant_headroom.min(link_headroom).max(MIN_GRANT_PPS));
+        let id = self.next_id;
+        self.next_id += 1;
+        self.grants.push(Grant { id, tenant: tenant.to_string(), pps: grant });
+        (GrantId(id), grant)
+    }
+
+    /// Releases a grant (no-op for an unknown or already-released id).
+    pub fn release(&mut self, id: GrantId) {
+        self.grants.retain(|g| g.id != id.0);
+    }
+}
+
+/// Capped exponential restart backoff: `base · 2^(failures−1)`, clamped
+/// to `cap`. Monotone non-decreasing in `failures` and saturating — the
+/// properties the supervisor's convergence proof leans on, enforced by
+/// proptest in `tests/supervisor_stress.rs`.
+pub fn backoff_delay_ns(base_ns: u64, cap_ns: u64, consecutive_failures: u32) -> u64 {
+    let base = base_ns.max(1);
+    let shift = consecutive_failures.saturating_sub(1).min(63);
+    // saturating_mul, not shl: a shift can silently drop high bits.
+    base.saturating_mul(1u64 << shift).min(cap_ns.max(base))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sole_tenant_gets_the_whole_link() {
+        let mut l = FairShareLedger::new(100_000);
+        let (_, got) = l.admit("alice", 80_000);
+        assert_eq!(got, 80_000, "demand below capacity is granted in full");
+        let (_, more) = l.admit("alice", 80_000);
+        assert_eq!(more, 20_000, "second job is clipped to the remaining link");
+    }
+
+    #[test]
+    fn two_tenants_split_the_budget() {
+        let mut l = FairShareLedger::new(100_000);
+        let (_, a) = l.admit("alice", 100_000);
+        assert_eq!(a, 100_000, "first tenant alone sees the full link");
+        let (_, b) = l.admit("bob", 100_000);
+        // Alice's reservation stands; Bob's tenant budget is the equal
+        // split but the link has no headroom left — progress guarantee.
+        assert_eq!(b, MIN_GRANT_PPS);
+
+        let mut l = FairShareLedger::new(100_000);
+        let (_, a) = l.admit("alice", 40_000);
+        let (_, b) = l.admit("bob", 100_000);
+        assert_eq!(a, 40_000);
+        assert_eq!(b, 50_000, "bob is capped at the equal tenant split");
+    }
+
+    #[test]
+    fn admission_never_starves() {
+        let mut l = FairShareLedger::new(10);
+        for i in 0..50 {
+            let (_, got) = l.admit(&format!("t{i}"), 1_000);
+            assert!(got >= MIN_GRANT_PPS, "job {i} starved");
+        }
+    }
+
+    #[test]
+    fn release_restores_headroom() {
+        let mut l = FairShareLedger::new(1_000);
+        let (id, a) = l.admit("alice", 1_000);
+        assert_eq!(a, 1_000);
+        assert_eq!(l.reserved(), 1_000);
+        l.release(id);
+        assert_eq!(l.reserved(), 0);
+        assert_eq!(l.tenants(), 0);
+        let (_, b) = l.admit("bob", 600);
+        assert_eq!(b, 600);
+        l.release(GrantId(999)); // unknown id: no-op
+        assert_eq!(l.reserved(), 600);
+    }
+
+    #[test]
+    fn backoff_is_exponential_then_capped() {
+        let base = 250_000_000;
+        let cap = 8_000_000_000;
+        assert_eq!(backoff_delay_ns(base, cap, 1), base);
+        assert_eq!(backoff_delay_ns(base, cap, 2), 2 * base);
+        assert_eq!(backoff_delay_ns(base, cap, 3), 4 * base);
+        assert_eq!(backoff_delay_ns(base, cap, 6), cap);
+        assert_eq!(backoff_delay_ns(base, cap, 200), cap, "saturates, never wraps");
+        assert_eq!(backoff_delay_ns(0, 0, 1), 1, "degenerate inputs stay sane");
+    }
+}

@@ -323,6 +323,133 @@ impl FaultPlan {
     }
 }
 
+/// How a scheduled worker fault manifests in the attempt it lands on.
+/// The ordinal `at` is interpreted by the kind: a NIC-event ordinal for
+/// [`Kill`](WorkerFaultKind::Kill) and [`Stall`](WorkerFaultKind::Stall),
+/// a send-attempt ordinal for [`Panic`](WorkerFaultKind::Panic). All are
+/// 1-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum WorkerFaultKind {
+    /// The worker process dies as if `SIGKILL`ed: [`FaultPlan::kill_at`]
+    /// is merged into the attempt's world, so every NIC call from the
+    /// ordinal onward fails with [`SendError::Killed`]. The attempt's
+    /// partial output survives (the harness recovers it post-mortem).
+    Kill,
+    /// The worker thread panics mid-send. Unlike a kill, nothing the
+    /// attempt held in memory survives — only its on-disk journal.
+    Panic,
+    /// The worker's transport clock freezes: sends are swallowed, no
+    /// response ever matures, and the receive path reports an eternally
+    /// pending event. Detected by the engine's drain watchdog.
+    Stall,
+}
+
+/// One scheduled worker fault: the `attempt`-th task assignment (1-based)
+/// executed on worker `worker` suffers `kind` at ordinal `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct WorkerFault {
+    pub worker: u32,
+    pub attempt: u64,
+    pub kind: WorkerFaultKind,
+    pub at: u64,
+}
+
+/// Per-worker fault schedule for a supervised scan: which task attempts
+/// on which pool workers die, and how. Deterministic by construction —
+/// the supervisor's dispatch order decides which job lands on a faulted
+/// `(worker, attempt)` slot, and that order is a pure function of the
+/// scenario.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Default)]
+pub struct WorkerFaultPlan {
+    pub entries: Vec<WorkerFault>,
+}
+
+impl WorkerFaultPlan {
+    /// A plan that injects nothing (the default).
+    pub fn none() -> Self {
+        WorkerFaultPlan::default()
+    }
+
+    /// True when no fault is scheduled.
+    pub fn is_inert(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds an entry (fluent, for tests and scenario builders).
+    pub fn with(mut self, worker: u32, attempt: u64, kind: WorkerFaultKind, at: u64) -> Self {
+        self.entries.push(WorkerFault { worker, attempt, kind, at });
+        self
+    }
+
+    /// The fault scheduled for the `attempt`-th assignment on `worker`,
+    /// if any (first matching entry wins).
+    pub fn fault_for(&self, worker: u32, attempt: u64) -> Option<WorkerFault> {
+        self.entries
+            .iter()
+            .find(|e| e.worker == worker && e.attempt == attempt)
+            .copied()
+    }
+
+    /// Parses a plan from its JSON form (the job-spec `worker_faults`
+    /// key). `kind` is `"kill"`, `"panic"`, or `"stall"` (the serialized
+    /// echo's capitalized forms are accepted back):
+    ///
+    /// ```json
+    /// {"entries": [{"worker": 0, "attempt": 1, "kind": "kill", "at": 40}]}
+    /// ```
+    pub fn from_json_str(s: &str) -> Result<WorkerFaultPlan, String> {
+        let v: serde_json::Value =
+            serde_json::from_str(s).map_err(|e| format!("worker fault plan is not JSON: {e}"))?;
+        Self::from_json_value(&v)
+    }
+
+    /// Like [`from_json_str`](Self::from_json_str) on an already-parsed
+    /// value (the job-spec parser holds one).
+    pub fn from_json_value(v: &serde_json::Value) -> Result<WorkerFaultPlan, String> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| "worker fault plan must be a JSON object".to_string())?;
+        let mut plan = WorkerFaultPlan::default();
+        for (key, val) in obj {
+            match key.as_str() {
+                "entries" => {
+                    for e in val
+                        .as_array()
+                        .ok_or_else(|| "entries must be an array".to_string())?
+                    {
+                        let kind = match e["kind"].as_str() {
+                            Some(k) if k.eq_ignore_ascii_case("kill") => WorkerFaultKind::Kill,
+                            Some(k) if k.eq_ignore_ascii_case("panic") => WorkerFaultKind::Panic,
+                            Some(k) if k.eq_ignore_ascii_case("stall") => WorkerFaultKind::Stall,
+                            Some(k) => return Err(format!("unknown worker fault kind: {k}")),
+                            None => return Err("entries[].kind must be a string".to_string()),
+                        };
+                        let at = req_u64(&e["at"], "entries[].at")?;
+                        let attempt = req_u64(&e["attempt"], "entries[].attempt")?;
+                        if at == 0 || attempt == 0 {
+                            return Err("worker fault ordinals are 1-based".to_string());
+                        }
+                        plan.entries.push(WorkerFault {
+                            worker: u32::try_from(req_u64(&e["worker"], "entries[].worker")?)
+                                .map_err(|_| "entries[].worker out of range".to_string())?,
+                            attempt,
+                            kind,
+                            at,
+                        });
+                    }
+                }
+                other => return Err(format!("unknown worker fault plan key: {other}")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Serializes for the metadata echo.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("worker fault plan is always serializable")
+    }
+}
+
 fn req_u64(v: &serde_json::Value, key: &str) -> Result<u64, String> {
     v.as_u64().ok_or_else(|| format!("{key} must be a non-negative integer"))
 }
@@ -523,6 +650,49 @@ mod tests {
         assert!(p.killed(100));
         assert!(p.killed(1_000_000), "death is permanent");
         assert!(!FaultPlan::none().killed(u64::MAX));
+    }
+
+    #[test]
+    fn worker_fault_plan_parses_and_matches() {
+        let text = r#"{"entries": [
+            {"worker": 0, "attempt": 1, "kind": "kill", "at": 40},
+            {"worker": 2, "attempt": 3, "kind": "panic", "at": 7},
+            {"worker": 1, "attempt": 2, "kind": "stall", "at": 120}
+        ]}"#;
+        let plan = WorkerFaultPlan::from_json_str(text).unwrap();
+        assert!(!plan.is_inert());
+        assert_eq!(
+            plan.fault_for(0, 1).unwrap().kind,
+            WorkerFaultKind::Kill
+        );
+        assert_eq!(plan.fault_for(2, 3).unwrap().at, 7);
+        assert_eq!(
+            plan.fault_for(1, 2).unwrap().kind,
+            WorkerFaultKind::Stall
+        );
+        assert_eq!(plan.fault_for(0, 2), None, "other attempts run clean");
+        assert_eq!(plan.fault_for(3, 1), None, "unlisted workers run clean");
+        // The echo form parses back to the same plan.
+        let again = WorkerFaultPlan::from_json_str(&plan.to_json()).unwrap();
+        assert_eq!(again, plan);
+
+        assert!(WorkerFaultPlan::from_json_str("{}").unwrap().is_inert());
+        assert!(WorkerFaultPlan::from_json_str("[]").is_err());
+        assert!(WorkerFaultPlan::from_json_str(r#"{"bogus": 1}"#).is_err());
+        assert!(
+            WorkerFaultPlan::from_json_str(
+                r#"{"entries": [{"worker": 0, "attempt": 1, "kind": "melt", "at": 1}]}"#
+            )
+            .is_err(),
+            "unknown kinds are rejected"
+        );
+        assert!(
+            WorkerFaultPlan::from_json_str(
+                r#"{"entries": [{"worker": 0, "attempt": 0, "kind": "kill", "at": 1}]}"#
+            )
+            .is_err(),
+            "ordinals are 1-based"
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod responder;
 pub mod services;
 pub mod world;
 
-pub use faults::{FaultPlan, SendError};
+pub use faults::{FaultPlan, SendError, WorkerFault, WorkerFaultKind, WorkerFaultPlan};
 pub use geo::Country;
 pub use profile::{HostProfile, OptionSensitivity, StackOs};
 pub use services::ServiceModel;

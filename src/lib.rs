@@ -45,8 +45,15 @@ pub mod prelude {
         Scanner, ShutdownToken, SimNet, Transport,
     };
     pub use zmap_core::metrics::{CounterId, HistId, ScanMetrics};
+    pub use zmap_core::{
+        JobEvent, JobOutcome, JobReport, JobSpec, Supervisor, SupervisorConfig, SupervisorError,
+        SupervisorReport,
+    };
     pub use zmap_metrics::{HistogramSnapshot, Log2Histogram, MetricsSnapshot};
-    pub use zmap_netsim::{FaultPlan, SendError, ServiceModel, World, WorldConfig};
+    pub use zmap_netsim::{
+        FaultPlan, SendError, ServiceModel, WorkerFault, WorkerFaultKind, WorkerFaultPlan, World,
+        WorldConfig,
+    };
     pub use zmap_targets::{Constraint, ShardAlgorithm, Target, TargetGenerator};
     pub use zmap_wire::{IpIdMode, OptionLayout};
 }

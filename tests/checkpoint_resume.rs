@@ -13,7 +13,7 @@ use zmap::netsim::loss::LossModel;
 use zmap::prelude::*;
 
 fn arb_counters() -> impl Strategy<Value = Counters> {
-    prop::collection::vec(any::<u64>(), 15..16).prop_map(|v| Counters {
+    prop::collection::vec(any::<u64>(), 19..20).prop_map(|v| Counters {
         targets_total: v[0],
         sent: v[1],
         responses_validated: v[2],
@@ -29,6 +29,10 @@ fn arb_counters() -> impl Strategy<Value = Counters> {
         resume_count: v[12],
         watchdog_stalls: v[13],
         shutdown_clean: v[14],
+        jobs_admitted: v[15],
+        worker_restarts: v[16],
+        jobs_degraded: v[17],
+        migrations: v[18],
     })
 }
 
@@ -174,7 +178,7 @@ fn kill_anywhere_then_resume_equals_uninterrupted() {
             .unwrap()
             .run_with(RunOptions {
                 checkpoint: Some(policy.clone()),
-                shutdown: None,
+                ..RunOptions::default()
             });
         assert!(first.killed, "kill_at {kill_at} must fire");
         assert_eq!(first.shutdown_clean, 0, "a killed scan is not clean");
@@ -191,7 +195,7 @@ fn kill_anywhere_then_resume_equals_uninterrupted() {
             .unwrap()
             .run_with(RunOptions {
                 checkpoint: Some(policy),
-                shutdown: None,
+                ..RunOptions::default()
             });
         assert!(!second.killed);
         assert_eq!(second.resume_count, 1);
@@ -236,6 +240,7 @@ fn graceful_interrupt_then_resume_covers_everything() {
         .run_with(RunOptions {
             checkpoint: Some(policy.clone()),
             shutdown: Some(token),
+            ..RunOptions::default()
         });
     assert!(!first.killed);
     assert_eq!(first.sent, 0, "interrupt honored at the cycle boundary");
@@ -252,7 +257,7 @@ fn graceful_interrupt_then_resume_covers_everything() {
         .unwrap()
         .run_with(RunOptions {
             checkpoint: Some(policy),
-            shutdown: None,
+            ..RunOptions::default()
         });
     assert_eq!(discovered(&second), want);
     assert!(CheckpointState::load(&path).unwrap().complete);
