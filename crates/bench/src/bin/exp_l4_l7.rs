@@ -52,8 +52,14 @@ fn main() {
         let summary = Scanner::new(cfg, net.transport(src))
             .expect("valid config")
             .run();
-        let l4_targets: Vec<(Ipv4Addr, u16)> =
-            summary.results.iter().map(|r| (r.saddr, r.sport)).collect();
+        let l4_targets: Vec<(Ipv4Addr, u16)> = summary
+            .results
+            .iter()
+            .filter_map(|r| match r.saddr {
+                std::net::IpAddr::V4(v4) => Some((v4, r.sport)),
+                std::net::IpAddr::V6(_) => None,
+            })
+            .collect();
 
         // Phase 2: interrogate every L4-positive target.
         let mut builder = ProbeBuilder::new(src, 8);

@@ -7,7 +7,7 @@
 
 use bench::{pct, print_table};
 use std::collections::HashSet;
-use std::net::Ipv4Addr;
+use std::net::{IpAddr, Ipv4Addr};
 use zmap_core::transport::SimNet;
 use zmap_core::{ScanConfig, Scanner};
 use zmap_netsim::loss::LossModel;
@@ -35,7 +35,7 @@ fn scan_from(
     vantage: Ipv4Addr,
     probes: u32,
     seed: u64,
-) -> HashSet<Ipv4Addr> {
+) -> HashSet<IpAddr> {
     let mut cfg = ScanConfig::new(vantage);
     cfg.allowlist_prefix(PREFIX, LEN);
     cfg.apply_default_blocklist = false;
@@ -82,7 +82,7 @@ fn main() {
         // One shared lossy world per strategy: vantage-correlated loss is
         // a property of (vantage, prefix), identical across strategies.
         let net = SimNet::new(world(LossModel::default()));
-        let mut found: HashSet<Ipv4Addr> = HashSet::new();
+        let mut found: HashSet<IpAddr> = HashSet::new();
         for &(v, probes) in plan {
             found.extend(scan_from(&net, vantages[v], probes, 1 + v as u64));
         }

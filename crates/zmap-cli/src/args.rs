@@ -1,6 +1,6 @@
 //! Hand-rolled argument parsing (keeping the binary dependency-free).
 
-use std::net::Ipv4Addr;
+use std::net::{Ipv4Addr, Ipv6Addr};
 use zmap_core::{DedupMethod, OutputFormat, ProbeKind, ScanConfig};
 use zmap_targets::parse::{parse_cidr, Cidr};
 use zmap_targets::ShardAlgorithm;
@@ -47,6 +47,12 @@ pub struct CliOptions {
     /// Directory for per-job output files in `--serve` mode (default
     /// current directory).
     pub serve_output_dir: Option<String>,
+    /// IPv6 scan: the scanner's v6 source address (`--ipv6`). Set iff
+    /// `prefix_list_path` is set; the pair switches the scan to v6.
+    pub ipv6_source: Option<Ipv6Addr>,
+    /// Path to the IPv6 prefix spec file (`--prefix-list`). The file is
+    /// read in `run_scan` — parsing stays IO-free.
+    pub prefix_list_path: Option<String>,
     /// Print help and exit.
     pub help: bool,
 }
@@ -93,6 +99,12 @@ TARGETING
   -p, --target-ports LIST  comma-separated ports (default 80)
   --max-targets N          stop after N targets
   --max-results N          stop after N unique successes
+  --ipv6 SRC6              IPv6 scan from this v6 source address
+                           (requires --prefix-list; v4 --subnet and
+                           --blocklist do not apply to v6 scans)
+  --prefix-list FILE       IPv6 prefix specs, one per line:
+                           PREFIX/LEN [pattern=low|eui64|embedded-v4]
+                           [bits=N] [density=F]; requires --ipv6
 
 PROBES
   --probe-module M         tcp_synscan | icmp_echoscan | udp (default tcp_synscan)
@@ -203,6 +215,8 @@ pub fn parse_args(argv: &[String]) -> Result<CliOptions, CliError> {
         watchdog_secs: None,
         serve_path: None,
         serve_output_dir: None,
+        ipv6_source: None,
+        prefix_list_path: None,
         help: false,
     };
     let mut it = argv.iter().peekable();
@@ -355,6 +369,13 @@ pub fn parse_args(argv: &[String]) -> Result<CliOptions, CliError> {
             "--serve-output-dir" => {
                 opts.serve_output_dir = Some(need(&mut it, "--serve-output-dir")?)
             }
+            "--ipv6" => {
+                let v = need(&mut it, "--ipv6")?;
+                opts.ipv6_source = Some(v.parse().map_err(|_| {
+                    CliError::BadValue("--ipv6".into(), v.clone(), "not an IPv6 address".into())
+                })?);
+            }
+            "--prefix-list" => opts.prefix_list_path = Some(need(&mut it, "--prefix-list")?),
             "--source-ip" => {
                 let v = need(&mut it, "--source-ip")?;
                 opts.config.source_ip = v.parse().map_err(|_| {
@@ -444,6 +465,26 @@ fn validate(opts: &CliOptions) -> Result<(), CliError> {
                 opts.checkpoint_interval_secs
             )));
         }
+    }
+    match (&opts.ipv6_source, &opts.prefix_list_path) {
+        (Some(_), None) => {
+            return Err(CliError::Invalid(
+                "--ipv6 requires --prefix-list FILE (the v6 target space)".into(),
+            ))
+        }
+        (None, Some(_)) => {
+            return Err(CliError::Invalid(
+                "--prefix-list requires --ipv6 SRC6 (the scanner's v6 address)".into(),
+            ))
+        }
+        _ => {}
+    }
+    if opts.ipv6_source.is_some() && cfg.dedup == DedupMethod::FullBitmap {
+        return Err(CliError::Invalid(
+            "--full-bitmap-dedup indexes the 2^32 IPv4 space and cannot cover \
+             IPv6; use --dedup-window for --ipv6 scans"
+                .into(),
+        ));
     }
     if opts.serve_output_dir.is_some() && opts.serve_path.is_none() {
         return Err(CliError::Invalid(
@@ -689,6 +730,25 @@ mod tests {
         assert!(why.contains("--serve"), "{why}");
         assert!(USAGE.contains("--serve"));
         assert!(USAGE.contains("--serve-output-dir"));
+    }
+
+    #[test]
+    fn ipv6_flags() {
+        let o = parse_args(&args("--ipv6 2001:db8::1 --prefix-list v6.txt -p 443")).unwrap();
+        assert_eq!(o.ipv6_source, Some("2001:db8::1".parse().unwrap()));
+        assert_eq!(o.prefix_list_path.as_deref(), Some("v6.txt"));
+        // Each half of the pair is useless alone.
+        assert!(invalid_why("--ipv6 2001:db8::1").contains("--prefix-list"));
+        assert!(invalid_why("--prefix-list v6.txt").contains("--ipv6"));
+        // The v4 bitmap cannot index a 128-bit space.
+        let why = invalid_why("--ipv6 2001:db8::1 --prefix-list v6.txt --full-bitmap-dedup");
+        assert!(why.contains("--full-bitmap-dedup"), "{why}");
+        assert!(matches!(
+            parse_args(&args("--ipv6 192.0.2.1 --prefix-list v6.txt")),
+            Err(CliError::BadValue(_, _, _))
+        ));
+        assert!(USAGE.contains("--ipv6"));
+        assert!(USAGE.contains("--prefix-list"));
     }
 
     #[test]

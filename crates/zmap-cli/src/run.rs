@@ -14,8 +14,8 @@ use zmap_core::parallel::{
     DEFAULT_WATCHDOG_POLL_LIMIT,
 };
 use zmap_core::transport::SimNet;
-use zmap_core::{RunOptions, Scanner};
-use zmap_netsim::{FaultPlan, ServiceModel, World, WorldConfig};
+use zmap_core::{Ipv6Config, RunOptions, Scanner};
+use zmap_netsim::{FaultPlan, ServiceModel, V6Population, World, WorldConfig};
 
 /// Exit code for a scan killed mid-flight (crash injection or a stall the
 /// watchdog tripped). The journal at `--checkpoint` is resumable.
@@ -32,7 +32,7 @@ pub fn watchdog_poll_limit(watchdog_secs: Option<u64>) -> u64 {
 }
 
 /// Runs the scan described by `opts`. Returns the process exit code.
-pub fn run_scan(opts: CliOptions) -> io::Result<i32> {
+pub fn run_scan(mut opts: CliOptions) -> io::Result<i32> {
     // Supervisor mode is a different process shape (many jobs, per-job
     // streams); hand off before any single-scan setup.
     if let Some(spec_path) = opts.serve_path.clone() {
@@ -55,6 +55,27 @@ pub fn run_scan(opts: CliOptions) -> io::Result<i32> {
             }
         }
         None => FaultPlan::none(),
+    };
+    // IPv6 mode: one read of the prefix list feeds both sides — the scan
+    // config (target walk + config digest) and the simulated world (the
+    // procedural v6 population the scan probes).
+    let v6_pop = match (&opts.ipv6_source, &opts.prefix_list_path) {
+        (Some(src), Some(path)) => {
+            let contents = std::fs::read_to_string(path)?;
+            let pop = match V6Population::from_prefix_list(&contents, opts.config.ports.clone()) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("ERROR invalid prefix list {path}: {e}");
+                    return Ok(2);
+                }
+            };
+            opts.config.ipv6 = Some(Ipv6Config {
+                source_ip: *src,
+                prefix_list: contents,
+            });
+            Some(pop)
+        }
+        _ => None,
     };
     // Crash tolerance: build the checkpoint policy and, on --resume, load
     // and verify the journal before the scanner exists. Journal problems
@@ -88,6 +109,7 @@ pub fn run_scan(opts: CliOptions) -> io::Result<i32> {
             seed: opts.sim_seed,
             model,
             faults,
+            v6: v6_pop.clone(),
             ..WorldConfig::default()
         })));
         let transport = SharedSimTransport::new(world, opts.config.source_ip);
@@ -131,6 +153,7 @@ pub fn run_scan(opts: CliOptions) -> io::Result<i32> {
         seed: opts.sim_seed,
         model,
         faults,
+        v6: v6_pop,
         ..WorldConfig::default()
     });
     let transport = net.transport(opts.config.source_ip);
@@ -518,6 +541,57 @@ mod tests {
             serde_json::from_str(&std::fs::read_to_string(&pipe_md).unwrap()).unwrap();
         assert_eq!(meta["counters"]["sent"], 256);
         assert_eq!(meta["counters"]["shutdown_clean"], 1);
+    }
+
+    #[test]
+    fn ipv6_scan_end_to_end() {
+        let dir = std::env::temp_dir().join("zmap-cli-v6-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefixes = dir.join("v6.txt");
+        std::fs::write(
+            &prefixes,
+            "2001:db8:a::/48 pattern=low bits=6 density=1.0\n",
+        )
+        .unwrap();
+        let out = dir.join("results.csv");
+        let md = dir.join("meta.json");
+        let opts = parse_args(&args(&format!(
+            "--ipv6 2001:db8:ffff::1 --prefix-list {} -p 443 -r 100000 --seed 9 \
+             --sim-seed 5 --cooldown-secs 1 -O csv -q -o {} --metadata-file {}",
+            prefixes.display(),
+            out.display(),
+            md.display()
+        )))
+        .unwrap();
+        assert_eq!(super::run_scan(opts).unwrap(), 0);
+        let csv = std::fs::read_to_string(&out).unwrap();
+        let rows: Vec<_> = csv.lines().skip(1).collect();
+        // density=1.0: all 2^6 hosts answer on the open port.
+        assert_eq!(rows.len(), 64, "{csv}");
+        assert!(rows.iter().all(|l| l.contains("2001:db8:a:")), "{csv}");
+        let meta: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&md).unwrap()).unwrap();
+        assert_eq!(meta["counters"]["sent"], 64);
+        assert_eq!(meta["counters"]["unique_successes"], 64);
+        assert_eq!(meta["config"]["ipv6_source"], "2001:db8:ffff::1");
+        assert!(meta["config"]["prefix_list"]
+            .as_str()
+            .unwrap()
+            .contains("2001:db8:a::/48"));
+    }
+
+    #[test]
+    fn malformed_prefix_list_is_a_config_error() {
+        let dir = std::env::temp_dir().join("zmap-cli-badv6-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefixes = dir.join("bad.txt");
+        std::fs::write(&prefixes, "not-a-prefix\n").unwrap();
+        let opts = parse_args(&args(&format!(
+            "--ipv6 2001:db8::1 --prefix-list {} -q",
+            prefixes.display()
+        )))
+        .unwrap();
+        assert_eq!(super::run_scan(opts).unwrap(), 2);
     }
 
     #[test]

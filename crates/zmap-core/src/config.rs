@@ -1,7 +1,7 @@
 //! Scan configuration — the library-level equivalent of ZMap's CLI flags.
 
 use serde::Serialize;
-use std::net::Ipv4Addr;
+use std::net::{Ipv4Addr, Ipv6Addr};
 use zmap_targets::parse::default_blocklist;
 use zmap_targets::{Constraint, ShardAlgorithm};
 use zmap_wire::ipv4::IpIdMode;
@@ -30,6 +30,22 @@ pub enum DedupMethod {
     Window(usize),
 }
 
+/// IPv6 scanning mode (XMap-style, see DESIGN.md §11). When set, the
+/// target space is the prefix list below — walked per-prefix by
+/// `zmap_targets::V6TargetSpace` — instead of the IPv4 constraint, and
+/// probes are built by the v6 wire path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv6Config {
+    /// Scanner IPv6 source address (the wire-level source; the IPv4
+    /// `source_ip` still names the simulator endpoint the scanner is
+    /// attached to).
+    pub source_ip: Ipv6Addr,
+    /// Prefix-list file *contents*, one `prefix/len [pattern=] [bits=]
+    /// [density=]` spec per line. The CLI reads `--prefix-list` into
+    /// this; the library never touches the filesystem.
+    pub prefix_list: String,
+}
+
 /// Everything a scan needs. Construct with [`ScanConfig::new`] and adjust
 /// fields; `Scanner::new` validates.
 #[derive(Debug, Clone)]
@@ -43,8 +59,12 @@ pub struct ScanConfig {
     pub ports: Vec<u16>,
     /// Probe module.
     pub probe: ProbeKind,
-    /// Address constraint (allowlist/blocklist composition).
+    /// Address constraint (allowlist/blocklist composition). Ignored in
+    /// IPv6 mode, where `ipv6.prefix_list` defines the target space.
     pub constraint: Constraint,
+    /// IPv6 mode: `Some` switches target generation, probe construction,
+    /// and dedup keying to the 128-bit path.
+    pub ipv6: Option<Ipv6Config>,
     /// Apply the IANA reserved-space blocklist on top of the constraint
     /// (ZMap always does unless explicitly overridden).
     pub apply_default_blocklist: bool,
@@ -108,6 +128,7 @@ impl ScanConfig {
             ports: vec![80],
             probe: ProbeKind::TcpSyn,
             constraint: Constraint::new(true),
+            ipv6: None,
             apply_default_blocklist: true,
             rate_pps: 10_000,
             probes_per_target: 1,

@@ -55,6 +55,7 @@ mod model_check;
 pub mod monitor;
 pub mod output;
 pub mod parallel;
+pub mod plan;
 pub mod probe_mod;
 pub mod ratecontrol;
 pub mod ring;
@@ -64,7 +65,8 @@ pub mod supervisor;
 pub mod transport;
 
 pub use checkpoint::{CheckpointPolicy, CheckpointState, JournalError};
-pub use config::{DedupMethod, ProbeKind, ScanConfig};
+pub use config::{DedupMethod, Ipv6Config, ProbeKind, ScanConfig};
+pub use plan::ScanPlan;
 pub use shutdown::ShutdownToken;
 pub use metadata::ScanMetadata;
 pub use metrics::{CounterId, HistId, ScanMetrics};

@@ -35,10 +35,19 @@ pub struct ScanMetadata {
     pub inflight_overflow: u64,
 }
 
-/// The serializable subset of [`ScanConfig`].
-#[derive(Debug, Clone, Serialize)]
+/// The serializable subset of [`ScanConfig`]. `Serialize` is written by
+/// hand (below) so the two v6-only fields are *skipped* when `None`: the
+/// config digest serializes this echo, and a v4 config must keep its
+/// pre-v6 byte-identical JSON.
+#[derive(Debug, Clone)]
 pub struct ConfigEcho {
     pub source_ip: String,
+    /// IPv6 wire source address; present only in v6 mode.
+    pub ipv6_source: Option<String>,
+    /// The full prefix-list contents in v6 mode. Folding the list into
+    /// the echo makes the config digest — and so checkpoint-resume
+    /// compatibility — cover the target space.
+    pub prefix_list: Option<String>,
     pub seed: u64,
     pub ports: Vec<u16>,
     pub probe: String,
@@ -53,6 +62,38 @@ pub struct ConfigEcho {
     pub ip_id: String,
     pub dedup: String,
     pub max_retries: u32,
+}
+
+impl Serialize for ConfigEcho {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let extra = self.ipv6_source.is_some() as usize + self.prefix_list.is_some() as usize;
+        let mut st = serializer.serialize_struct("ConfigEcho", 15 + extra)?;
+        st.serialize_field("source_ip", &self.source_ip)?;
+        // v6-only fields ride between source_ip and seed, but only when
+        // present — absent fields must leave no trace in the JSON.
+        if let Some(v6) = &self.ipv6_source {
+            st.serialize_field("ipv6_source", v6)?;
+        }
+        if let Some(list) = &self.prefix_list {
+            st.serialize_field("prefix_list", list)?;
+        }
+        st.serialize_field("seed", &self.seed)?;
+        st.serialize_field("ports", &self.ports)?;
+        st.serialize_field("probe", &self.probe)?;
+        st.serialize_field("rate_pps", &self.rate_pps)?;
+        st.serialize_field("probes_per_target", &self.probes_per_target)?;
+        st.serialize_field("cooldown_secs", &self.cooldown_secs)?;
+        st.serialize_field("shard", &self.shard)?;
+        st.serialize_field("num_shards", &self.num_shards)?;
+        st.serialize_field("subshards", &self.subshards)?;
+        st.serialize_field("shard_algorithm", &self.shard_algorithm)?;
+        st.serialize_field("option_layout", &self.option_layout)?;
+        st.serialize_field("ip_id", &self.ip_id)?;
+        st.serialize_field("dedup", &self.dedup)?;
+        st.serialize_field("max_retries", &self.max_retries)?;
+        st.end()
+    }
 }
 
 /// Cyclic-group walk parameters.
@@ -114,6 +155,8 @@ impl ConfigEcho {
     pub fn from_config(cfg: &ScanConfig) -> Self {
         ConfigEcho {
             source_ip: cfg.source_ip.to_string(),
+            ipv6_source: cfg.ipv6.as_ref().map(|v6| v6.source_ip.to_string()),
+            prefix_list: cfg.ipv6.as_ref().map(|v6| v6.prefix_list.clone()),
             seed: cfg.seed,
             ports: cfg.ports.clone(),
             probe: format!("{:?}", cfg.probe),
@@ -224,6 +267,26 @@ mod tests {
         assert_eq!(v["histograms"]["probe_rtt_ns"]["count"], 2);
         assert_eq!(v["trace"]["events"][0]["kind"], "scan_start");
         assert_eq!(v["inflight_overflow"], 0);
+    }
+
+    #[test]
+    fn v6_echo_fields_are_absent_for_v4_configs() {
+        // The config digest serializes this echo: a v4 config must
+        // produce byte-identical JSON to pre-v6 builds (no null fields),
+        // while a v6 config folds the prefix list into the digest.
+        let cfg = ScanConfig::new(Ipv4Addr::new(192, 0, 2, 1));
+        let json = serde_json::to_string(&ConfigEcho::from_config(&cfg)).unwrap();
+        assert!(!json.contains("ipv6_source"), "{json}");
+        assert!(!json.contains("prefix_list"), "{json}");
+
+        let mut v6 = ScanConfig::new(Ipv4Addr::new(192, 0, 2, 1));
+        v6.ipv6 = Some(crate::config::Ipv6Config {
+            source_ip: "2001:db8::1".parse().unwrap(),
+            prefix_list: "2001:db8:a::/48 pattern=low bits=4\n".into(),
+        });
+        let echo = ConfigEcho::from_config(&v6);
+        assert_eq!(echo.ipv6_source.as_deref(), Some("2001:db8::1"));
+        assert!(echo.prefix_list.as_deref().unwrap().contains("/48"));
     }
 
     #[test]

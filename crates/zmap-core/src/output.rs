@@ -6,7 +6,7 @@
 
 use serde::Serialize;
 use std::io::{self, Write};
-use std::net::Ipv4Addr;
+use std::net::IpAddr;
 
 /// Classification of a validated response (ZMap's `classification` field).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,8 +50,8 @@ impl Classification {
 pub struct ScanResult {
     /// Receive timestamp, nanoseconds since scan start.
     pub ts_ns: u64,
-    /// Responding (probed) address.
-    pub saddr: Ipv4Addr,
+    /// Responding (probed) address, either family.
+    pub saddr: IpAddr,
     /// Probed port (0 for ICMP echo).
     pub sport: u16,
     /// Response classification.
@@ -66,7 +66,7 @@ pub struct ScanResult {
 /// `(name, type)` pairs, in column order.
 pub const SCHEMA: [(&str, &str); 6] = [
     ("ts_ns", "u64"),
-    ("saddr", "ipv4"),
+    ("saddr", "ip"),
     ("sport", "u16"),
     ("classification", "string"),
     ("ttl", "u8"),
@@ -165,12 +165,27 @@ mod tests {
     fn sample() -> ScanResult {
         ScanResult {
             ts_ns: 123_456_789,
-            saddr: Ipv4Addr::new(203, 0, 113, 9),
+            saddr: std::net::Ipv4Addr::new(203, 0, 113, 9).into(),
             sport: 443,
             classification: Classification::SynAck,
             ttl: 57,
             success: true,
         }
+    }
+
+    #[test]
+    fn v6_records_render_in_every_format() {
+        let mut r = sample();
+        r.saddr = "2001:db8:a::51".parse::<std::net::Ipv6Addr>().unwrap().into();
+        let mut m = OutputModule::new(OutputFormat::Text, Vec::new());
+        m.record(&r).unwrap();
+        let out = String::from_utf8(m.finish().unwrap()).unwrap();
+        assert_eq!(out, "2001:db8:a::51:443\n");
+        let mut m = OutputModule::new(OutputFormat::JsonLines, Vec::new());
+        m.record(&r).unwrap();
+        let out = String::from_utf8(m.finish().unwrap()).unwrap();
+        let v: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
+        assert_eq!(v["saddr"], "2001:db8:a::51");
     }
 
     #[test]

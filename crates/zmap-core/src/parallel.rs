@@ -17,13 +17,13 @@
 //!   valid) and counts the recovery into the monitor stream.
 
 use crate::checkpoint::{config_digest, CheckpointPolicy, CheckpointState};
-use crate::config::{ProbeKind, ScanConfig};
+use crate::config::ScanConfig;
 use crate::log::Logger;
 use crate::metadata::{ConfigEcho, PermutationEcho, ScanMetadata};
 use crate::metrics::{CounterId, HistId, ScanMetrics};
 use crate::monitor::{Monitor, StatusUpdate};
 use crate::output::ScanResult;
-use crate::probe_mod;
+use crate::plan::{build_any_template, AnyProbeBuilder, AnyStaged, ScanPlan};
 use crate::ratecontrol::RateController;
 use crate::ring::SpscRing;
 use crate::scanner::{checkpoint_via_metrics, ResumeError};
@@ -33,12 +33,10 @@ use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::collections::BTreeMap;
-use zmap_dedup::{target_key, SlidingWindow};
+use zmap_dedup::SlidingWindow;
 use zmap_metrics::{MetricsSnapshot, TraceSnapshot};
 use zmap_netsim::{EndpointId, SendError, World};
 use zmap_targets::generator::BuildError;
-use zmap_targets::TargetGenerator;
-use zmap_wire::probe::ProbeBuilder;
 
 /// A transport shareable across send/receive threads, timed by a shared
 /// virtual clock.
@@ -380,29 +378,16 @@ fn run_inner<T: SharedTransport>(
     opts: ParallelRunOptions,
     journal: Option<&CheckpointState>,
 ) -> Result<ParallelSummary, BuildError> {
-    let ports: Vec<u16> = match cfg.probe {
-        ProbeKind::IcmpEcho => vec![0],
-        _ => cfg.ports.clone(),
-    };
-    let mut gen_builder = TargetGenerator::builder()
-        .constraint(cfg.effective_constraint())
-        .ports(&ports)
-        .seed(cfg.seed)
-        .shards(cfg.num_shards.max(1))
-        .subshards(cfg.subshards.max(1))
-        .algorithm(cfg.shard_algorithm);
-    if let Some(j) = journal {
-        gen_builder = gen_builder.cycle_parts(j.generator, j.offset);
-    }
-    let gen = gen_builder.build()?;
-    let mut builder = ProbeBuilder::new(cfg.source_ip, cfg.seed);
-    builder.layout = cfg.option_layout;
-    builder.ip_id = cfg.ip_id;
+    // In v6 mode the journaled cycle parts are ignored: the walk plan is
+    // a pure function of (prefix list, ports, seed), which the config
+    // digest already pins.
+    let gen = ScanPlan::build(cfg, journal.map(|j| (j.generator, j.offset)))?;
+    let builder = AnyProbeBuilder::build(cfg);
     // The per-scan packet template (paper §4.4): laid out once here,
     // patched per probe on the send threads. Building it now also
     // surfaces the one per-probe construction failure (oversized UDP
     // payload) at setup time.
-    let template = probe_mod::build_template(&cfg.probe, &builder)
+    let template = build_any_template(&cfg.probe, &builder)
         .map_err(|e| BuildError::Config(format!("cannot build probe template: {e}")))?;
 
     // Counters carried over from the journal when resuming, so the
@@ -485,10 +470,13 @@ fn run_inner<T: SharedTransport>(
         metadata: ScanMetadata {
             version: env!("CARGO_PKG_VERSION").to_string(),
             config: ConfigEcho::from_config(cfg),
-            permutation: PermutationEcho {
-                group_prime: gen.cycle().group().prime(),
-                generator: gen.cycle().generator(),
-                offset: gen.cycle().offset(),
+            permutation: {
+                let (group_prime, generator, offset) = gen.permutation();
+                PermutationEcho {
+                    group_prime,
+                    generator,
+                    offset,
+                }
             },
             counters: baseline,
             duration_ns: 0,
@@ -508,7 +496,17 @@ fn run_inner<T: SharedTransport>(
     // after this leaves something to resume from.
     if let Some(policy) = &opts.checkpoint {
         let pos: Vec<u64> = positions.iter().map(|p| p.load(Ordering::Relaxed)).collect();
-        checkpoint_via_metrics(policy, digest, cfg, &gen, pos, 0, false, &metrics, &logger);
+        checkpoint_via_metrics(
+            policy,
+            digest,
+            cfg,
+            gen.permutation(),
+            pos,
+            0,
+            false,
+            &metrics,
+            &logger,
+        );
     }
 
     // TX pipeline plumbing (paper §4.2, the netmap shape): one `ready`
@@ -571,7 +569,7 @@ fn run_inner<T: SharedTransport>(
                         }
                     }
                     let mshard = t as usize;
-                    let mut staged = probe_mod::StagedRender::with_capacity(batch_cap);
+                    let mut staged = AnyStaged::for_plan(gen, batch_cap);
                     // The recycle ring is pre-filled at setup, so an empty
                     // pop means the transport half already died (pre-start
                     // kill closed both rings): nothing to render.
@@ -586,15 +584,17 @@ fn run_inner<T: SharedTransport>(
                             interrupted.fetch_add(1, Ordering::Relaxed);
                             break;
                         }
-                        let Some(target) = it.next() else {
+                        let Some((ip, port)) = it.next() else {
                             break;
                         };
                         let due = start + rc.mark_sent();
                         entropy = entropy.wrapping_add(0x9E37);
                         batch.reserve(due, it.elements_consumed());
-                        staged.push(target.ip, target.port, entropy);
+                        staged.push(ip, port, entropy);
                         metrics.add_at(mshard, CounterId::TargetsTotal, 1);
-                        metrics.note_probe(target_key(u32::from(target.ip), target.port), due);
+                        if let Ok(key) = gen.probe_key(ip, port) {
+                            metrics.note_probe(key, due);
+                        }
                         if !batch.is_full() {
                             continue;
                         }
@@ -674,7 +674,7 @@ fn run_inner<T: SharedTransport>(
                     flush_shared(transport, metrics, shard, killed, max_retries, batch)
                 };
                 let mut batch = FrameBatch::new(batch_cap);
-                let mut staged = probe_mod::StagedRender::with_capacity(batch_cap);
+                let mut staged = AnyStaged::for_plan(gen, batch_cap);
                 let mut dead = false;
                 loop {
                     // Cycle boundary: the only place a sender stops —
@@ -683,7 +683,7 @@ fn run_inner<T: SharedTransport>(
                         interrupted.fetch_add(1, Ordering::Relaxed);
                         break;
                     }
-                    let Some(target) = it.next() else {
+                    let Some((ip, port)) = it.next() else {
                         break;
                     };
                     // Virtual pacing: this probe is due at `start + due`
@@ -694,10 +694,12 @@ fn run_inner<T: SharedTransport>(
                     let due = start + rc.mark_sent();
                     entropy = entropy.wrapping_add(0x9E37);
                     batch.reserve(due, it.elements_consumed());
-                    staged.push(target.ip, target.port, entropy);
+                    staged.push(ip, port, entropy);
                     metrics.add_at(shard, CounterId::TargetsTotal, 1);
                     // Stamp the scheduled send time for RTT measurement.
-                    metrics.note_probe(target_key(u32::from(target.ip), target.port), due);
+                    if let Ok(key) = gen.probe_key(ip, port) {
+                        metrics.note_probe(key, due);
+                    }
                     if !batch.is_full() {
                         continue;
                     }
@@ -742,7 +744,13 @@ fn run_inner<T: SharedTransport>(
                 match builder.parse_response(&frame) {
                     Ok(Some(resp)) => {
                         metrics.add_at(rx, CounterId::ResponsesValidated, 1);
-                        let key = target_key(u32::from(resp.ip), resp.port);
+                        // Map into the plan's dedup index space; a keying
+                        // failure (v6 responder off its prefix's pattern,
+                        // unknown port) degrades this one response only.
+                        let Ok(key) = gen.probe_key(resp.ip, resp.port) else {
+                            metrics.add_at(rx, CounterId::ResponsesDiscarded, 1);
+                            continue;
+                        };
                         // RTT from the probe's scheduled send to this
                         // arrival (first response wins the sample).
                         metrics.record_rtt(rx, key, ts);
@@ -750,14 +758,14 @@ fn run_inner<T: SharedTransport>(
                             metrics.add_at(rx, CounterId::DuplicatesSuppressed, 1);
                             continue;
                         }
-                        let success = probe_mod::is_success(&resp);
+                        let success = resp.kind.is_success();
                         if success {
                             metrics.add_at(rx, CounterId::UniqueSuccesses, 1);
                             summary.results.push(ScanResult {
                                 ts_ns: ts.saturating_sub(start),
                                 saddr: resp.ip,
                                 sport: resp.port,
-                                classification: probe_mod::classify(&resp),
+                                classification: crate::plan::classify_kind(&resp.kind),
                                 ttl: resp.ttl,
                                 success,
                             });
@@ -797,7 +805,15 @@ fn run_inner<T: SharedTransport>(
                     let pos: Vec<u64> =
                         positions.iter().map(|p| p.load(Ordering::Relaxed)).collect();
                     checkpoint_via_metrics(
-                        policy, digest, cfg, &gen, pos, rel, false, &metrics, &logger,
+                        policy,
+                        digest,
+                        cfg,
+                        gen.permutation(),
+                        pos,
+                        rel,
+                        false,
+                        &metrics,
+                        &logger,
                     );
                     last_ckpt_at = rel;
                 }
@@ -872,7 +888,15 @@ fn run_inner<T: SharedTransport>(
             let pos: Vec<u64> = positions.iter().map(|p| p.load(Ordering::Relaxed)).collect();
             let rel = transport.now().saturating_sub(start);
             checkpoint_via_metrics(
-                policy, digest, cfg, &gen, pos, rel, complete, &metrics, &logger,
+                policy,
+                digest,
+                cfg,
+                gen.permutation(),
+                pos,
+                rel,
+                complete,
+                &metrics,
+                &logger,
             );
         }
         metrics.trace(

@@ -1,0 +1,517 @@
+//! The address-family plan: one dispatch layer that lets both engines
+//! (sequential and threaded) drive an IPv4 cyclic-group walk or an
+//! XMap-style IPv6 per-prefix walk through the same code path.
+//!
+//! Everything family-specific funnels through four small enums:
+//! [`ScanPlan`] (target space + sharded iteration + dedup keying),
+//! [`AnyProbeBuilder`] (per-scan key material + response validation),
+//! [`AnyTemplate`] (the rendered per-scan packet template), and
+//! [`AnyStaged`] (the interleaved batch-render queue). The engines match
+//! on none of these in their hot loops beyond what lives here.
+
+use crate::config::{DedupMethod, ProbeKind, ScanConfig};
+use crate::transport::FrameBatch;
+use std::net::{IpAddr, Ipv6Addr};
+use zmap_dedup::target_key;
+use zmap_targets::generator::{BuildError, TargetIter};
+use zmap_targets::{
+    parse_prefix_list, DedupError, ShardSpec, Target, Target6, TargetGenerator, V6DedupSpace,
+    V6TargetIter, V6TargetSpace,
+};
+use zmap_wire::probe::{ProbeBuilder, ResponseKind};
+use zmap_wire::template::ProbeTemplate;
+use zmap_wire::{ProbeBuilderV6, ProbeTemplateV6, WireError};
+
+/// The effective port list: the ICMP modules have no port dimension, so a
+/// single pseudo-port keeps the (IP, port) target machinery uniform.
+pub fn effective_ports(cfg: &ScanConfig) -> Vec<u16> {
+    match cfg.probe {
+        ProbeKind::IcmpEcho => vec![0],
+        _ => cfg.ports.clone(),
+    }
+}
+
+/// The IPv6 half of a plan: the per-prefix walk plan plus the dense
+/// dedup index space derived from it.
+pub struct V6Plan {
+    /// The prefix-tree walk (one smallest-fitting cyclic group per
+    /// prefix, interleaved by the stride scheduler).
+    pub space: V6TargetSpace,
+    /// Maps response `(addr, port)` back into the compact per-prefix
+    /// index space; failures degrade one response, never the run.
+    pub dedup: V6DedupSpace,
+    num_shards: u32,
+    num_subshards: u32,
+}
+
+/// A validated target space for one address family.
+pub enum ScanPlan {
+    /// IPv4: the classic single cyclic-group permutation over the
+    /// constraint tree.
+    V4(TargetGenerator),
+    /// IPv6: per-prefix cyclic walks over the prefix list.
+    V6(Box<V6Plan>),
+}
+
+impl ScanPlan {
+    /// Builds and validates the plan for `cfg`. `cycle_parts` rebuilds a
+    /// journaled v4 permutation verbatim instead of re-deriving it from
+    /// the seed; the v6 walk plan is a pure function of (prefix list,
+    /// ports, seed), so v6 resume ignores it.
+    pub fn build(
+        cfg: &ScanConfig,
+        cycle_parts: Option<(u64, u64)>,
+    ) -> Result<ScanPlan, BuildError> {
+        let ports = effective_ports(cfg);
+        match &cfg.ipv6 {
+            None => {
+                let mut gen_builder = TargetGenerator::builder()
+                    .constraint(cfg.effective_constraint())
+                    .ports(&ports)
+                    .seed(cfg.seed)
+                    .shards(cfg.num_shards.max(1))
+                    .subshards(cfg.subshards.max(1))
+                    .algorithm(cfg.shard_algorithm);
+                if let Some((generator, offset)) = cycle_parts {
+                    gen_builder = gen_builder.cycle_parts(generator, offset);
+                }
+                Ok(ScanPlan::V4(gen_builder.build()?))
+            }
+            Some(v6) => {
+                if cfg.dedup == DedupMethod::FullBitmap {
+                    return Err(BuildError::Config(
+                        "full-bitmap dedup indexes bare IPv4 addresses; IPv6 scans \
+                         use window dedup over the per-prefix index space"
+                            .into(),
+                    ));
+                }
+                let specs = parse_prefix_list(&v6.prefix_list)
+                    .map_err(|e| BuildError::Config(format!("invalid prefix list: {e}")))?;
+                let space = V6TargetSpace::new(specs, &ports, cfg.seed, cfg.shard_algorithm)
+                    .map_err(|e| BuildError::Config(format!("cannot plan v6 walk: {e}")))?;
+                let num_shards = cfg.num_shards.max(1);
+                let num_subshards = cfg.subshards.max(1);
+                // Validate the shard spec once here so the engines'
+                // `iter_shard` calls (which panic on bad specs) cannot
+                // fail later.
+                space
+                    .iter_spec(ShardSpec {
+                        shard: cfg.shard,
+                        num_shards,
+                        subshard: 0,
+                        num_subshards,
+                    })
+                    .map_err(|e| BuildError::Config(format!("invalid shard spec: {e}")))?;
+                let dedup = space.dedup_space();
+                Ok(ScanPlan::V6(Box::new(V6Plan {
+                    space,
+                    dedup,
+                    num_shards,
+                    num_subshards,
+                })))
+            }
+        }
+    }
+
+    /// The permutation triple the checkpoint journal records. For v4 this
+    /// is the literal `(group prime, generator, offset)`; for v6 the
+    /// walk plan is a pure function of (prefix list, ports, seed), so its
+    /// [`V6TargetSpace::fingerprint`] rides in the prime slot (with
+    /// generator/offset zero) and the resume gate compares fingerprints.
+    pub fn permutation(&self) -> (u64, u64, u64) {
+        match self {
+            ScanPlan::V4(gen) => (
+                gen.cycle().group().prime(),
+                gen.cycle().generator(),
+                gen.cycle().offset(),
+            ),
+            ScanPlan::V6(p) => (p.space.fingerprint(), 0, 0),
+        }
+    }
+
+    /// Total targets in the whole scan (all shards). Saturates at
+    /// `u64::MAX` for v6 spaces beyond 2^64 — progress display only; the
+    /// walk itself is exact.
+    pub fn target_count(&self) -> u64 {
+        match self {
+            ScanPlan::V4(gen) => gen.target_count(),
+            ScanPlan::V6(p) => u64::try_from(p.space.target_count()).unwrap_or(u64::MAX),
+        }
+    }
+
+    /// One subshard's iterator. The plan's shard spec was validated at
+    /// build, so this cannot fail for in-range `shard`/`subshard`.
+    pub fn iter_shard(&self, shard: u32, subshard: u32) -> PlanIter<'_> {
+        match self {
+            ScanPlan::V4(gen) => PlanIter::V4(gen.iter_shard(shard, subshard)),
+            ScanPlan::V6(p) => {
+                PlanIter::V6(p.space.iter_shard(shard, p.num_shards, subshard, p.num_subshards))
+            }
+        }
+    }
+
+    /// The dense dedup/RTT key for a target or response address. On the
+    /// TX path this is infallible (the walk only yields in-space
+    /// targets); on the RX path an `Err` names the response that failed
+    /// to invert — the caller discards that one response and keeps
+    /// scanning.
+    pub fn probe_key(&self, ip: IpAddr, port: u16) -> Result<u64, DedupError> {
+        match (self, ip) {
+            (ScanPlan::V4(_), IpAddr::V4(v4)) => Ok(target_key(u32::from(v4), port)),
+            (ScanPlan::V6(p), IpAddr::V6(v6)) => p.dedup.key_for(v6, port),
+            // A cross-family response cannot belong to this scan; treat
+            // it like an address outside every prefix.
+            (ScanPlan::V6(_), IpAddr::V4(v4)) => {
+                Err(DedupError::NoMatchingPrefix(v4.to_ipv6_mapped()))
+            }
+            (ScanPlan::V4(_), IpAddr::V6(v6)) => Err(DedupError::NoMatchingPrefix(v6)),
+        }
+    }
+}
+
+/// One subshard's target stream, family-erased to `(IpAddr, port)`.
+pub enum PlanIter<'a> {
+    V4(TargetIter<'a>),
+    V6(V6TargetIter<'a>),
+}
+
+impl PlanIter<'_> {
+    /// Raw group elements drawn so far (the checkpoint position unit).
+    pub fn elements_consumed(&self) -> u64 {
+        match self {
+            PlanIter::V4(it) => it.elements_consumed(),
+            PlanIter::V6(it) => it.elements_consumed(),
+        }
+    }
+
+    /// Skips `k` raw elements (checkpoint fast-forward); returns how many
+    /// were actually available.
+    pub fn fast_forward_elements(&mut self, k: u64) -> u64 {
+        match self {
+            PlanIter::V4(it) => it.fast_forward_elements(k),
+            PlanIter::V6(it) => it.fast_forward_elements(k),
+        }
+    }
+}
+
+impl Iterator for PlanIter<'_> {
+    type Item = (IpAddr, u16);
+
+    fn next(&mut self) -> Option<(IpAddr, u16)> {
+        match self {
+            PlanIter::V4(it) => it.next().map(|Target { ip, port }| (IpAddr::V4(ip), port)),
+            PlanIter::V6(it) => it.next().map(|Target6 { ip, port }| (IpAddr::V6(ip), port)),
+        }
+    }
+}
+
+/// A validated response, family-erased. `kind` reuses the v4
+/// [`ResponseKind`] enum — the v6 parser never produces `Unreachable`.
+pub struct AnyResponse {
+    /// The probed host.
+    pub ip: IpAddr,
+    /// The probed port (0 for echo probes).
+    pub port: u16,
+    /// What came back.
+    pub kind: ResponseKind,
+    /// TTL (v4) or hop limit (v6) observed on the response.
+    pub ttl: u8,
+}
+
+/// Per-scan probe key material and response validation for one family.
+pub enum AnyProbeBuilder {
+    V4(ProbeBuilder),
+    V6(ProbeBuilderV6),
+}
+
+impl AnyProbeBuilder {
+    /// Builds the family's probe builder from the config.
+    pub fn build(cfg: &ScanConfig) -> AnyProbeBuilder {
+        match &cfg.ipv6 {
+            None => {
+                let mut builder = ProbeBuilder::new(cfg.source_ip, cfg.seed);
+                builder.layout = cfg.option_layout;
+                builder.ip_id = cfg.ip_id;
+                AnyProbeBuilder::V4(builder)
+            }
+            Some(v6) => AnyProbeBuilder::V6(ProbeBuilderV6::new(v6.source_ip, cfg.seed)),
+        }
+    }
+
+    /// Parses and validates a received frame. `Ok(None)` means a
+    /// well-formed frame that is not a response to this scan.
+    pub fn parse_response(&self, frame: &[u8]) -> Result<Option<AnyResponse>, WireError> {
+        match self {
+            AnyProbeBuilder::V4(b) => Ok(b.parse_response(frame)?.map(|r| AnyResponse {
+                ip: IpAddr::V4(r.ip),
+                port: r.port,
+                kind: r.kind,
+                ttl: r.ttl,
+            })),
+            AnyProbeBuilder::V6(b) => Ok(b.parse_response(frame)?.map(|r| AnyResponse {
+                ip: IpAddr::V6(r.ip),
+                port: r.port,
+                kind: r.kind,
+                ttl: r.ttl,
+            })),
+        }
+    }
+}
+
+/// The per-scan packet template for one family (paper §4.4): the frame is
+/// laid out once; the hot loop only patches addresses and checksums.
+pub enum AnyTemplate {
+    V4(ProbeTemplate),
+    V6(ProbeTemplateV6),
+}
+
+/// Builds the template for the configured module, validating the one
+/// per-probe construction failure (oversized UDP payload) at setup time.
+pub fn build_any_template(
+    kind: &ProbeKind,
+    builder: &AnyProbeBuilder,
+) -> Result<AnyTemplate, WireError> {
+    match builder {
+        AnyProbeBuilder::V4(b) => crate::probe_mod::build_template(kind, b).map(AnyTemplate::V4),
+        AnyProbeBuilder::V6(b) => match kind {
+            ProbeKind::TcpSyn => Ok(AnyTemplate::V6(ProbeTemplateV6::tcp_syn(b))),
+            ProbeKind::IcmpEcho => Ok(AnyTemplate::V6(ProbeTemplateV6::icmp_echo(b))),
+            ProbeKind::Udp(payload) => ProbeTemplateV6::udp(b, payload).map(AnyTemplate::V6),
+        },
+    }
+}
+
+/// Staged batch rendering, family-erased. The v4 arm carries per-probe IP
+/// ID entropy and renders x8 → x4 → scalar; the v6 arm has no IP ID (no
+/// fragment header is emitted) and renders x8 → scalar. Slot `i` of the
+/// frame batch always corresponds to entry `i` here.
+pub(crate) enum AnyStaged {
+    V4(crate::probe_mod::StagedRender),
+    V6(Vec<(Ipv6Addr, u16)>),
+}
+
+impl AnyStaged {
+    /// An empty queue matching the plan's family.
+    pub(crate) fn for_plan(plan: &ScanPlan, capacity: usize) -> AnyStaged {
+        match plan {
+            ScanPlan::V4(_) => {
+                AnyStaged::V4(crate::probe_mod::StagedRender::with_capacity(capacity))
+            }
+            ScanPlan::V6(_) => AnyStaged::V6(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// Queues one target; its frame renders at the next [`Self::render`].
+    /// `ip_id_entropy` feeds the v4 IP ID and is ignored for v6. The
+    /// target's family must match the queue's (guaranteed when targets
+    /// come from the same plan's iterator).
+    pub(crate) fn push(&mut self, ip: IpAddr, port: u16, ip_id_entropy: u16) {
+        match (self, ip) {
+            (AnyStaged::V4(staged), IpAddr::V4(v4)) => staged.push(v4, port, ip_id_entropy),
+            (AnyStaged::V6(staged), IpAddr::V6(v6)) => staged.push((v6, port)),
+            _ => unreachable!("staged queue fed a target from the other address family"),
+        }
+    }
+
+    /// Renders every staged frame into the batch and clears the queue.
+    /// The template's family must match the queue's (both derive from
+    /// the same config).
+    pub(crate) fn render(&mut self, template: &AnyTemplate, batch: &mut FrameBatch) {
+        match (self, template) {
+            (AnyStaged::V4(staged), AnyTemplate::V4(t)) => staged.render(t, batch),
+            (AnyStaged::V6(staged), AnyTemplate::V6(t)) => {
+                debug_assert_eq!(
+                    staged.len(),
+                    batch.len(),
+                    "slots and stages move in lockstep"
+                );
+                let n = staged.len();
+                let mut i = 0;
+                while i + 8 <= n {
+                    let lane = |k: usize| staged[i + k];
+                    let vs = t.probe_values_x8(
+                        [
+                            lane(0).0,
+                            lane(1).0,
+                            lane(2).0,
+                            lane(3).0,
+                            lane(4).0,
+                            lane(5).0,
+                            lane(6).0,
+                            lane(7).0,
+                        ],
+                        [
+                            lane(0).1,
+                            lane(1).1,
+                            lane(2).1,
+                            lane(3).1,
+                            lane(4).1,
+                            lane(5).1,
+                            lane(6).1,
+                            lane(7).1,
+                        ],
+                    );
+                    for (k, v) in vs.into_iter().enumerate() {
+                        let (ip, port) = staged[i + k];
+                        t.render_with(v, ip, port, batch.frame_mut(i + k));
+                    }
+                    i += 8;
+                }
+                while i < n {
+                    let (ip, port) = staged[i];
+                    t.render_into(ip, port, batch.frame_mut(i));
+                    i += 1;
+                }
+                staged.clear();
+            }
+            _ => unreachable!("staged queue rendered with the other family's template"),
+        }
+    }
+}
+
+/// Maps a validated response kind to the output classification (shared by
+/// both families; the v6 parser never produces `Unreachable`).
+pub fn classify_kind(kind: &ResponseKind) -> crate::output::Classification {
+    use crate::output::Classification;
+    match kind {
+        ResponseKind::SynAck => Classification::SynAck,
+        ResponseKind::Rst => Classification::Rst,
+        ResponseKind::EchoReply => Classification::EchoReply,
+        ResponseKind::Unreachable { .. } => Classification::Unreach,
+        ResponseKind::UdpData(_) => Classification::UdpData,
+        ResponseKind::OtherTcp(_) => Classification::Other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{Ipv4Addr, Ipv6Addr};
+
+    const PREFIXES: &str = "2001:db8:a::/48 pattern=low bits=6 density=1.0\n\
+                            2001:db8:b::/48 pattern=eui64 bits=4 density=1.0\n";
+
+    fn v6_cfg() -> ScanConfig {
+        let mut cfg = ScanConfig::new(Ipv4Addr::new(198, 51, 100, 7));
+        cfg.ipv6 = Some(crate::config::Ipv6Config {
+            source_ip: "2001:db8:ffff::1".parse().unwrap(),
+            prefix_list: PREFIXES.to_string(),
+        });
+        cfg.ports = vec![443];
+        cfg.seed = 11;
+        cfg
+    }
+
+    #[test]
+    fn v4_plan_matches_generator_directly() {
+        let cfg = ScanConfig::new(Ipv4Addr::new(198, 51, 100, 7));
+        let plan = ScanPlan::build(&cfg, None).unwrap();
+        let ScanPlan::V4(ref gen) = plan else {
+            panic!("v4 config must build a v4 plan")
+        };
+        assert_eq!(plan.target_count(), gen.target_count());
+        assert_eq!(plan.permutation().0, gen.cycle().group().prime());
+        let got: Vec<_> = plan.iter_shard(0, 0).take(16).collect();
+        let want: Vec<_> = gen
+            .iter_shard(0, 0)
+            .take(16)
+            .map(|t| (IpAddr::V4(t.ip), t.port))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn v6_plan_walks_every_target_once() {
+        let plan = ScanPlan::build(&v6_cfg(), None).unwrap();
+        assert_eq!(plan.target_count(), 64 + 16);
+        let seen: std::collections::HashSet<_> = plan.iter_shard(0, 0).collect();
+        assert_eq!(seen.len(), 80, "every (addr, port) exactly once");
+        for (ip, port) in &seen {
+            assert!(matches!(ip, IpAddr::V6(_)));
+            assert_eq!(*port, 443);
+        }
+    }
+
+    #[test]
+    fn v6_permutation_is_fingerprint_with_zero_parts() {
+        let plan = ScanPlan::build(&v6_cfg(), None).unwrap();
+        let (fp, g, o) = plan.permutation();
+        assert_ne!(fp, 0);
+        assert_eq!((g, o), (0, 0));
+        // Fingerprint shifts with the prefix list: a foreign journal
+        // cannot slip through the resume gate.
+        let mut other = v6_cfg();
+        other.ipv6.as_mut().unwrap().prefix_list =
+            "2001:db8:a::/48 pattern=low bits=6 density=1.0\n".into();
+        let plan2 = ScanPlan::build(&other, None).unwrap();
+        assert_ne!(plan2.permutation().0, fp);
+    }
+
+    #[test]
+    fn v6_probe_key_round_trips_and_degrades_per_response() {
+        let cfg = v6_cfg();
+        let plan = ScanPlan::build(&cfg, None).unwrap();
+        let mut keys = std::collections::HashSet::new();
+        for (ip, port) in plan.iter_shard(0, 0) {
+            keys.insert(plan.probe_key(ip, port).expect("walked targets always key"));
+        }
+        assert_eq!(keys.len(), 80, "keys are dense and collision-free");
+        // Off-space responses fail with a typed, per-response error.
+        let stray: Ipv6Addr = "2001:db8:dead::1".parse().unwrap();
+        assert!(matches!(
+            plan.probe_key(IpAddr::V6(stray), 443),
+            Err(DedupError::NoMatchingPrefix(_))
+        ));
+        let inside: Ipv6Addr = "2001:db8:a::1".parse().unwrap();
+        assert!(matches!(
+            plan.probe_key(IpAddr::V6(inside), 80),
+            Err(DedupError::UnknownPort { .. })
+        ));
+        assert!(plan
+            .probe_key(IpAddr::V4(Ipv4Addr::new(1, 2, 3, 4)), 443)
+            .is_err());
+    }
+
+    #[test]
+    fn v6_rejects_full_bitmap_dedup() {
+        let mut cfg = v6_cfg();
+        cfg.dedup = DedupMethod::FullBitmap;
+        assert!(matches!(
+            ScanPlan::build(&cfg, None),
+            Err(BuildError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn v6_bad_prefix_list_is_a_config_error() {
+        let mut cfg = v6_cfg();
+        cfg.ipv6.as_mut().unwrap().prefix_list = "not-a-prefix/129\n".into();
+        assert!(matches!(
+            ScanPlan::build(&cfg, None),
+            Err(BuildError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn v6_staged_render_x8_matches_scalar() {
+        let cfg = v6_cfg();
+        let plan = ScanPlan::build(&cfg, None).unwrap();
+        let builder = AnyProbeBuilder::build(&cfg);
+        let template = build_any_template(&cfg.probe, &builder).unwrap();
+        let targets: Vec<_> = plan.iter_shard(0, 0).take(11).collect();
+        let mut batch = FrameBatch::new(targets.len());
+        let mut staged = AnyStaged::for_plan(&plan, targets.len());
+        for &(ip, port) in &targets {
+            batch.reserve(0, 0);
+            staged.push(ip, port, 0xABCD);
+        }
+        staged.render(&template, &mut batch);
+        let AnyTemplate::V6(ref t) = template else {
+            panic!("v6 config must build a v6 template")
+        };
+        for (i, &(ip, port)) in targets.iter().enumerate() {
+            let IpAddr::V6(v6) = ip else { unreachable!() };
+            assert_eq!(batch.frame(i).1, &t.render(v6, port)[..], "frame {i}");
+        }
+    }
+}

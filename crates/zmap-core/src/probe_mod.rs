@@ -4,7 +4,7 @@
 use crate::config::ProbeKind;
 use crate::output::Classification;
 use std::net::Ipv4Addr;
-use zmap_wire::probe::{ProbeBuilder, Response, ResponseKind};
+use zmap_wire::probe::{ProbeBuilder, Response};
 use zmap_wire::template::ProbeTemplate;
 use zmap_wire::WireError;
 
@@ -124,16 +124,11 @@ impl StagedRender {
     }
 }
 
-/// Maps a validated response to the output classification.
+/// Maps a validated response to the output classification. The kind →
+/// classification table itself lives in [`crate::plan::classify_kind`],
+/// shared with the IPv6 path.
 pub fn classify(resp: &Response) -> Classification {
-    match resp.kind {
-        ResponseKind::SynAck => Classification::SynAck,
-        ResponseKind::Rst => Classification::Rst,
-        ResponseKind::EchoReply => Classification::EchoReply,
-        ResponseKind::Unreachable { .. } => Classification::Unreach,
-        ResponseKind::UdpData(_) => Classification::UdpData,
-        ResponseKind::OtherTcp(_) => Classification::Other,
-    }
+    crate::plan::classify_kind(&resp.kind)
 }
 
 /// Whether a response from this module counts toward `max_results`
@@ -146,6 +141,7 @@ pub fn is_success(resp: &Response) -> bool {
 mod tests {
     use super::*;
     use zmap_wire::icmp::UnreachCode;
+    use zmap_wire::probe::ResponseKind;
     use zmap_wire::tcp::TcpFlags;
 
     #[test]

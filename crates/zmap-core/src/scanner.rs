@@ -2,13 +2,13 @@
 //! classified results.
 
 use crate::checkpoint::{config_digest, CheckpointPolicy, CheckpointState, JournalError};
-use crate::config::{DedupMethod, ProbeKind, ScanConfig};
+use crate::config::{DedupMethod, ScanConfig};
 use crate::log::{Level, Logger};
 use crate::metadata::{ConfigEcho, Counters, PermutationEcho, ScanMetadata};
 use crate::metrics::{CounterId, HistId, ScanMetrics};
 use crate::monitor::{Monitor, StatusUpdate};
 use crate::output::ScanResult;
-use crate::probe_mod;
+use crate::plan::{build_any_template, AnyProbeBuilder, AnyStaged, AnyTemplate, ScanPlan};
 use crate::ratecontrol::RateController;
 use crate::shutdown::ShutdownToken;
 use crate::transport::{FrameBatch, Transport};
@@ -16,13 +16,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::fmt;
-use zmap_dedup::{target_key, PagedBitmap, SlidingWindow};
+use std::net::IpAddr;
+use zmap_dedup::{PagedBitmap, SlidingWindow};
 use zmap_metrics::{MetricsSnapshot, TraceSnapshot};
 use zmap_netsim::SendError;
 use zmap_targets::generator::BuildError;
-use zmap_targets::{TargetGenerator, Target};
-use zmap_wire::probe::ProbeBuilder;
-use zmap_wire::template::ProbeTemplate;
+use zmap_targets::TargetGenerator;
 
 /// Outcome of a completed scan.
 #[derive(Debug)]
@@ -167,16 +166,24 @@ enum DedupState {
 }
 
 impl DedupState {
-    fn observe(&mut self, ip: u32, port: u16) -> bool {
+    /// Observes a response by its plan-derived key. For v4 the key is
+    /// `target_key(ip, port)`; for v6 it is the compact per-prefix index
+    /// (the bitmap arm is unreachable there — v6 + full-bitmap is
+    /// rejected at plan build).
+    fn observe(&mut self, ip: IpAddr, key: u64) -> bool {
         match self {
             DedupState::None => true,
             // The bitmap indexes bare 32-bit addresses, so it is only
-            // selected for single-port scans (enforced at assemble);
-            // feeding it a (ip, port) composite would silently truncate.
+            // selected for single-port v4 scans (enforced at assemble /
+            // plan build); feeding it a (ip, port) composite would
+            // silently truncate.
             DedupState::Bitmap(b) => {
-                zmap_dedup::Deduplicator::observe(&mut **b, u64::from(ip))
+                let IpAddr::V4(v4) = ip else {
+                    unreachable!("full-bitmap dedup is rejected for v6 plans")
+                };
+                zmap_dedup::Deduplicator::observe(&mut **b, u64::from(u32::from(v4)))
             }
-            DedupState::Window(w) => w.check_and_insert(target_key(ip, port)),
+            DedupState::Window(w) => w.check_and_insert(key),
         }
     }
 }
@@ -185,11 +192,11 @@ impl DedupState {
 pub struct Scanner<T: Transport> {
     cfg: ScanConfig,
     transport: T,
-    builder: ProbeBuilder,
+    builder: AnyProbeBuilder,
     /// The per-scan packet template (paper §4.4): the frame is laid out
     /// once here; the hot loop only patches addresses and checksums.
-    template: ProbeTemplate,
-    gen: TargetGenerator,
+    template: AnyTemplate,
+    gen: ScanPlan,
     dedup: DedupState,
     logger: Logger,
     rng: StdRng,
@@ -248,10 +255,12 @@ impl<T: Transport> Scanner<T> {
             Some((journal.generator, journal.offset)),
         )
         .map_err(ResumeError::Build)?;
-        if scanner.gen.cycle().group().prime() != journal.group_prime {
+        if scanner.gen.permutation().0 != journal.group_prime {
             // The digest already covers the target space, so this only
             // trips on a corrupted-yet-checksum-valid journal; belt and
-            // braces before walking the wrong group.
+            // braces before walking the wrong group. For v6 the prime
+            // slot carries the walk-plan fingerprint, so this also
+            // catches a journal written against a different prefix list.
             return Err(ResumeError::Journal(JournalError::Malformed(
                 "journal group prime does not match the configured target space".into(),
             )));
@@ -277,12 +286,7 @@ impl<T: Transport> Scanner<T> {
         logger: Logger,
         cycle_parts: Option<(u64, u64)>,
     ) -> Result<Self, BuildError> {
-        let ports: Vec<u16> = match cfg.probe {
-            // The ICMP module has no port dimension; a single pseudo-port
-            // keeps the (IP, port) target machinery uniform.
-            ProbeKind::IcmpEcho => vec![0],
-            _ => cfg.ports.clone(),
-        };
+        let ports = crate::plan::effective_ports(&cfg);
         if cfg.dedup == DedupMethod::FullBitmap && ports.len() > 1 {
             return Err(BuildError::Config(
                 "full-bitmap dedup indexes bare IPv4 addresses and cannot \
@@ -290,37 +294,29 @@ impl<T: Transport> Scanner<T> {
                     .into(),
             ));
         }
-        let mut gen_builder = TargetGenerator::builder()
-            .constraint(cfg.effective_constraint())
-            .ports(&ports)
-            .seed(cfg.seed)
-            .shards(cfg.num_shards.max(1))
-            .subshards(cfg.subshards.max(1))
-            .algorithm(cfg.shard_algorithm);
-        if let Some((generator, offset)) = cycle_parts {
-            gen_builder = gen_builder.cycle_parts(generator, offset);
-        }
-        let gen = gen_builder.build()?;
-        let mut builder = ProbeBuilder::new(cfg.source_ip, cfg.seed);
-        builder.layout = cfg.option_layout;
-        builder.ip_id = cfg.ip_id;
+        // In v6 mode the journaled cycle parts are ignored: the walk plan
+        // is a pure function of (prefix list, ports, seed) and the resume
+        // gate compares its fingerprint instead.
+        let gen = ScanPlan::build(&cfg, cycle_parts)?;
+        let builder = AnyProbeBuilder::build(&cfg);
         // Laying the template out now also validates the one per-probe
         // construction failure (oversized UDP payload) at setup time,
         // keeping the TX hot path infallible.
-        let template = probe_mod::build_template(&cfg.probe, &builder)
+        let template = build_any_template(&cfg.probe, &builder)
             .map_err(|e| BuildError::Config(format!("cannot build probe template: {e}")))?;
         let dedup = match cfg.dedup {
             DedupMethod::None => DedupState::None,
             DedupMethod::FullBitmap => DedupState::Bitmap(Box::new(PagedBitmap::new())),
             DedupMethod::Window(n) => DedupState::Window(SlidingWindow::new(n)),
         };
+        let (prime, generator, _) = gen.permutation();
         logger.info(format_args!(
             "scan configured: {} targets in shard {}/{}, group p={}, generator={}",
             gen.target_count(),
             cfg.shard,
             cfg.num_shards,
-            gen.cycle().group().prime(),
-            gen.cycle().generator(),
+            prime,
+            generator,
         ));
         Ok(Scanner {
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x005E_ED1D),
@@ -336,8 +332,17 @@ impl<T: Transport> Scanner<T> {
         })
     }
 
-    /// The target generator (inspectable before running).
-    pub fn generator(&self) -> &TargetGenerator {
+    /// The v4 target generator (inspectable before running); `None` in
+    /// IPv6 mode — use [`plan`](Self::plan) for the family-generic view.
+    pub fn generator(&self) -> Option<&TargetGenerator> {
+        match &self.gen {
+            ScanPlan::V4(gen) => Some(gen),
+            ScanPlan::V6(_) => None,
+        }
+    }
+
+    /// The address-family plan (inspectable before running).
+    pub fn plan(&self) -> &ScanPlan {
         &self.gen
     }
 
@@ -445,7 +450,15 @@ impl<T: Transport> Scanner<T> {
         if let Some(policy) = &checkpoint {
             let positions: Vec<u64> = iters.iter().map(|it| it.elements_consumed()).collect();
             checkpoint_via_metrics(
-                policy, digest, &cfg, &gen, positions, 0, false, &metrics, &logger,
+                policy,
+                digest,
+                &cfg,
+                gen.permutation(),
+                positions,
+                0,
+                false,
+                &metrics,
+                &logger,
             );
         }
 
@@ -455,7 +468,7 @@ impl<T: Transport> Scanner<T> {
         // plus sendmmsg shape. After the first batch fills, the loop
         // performs zero allocations per probe.
         let mut batch = FrameBatch::new(cfg.batch.max(1));
-        let mut staged = probe_mod::StagedRender::with_capacity(cfg.batch.max(1));
+        let mut staged = AnyStaged::for_plan(&gen, cfg.batch.max(1));
         // Local mirror of the TargetsTotal counter (which includes any
         // resume baseline): the hot loop reads it once per target, and a
         // registry read walks every counter shard.
@@ -492,12 +505,15 @@ impl<T: Transport> Scanner<T> {
                     }
                 }
             };
-            let Some(Target { ip, port }) = target else {
+            let Some((ip, port)) = target else {
                 break;
             };
             metrics.add(CounterId::TargetsTotal, 1);
             targets_total += 1;
 
+            // TX-side keys never fail — the walk only yields in-space
+            // targets — but degrade to no RTT stamp rather than panic.
+            let rtt_key = gen.probe_key(ip, port).ok();
             for _ in 0..cfg.probes_per_target.max(1) {
                 let at = rc.mark_sent();
                 let entropy: u16 = rng.gen();
@@ -508,7 +524,9 @@ impl<T: Transport> Scanner<T> {
                 staged.push(ip, port, entropy);
                 // Stamp the scheduled send time for RTT measurement;
                 // retransmits to the same target keep the first stamp.
-                metrics.note_probe(target_key(u32::from(ip), port), at);
+                if let Some(key) = rtt_key {
+                    metrics.note_probe(key, at);
+                }
             }
             if !batch.is_full() {
                 continue;
@@ -527,6 +545,7 @@ impl<T: Transport> Scanner<T> {
 
             drain_rx(
                 &mut transport,
+                &gen,
                 &builder,
                 &mut dedup,
                 &logger,
@@ -549,7 +568,15 @@ impl<T: Transport> Scanner<T> {
                     let positions: Vec<u64> =
                         iters.iter().map(|it| it.elements_consumed()).collect();
                     checkpoint_via_metrics(
-                        policy, digest, &cfg, &gen, positions, rel, false, &metrics, &logger,
+                        policy,
+                        digest,
+                        &cfg,
+                        gen.permutation(),
+                        positions,
+                        rel,
+                        false,
+                        &metrics,
+                        &logger,
                     );
                     last_ckpt_at = rel;
                 }
@@ -640,6 +667,7 @@ impl<T: Transport> Scanner<T> {
                         transport.advance_to(t);
                         drain_rx(
                             &mut transport,
+                            &gen,
                             &builder,
                             &mut dedup,
                             &logger,
@@ -657,6 +685,7 @@ impl<T: Transport> Scanner<T> {
                 transport.advance_to(cooldown_end);
                 drain_rx(
                     &mut transport,
+                    &gen,
                     &builder,
                     &mut dedup,
                     &logger,
@@ -695,7 +724,7 @@ impl<T: Transport> Scanner<T> {
                     policy,
                     digest,
                     &cfg,
-                    &gen,
+                    gen.permutation(),
                     positions,
                     rel,
                     !interrupted,
@@ -741,13 +770,14 @@ impl<T: Transport> Scanner<T> {
         let counters = metrics.counters();
         let snapshot = metrics.snapshot();
 
+        let (group_prime, generator, offset) = gen.permutation();
         let mut metadata = ScanMetadata {
             version: env!("CARGO_PKG_VERSION").to_string(),
             config: ConfigEcho::from_config(&cfg),
             permutation: PermutationEcho {
-                group_prime: gen.cycle().group().prime(),
-                generator: gen.cycle().generator(),
-                offset: gen.cycle().offset(),
+                group_prime,
+                generator,
+                offset,
             },
             counters,
             duration_ns,
@@ -817,19 +847,23 @@ pub(crate) fn write_checkpoint(
     policy: &CheckpointPolicy,
     digest: u64,
     cfg: &ScanConfig,
-    gen: &TargetGenerator,
+    permutation: (u64, u64, u64),
     positions: Vec<u64>,
     virtual_time_ns: u64,
     complete: bool,
     counters: Counters,
     logger: &Logger,
 ) -> Option<u64> {
+    // `permutation` is the plan's `(prime, generator, offset)` triple;
+    // in v6 mode the prime slot carries the walk-plan fingerprint and
+    // generator/offset are zero (see `ScanPlan::permutation`).
+    let (group_prime, generator, offset) = permutation;
     let state = CheckpointState {
         config_digest: digest,
         seed: cfg.seed,
-        group_prime: gen.cycle().group().prime(),
-        generator: gen.cycle().generator(),
-        offset: gen.cycle().offset(),
+        group_prime,
+        generator,
+        offset,
         shard: cfg.shard,
         num_shards: cfg.num_shards.max(1),
         num_subshards: cfg.subshards.max(1),
@@ -862,7 +896,7 @@ pub(crate) fn checkpoint_via_metrics(
     policy: &CheckpointPolicy,
     digest: u64,
     cfg: &ScanConfig,
-    gen: &TargetGenerator,
+    permutation: (u64, u64, u64),
     positions: Vec<u64>,
     virtual_time_ns: u64,
     complete: bool,
@@ -872,7 +906,15 @@ pub(crate) fn checkpoint_via_metrics(
     let mut snapshot = metrics.counters();
     snapshot.checkpoints_written += 1;
     if let Some(bytes) = write_checkpoint(
-        policy, digest, cfg, gen, positions, virtual_time_ns, complete, snapshot, logger,
+        policy,
+        digest,
+        cfg,
+        permutation,
+        positions,
+        virtual_time_ns,
+        complete,
+        snapshot,
+        logger,
     ) {
         metrics.add(CounterId::CheckpointsWritten, 1);
         metrics.record(HistId::CheckpointWrite, bytes);
@@ -965,7 +1007,8 @@ fn flush_batch<T: Transport>(
 #[allow(clippy::too_many_arguments)]
 fn drain_rx<T: Transport>(
     transport: &mut T,
-    builder: &ProbeBuilder,
+    plan: &ScanPlan,
+    builder: &AnyProbeBuilder,
     dedup: &mut DedupState,
     logger: &Logger,
     report_failures: bool,
@@ -977,16 +1020,31 @@ fn drain_rx<T: Transport>(
         match builder.parse_response(&frame) {
             Ok(Some(resp)) => {
                 metrics.add(CounterId::ResponsesValidated, 1);
+                // Map the response into the plan's dedup index space. A
+                // failure (v6 responder off its prefix's host pattern,
+                // unknown port) degrades exactly this response — counted
+                // and dropped — never the run.
+                let key = match plan.probe_key(resp.ip, resp.port) {
+                    Ok(key) => key,
+                    Err(e) => {
+                        metrics.add(CounterId::ResponsesDiscarded, 1);
+                        logger.log(
+                            Level::Debug,
+                            format_args!("response outside the target space: {e}"),
+                        );
+                        continue;
+                    }
+                };
                 // RTT from the probe's scheduled send to this arrival;
                 // the tracker releases on first take, so duplicates and
                 // blowback contribute no sample.
-                metrics.record_rtt(0, target_key(u32::from(resp.ip), resp.port), ts);
-                if !dedup.observe(u32::from(resp.ip), resp.port) {
+                metrics.record_rtt(0, key, ts);
+                if !dedup.observe(resp.ip, key) {
                     metrics.add(CounterId::DuplicatesSuppressed, 1);
                     continue;
                 }
-                let classification = probe_mod::classify(&resp);
-                let success = probe_mod::is_success(&resp);
+                let classification = crate::plan::classify_kind(&resp.kind);
+                let success = resp.kind.is_success();
                 if success {
                     metrics.add(CounterId::UniqueSuccesses, 1);
                 } else {
@@ -1021,6 +1079,7 @@ fn drain_rx<T: Transport>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ProbeKind;
     use crate::output::Classification;
     use crate::transport::SimNet;
     use std::net::Ipv4Addr;
@@ -1063,7 +1122,10 @@ mod tests {
         ips.sort();
         ips.dedup();
         assert_eq!(ips.len(), 256);
-        assert!(ips.iter().all(|ip| ip.octets()[..3] == [10, 10, 10]));
+        assert!(ips.iter().all(|ip| match ip {
+            IpAddr::V4(v4) => v4.octets()[..3] == [10, 10, 10],
+            IpAddr::V6(_) => false,
+        }));
     }
 
     #[test]

@@ -530,7 +530,7 @@ fn task_config(whole: &ScanConfig, index: u32, tasks: u32, rate_pps: u64) -> Sca
 /// then drop byte-identical duplicates (a replayed probe's response is
 /// the same record, see the module docs).
 fn merge_results(results: &mut Vec<ScanResult>) {
-    results.sort_by_key(|r| (r.ts_ns, u32::from(r.saddr), r.sport, r.ttl, r.success));
+    results.sort_by_key(|r| (r.ts_ns, r.saddr, r.sport, r.ttl, r.success));
     results.dedup();
 }
 

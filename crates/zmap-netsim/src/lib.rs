@@ -35,12 +35,14 @@ pub mod profile;
 pub mod ratelimit;
 pub mod responder;
 pub mod services;
+pub mod v6;
 pub mod world;
 
 pub use faults::{FaultPlan, SendError, WorkerFault, WorkerFaultKind, WorkerFaultPlan};
 pub use geo::Country;
 pub use profile::{HostProfile, OptionSensitivity, StackOs};
 pub use services::ServiceModel;
+pub use v6::V6Population;
 pub use world::{EndpointId, World, WorldConfig};
 
 /// Nanoseconds per second, the simulator's clock unit.

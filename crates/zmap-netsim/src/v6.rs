@@ -1,0 +1,406 @@
+//! A procedurally generated IPv6 population.
+//!
+//! IPv6's host space is sparse: only announced prefixes contain anything,
+//! and within a prefix the responsive hosts follow addressing patterns
+//! (low-byte statics, SLAAC EUI-64, embedded IPv4). The population reuses
+//! the scanner's own [`PrefixSpec`] line format —
+//!
+//! ```text
+//! 2001:db8:a::/48 pattern=eui64 bits=10 density=0.6
+//! ```
+//!
+//! — so one committed file drives both the walk and the ground truth, and
+//! a scan's hit-rate-vs-probes-sent curve is a pure function of
+//! (prefix list, seed). A host exists iff its address inverts under some
+//! prefix's pattern ([`PrefixSpec::index_of`]); it answers iff a per-host
+//! hash draw lands under the prefix's `density`. Everything else in the
+//! v6 space — including on-pattern addresses of dead hosts — is silent,
+//! exactly the behavior XMap-style target generation exploits.
+
+use crate::responder::ResponseAction;
+use crate::{unit, NS_PER_SEC};
+use std::net::Ipv6Addr;
+use zmap_targets::v6::{parse_prefix_list, PrefixSpec, V6ParseError};
+use zmap_wire::checksum;
+use zmap_wire::ethernet::{EtherType, EthernetRepr, EthernetView, MacAddr};
+use zmap_wire::icmpv6::{Icmpv6Repr, Icmpv6Type, Icmpv6View};
+use zmap_wire::ipv4::IpProtocol;
+use zmap_wire::ipv6::{Ipv6Repr, Ipv6View, NEXT_HEADER_ICMPV6};
+use zmap_wire::options::OptionLayout;
+use zmap_wire::tcp::{TcpFlags, TcpRepr, TcpView};
+use zmap_wire::udp::{UdpRepr, UdpView};
+
+/// Deterministic hash of (seed, v6 address, salt) — the v6 counterpart of
+/// [`crate::hash3`]. The 24-byte message is `addr ‖ salt_le`.
+#[inline]
+pub fn hash6(seed: u64, addr: Ipv6Addr, salt: u64) -> u64 {
+    let mut msg = [0u8; 24];
+    msg[0..16].copy_from_slice(&addr.octets());
+    msg[16..24].copy_from_slice(&salt.to_le_bytes());
+    zmap_wire::cookie::siphash24(seed, 0x7A6D_6170_6E65_7473, &msg)
+}
+
+/// The simulated IPv6 population: announced prefixes with procedural
+/// host patterns and per-prefix response densities.
+#[derive(Debug, Clone)]
+pub struct V6Population {
+    specs: Vec<PrefixSpec>,
+    open_ports: Vec<u16>,
+}
+
+impl V6Population {
+    /// Builds a population over already-parsed specs. `open_ports` is the
+    /// set every live host listens on (TCP SYN-ACK / UDP echo); other
+    /// ports RST (TCP) or stay silent (UDP).
+    pub fn new(specs: Vec<PrefixSpec>, open_ports: Vec<u16>) -> Self {
+        V6Population { specs, open_ports }
+    }
+
+    /// Builds a population from prefix-list file contents — the same
+    /// format [`parse_prefix_list`] accepts on the scanner side.
+    pub fn from_prefix_list(contents: &str, open_ports: Vec<u16>) -> Result<Self, V6ParseError> {
+        Ok(Self::new(parse_prefix_list(contents)?, open_ports))
+    }
+
+    /// The configured prefixes.
+    pub fn specs(&self) -> &[PrefixSpec] {
+        &self.specs
+    }
+
+    /// Longest configured prefix containing `addr`.
+    fn spec_for(&self, addr: Ipv6Addr) -> Option<&PrefixSpec> {
+        self.specs
+            .iter()
+            .filter(|s| s.contains(addr))
+            .max_by_key(|s| s.prefix_len())
+    }
+
+    /// Ground truth: does a responsive host live at `addr`? True iff the
+    /// address inverts under the longest matching prefix's pattern AND
+    /// the per-host density draw succeeds. Pure in (seed, addr), so scans
+    /// and oracle counts agree without shared state.
+    pub fn responsive(&self, seed: u64, addr: Ipv6Addr) -> bool {
+        match self.spec_for(addr) {
+            Some(spec) => {
+                spec.index_of(addr).is_some()
+                    && unit(hash6(seed, addr, 0x76_616C)) < spec.density()
+            }
+            None => false,
+        }
+    }
+
+    /// Total responsive hosts under `seed` — the oracle denominator for
+    /// hit-rate/coverage curves. Walks every on-pattern address, so only
+    /// sensible for scenario-sized populations.
+    pub fn responsive_count(&self, seed: u64) -> u64 {
+        let mut n = 0;
+        for spec in &self.specs {
+            for i in 0..spec.host_count() {
+                let addr = spec.addr_at(i);
+                // Count against the *population's* view (LPM may route a
+                // nested address to a different spec).
+                if self.responsive(seed, addr) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Whether live hosts listen on `port`.
+    pub fn port_open(&self, port: u16) -> bool {
+        self.open_ports.contains(&port)
+    }
+
+    /// Produces the responses a v6 probe frame elicits (empty for silent
+    /// space). The caller applies delays and routing, as with the v4
+    /// responder.
+    pub fn respond(
+        &self,
+        seed: u64,
+        eth: &EthernetView<'_>,
+        ip: &Ipv6View<'_>,
+    ) -> Vec<ResponseAction> {
+        let dst = ip.dst();
+        if !self.responsive(seed, dst) {
+            return vec![];
+        }
+        match ip.next_header() {
+            IpProtocol::Tcp => self.respond_tcp(seed, eth, ip),
+            IpProtocol::Udp => self.respond_udp(seed, eth, ip),
+            IpProtocol::Other(NEXT_HEADER_ICMPV6) => self.respond_icmpv6(seed, eth, ip),
+            _ => vec![],
+        }
+    }
+
+    fn respond_tcp(
+        &self,
+        seed: u64,
+        eth: &EthernetView<'_>,
+        ip: &Ipv6View<'_>,
+    ) -> Vec<ResponseAction> {
+        let Ok(tcp) = TcpView::parse(ip.payload()) else {
+            return vec![];
+        };
+        if !(tcp.flags().syn() && !tcp.flags().ack()) {
+            return vec![];
+        }
+        let dst = ip.dst();
+        let open = self.port_open(tcp.dst_port());
+        let reply = TcpRepr {
+            src_port: tcp.dst_port(),
+            dst_port: tcp.src_port(),
+            seq: if open { hash6(seed, dst, 0x5EB) as u32 } else { 0 },
+            ack: tcp.seq().wrapping_add(1),
+            flags: if open { TcpFlags::SYN_ACK } else { TcpFlags::RST_ACK },
+            window: if open { 65535 } else { 0 },
+            options: if open { OptionLayout::MssOnly.bytes() } else { vec![] },
+        };
+        let tcp_len = reply.header_len() as u16;
+        let mut frame = Vec::with_capacity(80);
+        let r = reply_v6(seed, eth, ip, IpProtocol::Tcp, tcp_len, &mut frame);
+        let pseudo = checksum::pseudo_header_v6(
+            &r.src.octets(),
+            &r.dst.octets(),
+            6,
+            u32::from(tcp_len),
+        );
+        reply.emit(pseudo, &[], &mut frame);
+        vec![ResponseAction { delay_ns: 0, frame }]
+    }
+
+    fn respond_icmpv6(
+        &self,
+        seed: u64,
+        eth: &EthernetView<'_>,
+        ip: &Ipv6View<'_>,
+    ) -> Vec<ResponseAction> {
+        let Ok(icmp) = Icmpv6View::parse(ip.payload()) else {
+            return vec![];
+        };
+        if icmp.icmp_type() != Icmpv6Type::EchoRequest {
+            return vec![];
+        }
+        let payload = icmp.payload();
+        let len = (8 + payload.len()) as u16;
+        let mut frame = Vec::with_capacity(14 + 40 + usize::from(len));
+        let r = reply_v6(
+            seed,
+            eth,
+            ip,
+            IpProtocol::Other(NEXT_HEADER_ICMPV6),
+            len,
+            &mut frame,
+        );
+        let pseudo = checksum::pseudo_header_v6(
+            &r.src.octets(),
+            &r.dst.octets(),
+            NEXT_HEADER_ICMPV6,
+            u32::from(len),
+        );
+        Icmpv6Repr {
+            icmp_type: Icmpv6Type::EchoReply,
+            id: icmp.id(),
+            seq: icmp.seq(),
+        }
+        .emit(pseudo, payload, &mut frame);
+        vec![ResponseAction { delay_ns: 0, frame }]
+    }
+
+    fn respond_udp(
+        &self,
+        seed: u64,
+        eth: &EthernetView<'_>,
+        ip: &Ipv6View<'_>,
+    ) -> Vec<ResponseAction> {
+        let Ok(udp) = UdpView::parse(ip.payload()) else {
+            return vec![];
+        };
+        if !self.port_open(udp.dst_port()) {
+            // Closed v6 UDP stays silent here: synthesizing the ICMPv6
+            // unreachable quote chain is beyond what the hit-rate
+            // experiments need.
+            return vec![];
+        }
+        let payload = udp.payload();
+        let len = (8 + payload.len()) as u16;
+        let mut frame = Vec::with_capacity(14 + 40 + usize::from(len));
+        let r = reply_v6(seed, eth, ip, IpProtocol::Udp, len, &mut frame);
+        let pseudo = checksum::pseudo_header_v6(
+            &r.src.octets(),
+            &r.dst.octets(),
+            17,
+            u32::from(len),
+        );
+        UdpRepr {
+            src_port: udp.dst_port(),
+            dst_port: udp.src_port(),
+        }
+        .emit(pseudo, payload, &mut frame);
+        vec![ResponseAction { delay_ns: 0, frame }]
+    }
+}
+
+/// Hop count between the core and a v6 host (shapes the hop limit the
+/// scanner observes).
+fn hops6(seed: u64, addr: Ipv6Addr) -> u8 {
+    5 + (hash6(seed, addr, 0x4085) % 18) as u8
+}
+
+/// One-way delay to a v6 host: 5–50 ms, procedural per host.
+pub(crate) fn owd6(seed: u64, addr: Ipv6Addr) -> u64 {
+    5_000_000 + hash6(seed, addr, 0xDE1A) % (NS_PER_SEC / 22)
+}
+
+/// Emits Ethernet + IPv6 reply headers (src/dst swapped from the probe)
+/// and returns the emitted IPv6 repr so callers can derive the
+/// pseudo-header for their L4 payload.
+fn reply_v6(
+    seed: u64,
+    eth: &EthernetView<'_>,
+    ip: &Ipv6View<'_>,
+    next_header: IpProtocol,
+    payload_len: u16,
+    frame: &mut Vec<u8>,
+) -> Ipv6Repr {
+    EthernetRepr {
+        dst: eth.src(),
+        src: MacAddr::local(hash6(seed, ip.dst(), 0x6D61_63) as u32),
+        ethertype: EtherType::Ipv6,
+    }
+    .emit(frame);
+    let repr = Ipv6Repr {
+        src: ip.dst(),
+        dst: ip.src(),
+        next_header,
+        hop_limit: 64u8.saturating_sub(hops6(seed, ip.dst())),
+        payload_len,
+    };
+    repr.emit(frame);
+    repr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zmap_wire::probe6::ProbeBuilderV6;
+    use zmap_wire::probe::ResponseKind;
+
+    fn src_ip() -> Ipv6Addr {
+        "2001:db8:ffff::1".parse().unwrap()
+    }
+
+    fn population() -> V6Population {
+        V6Population::from_prefix_list(
+            "2001:db8:a::/48 pattern=low bits=8 density=0.5\n\
+             2001:db8:b::/48 pattern=eui64 bits=6 density=1.0\n",
+            vec![80, 443],
+        )
+        .unwrap()
+    }
+
+    fn respond_to(pop: &V6Population, seed: u64, frame: &[u8]) -> Vec<ResponseAction> {
+        let eth = EthernetView::parse(frame).unwrap();
+        let ip = Ipv6View::parse(eth.payload()).unwrap();
+        pop.respond(seed, &eth, &ip)
+    }
+
+    /// First responsive host of spec 0 under `seed`.
+    fn live_host(pop: &V6Population, seed: u64, spec: usize) -> Ipv6Addr {
+        let s = &pop.specs()[spec];
+        (0..s.host_count())
+            .map(|i| s.addr_at(i))
+            .find(|a| pop.responsive(seed, *a))
+            .expect("some host draws under density")
+    }
+
+    #[test]
+    fn density_thins_the_population() {
+        let pop = population();
+        let half: u64 = (0..256u128)
+            .filter(|&i| pop.responsive(7, pop.specs()[0].addr_at(i)))
+            .count() as u64;
+        assert!((90..=166).contains(&half), "density 0.5 of 256: {half}");
+        let full: u64 = (0..64u128)
+            .filter(|&i| pop.responsive(7, pop.specs()[1].addr_at(i)))
+            .count() as u64;
+        assert_eq!(full, 64, "density 1.0 answers everywhere");
+        assert_eq!(pop.responsive_count(7), half + full);
+    }
+
+    #[test]
+    fn off_pattern_and_off_prefix_addresses_are_dead() {
+        let pop = population();
+        // Inside the EUI-64 prefix but not EUI-64-shaped.
+        assert!(!pop.responsive(7, "2001:db8:b::1".parse().unwrap()));
+        // Outside every prefix.
+        assert!(!pop.responsive(7, "2001:db8:c::1".parse().unwrap()));
+        // Beyond the indexed host range.
+        assert!(!pop.responsive(7, "2001:db8:a::1:0".parse().unwrap()));
+    }
+
+    #[test]
+    fn syn_gets_synack_on_open_and_rst_on_closed() {
+        let pop = population();
+        let b = ProbeBuilderV6::new(src_ip(), 1);
+        let dst = live_host(&pop, 7, 0);
+        let open = respond_to(&pop, 7, &b.tcp_syn(dst, 80));
+        assert_eq!(open.len(), 1);
+        let resp = b.parse_response(&open[0].frame).unwrap().unwrap();
+        assert_eq!(resp.kind, ResponseKind::SynAck);
+        assert_eq!(resp.ip, dst);
+        let closed = respond_to(&pop, 7, &b.tcp_syn(dst, 8080));
+        let resp = b.parse_response(&closed[0].frame).unwrap().unwrap();
+        assert_eq!(resp.kind, ResponseKind::Rst);
+    }
+
+    #[test]
+    fn echo_request_gets_validated_reply() {
+        let pop = population();
+        let b = ProbeBuilderV6::new(src_ip(), 2);
+        let dst = live_host(&pop, 9, 1);
+        let replies = respond_to(&pop, 9, &b.icmp_echo(dst));
+        assert_eq!(replies.len(), 1);
+        let resp = b.parse_response(&replies[0].frame).unwrap().unwrap();
+        assert_eq!(resp.kind, ResponseKind::EchoReply);
+        assert_eq!(resp.ip, dst);
+    }
+
+    #[test]
+    fn udp_echoes_payload_only_on_open_ports() {
+        let pop = population();
+        let b = ProbeBuilderV6::new(src_ip(), 3);
+        let dst = live_host(&pop, 11, 0);
+        let replies = respond_to(&pop, 11, &b.udp(dst, 443, b"ping").unwrap());
+        assert_eq!(replies.len(), 1);
+        let resp = b.parse_response(&replies[0].frame).unwrap().unwrap();
+        // The probe payload carries the 8-byte validation tag plus the
+        // caller's 4 bytes; the service echoes all of it.
+        assert!(matches!(resp.kind, ResponseKind::UdpData(12)), "{:?}", resp.kind);
+        assert!(respond_to(&pop, 11, &b.udp(dst, 9999, b"ping").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn dead_hosts_are_silent() {
+        let pop = population();
+        let b = ProbeBuilderV6::new(src_ip(), 4);
+        let s = &pop.specs()[0];
+        let dead = (0..s.host_count())
+            .map(|i| s.addr_at(i))
+            .find(|a| !pop.responsive(7, *a))
+            .expect("density 0.5 leaves dead hosts");
+        assert!(respond_to(&pop, 7, &b.tcp_syn(dead, 80)).is_empty());
+        assert!(respond_to(&pop, 7, &b.icmp_echo(dead)).is_empty());
+    }
+
+    #[test]
+    fn responses_are_deterministic_in_seed() {
+        let pop = population();
+        let b = ProbeBuilderV6::new(src_ip(), 5);
+        let dst = live_host(&pop, 7, 1);
+        let a = respond_to(&pop, 7, &b.tcp_syn(dst, 80));
+        let c = respond_to(&pop, 7, &b.tcp_syn(dst, 80));
+        assert_eq!(a.len(), c.len());
+        assert_eq!(a[0].frame, c[0].frame);
+    }
+}

@@ -302,7 +302,10 @@ impl TargetGeneratorBuilder {
         let needed = num_ips
             .checked_shl(port_bits)
             .filter(|&n| n >> port_bits == num_ips)
-            .ok_or(BuildError::Group(GroupError::TooManyTargets(u64::MAX)))?;
+            .ok_or(BuildError::Group(GroupError::TooManyTargets {
+                requested: u64::MAX,
+                largest_order: CyclicGroup::max_order(),
+            }))?;
         let group = CyclicGroup::for_target_count(needed).map_err(BuildError::Group)?;
         let cycle = match self.cycle_parts {
             Some((generator, offset)) => {

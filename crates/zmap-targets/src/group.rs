@@ -57,7 +57,10 @@ impl CyclicGroup {
     ///
     /// # Errors
     /// Returns `Err(GroupError::TooManyTargets)` when `num_targets`
-    /// exceeds the largest group order (2^48 + 20).
+    /// exceeds [`max_order`](Self::max_order). With per-prefix groups
+    /// (the IPv6 walk) this is not terminal: the caller splits the
+    /// overflowing prefix into subwalks that each fit — see
+    /// `zmap_targets::v6` — rather than failing the scan.
     pub fn for_target_count(num_targets: u64) -> Result<Self, GroupError> {
         for &p in &GROUP_MODULI {
             if p > num_targets {
@@ -66,7 +69,17 @@ impl CyclicGroup {
                 return Self::new(p);
             }
         }
-        Err(GroupError::TooManyTargets(num_targets))
+        Err(GroupError::TooManyTargets {
+            requested: num_targets,
+            largest_order: Self::max_order(),
+        })
+    }
+
+    /// The largest target count any ladder group can permute (the order
+    /// of the top rung). Callers that can subdivide their target space —
+    /// per-prefix IPv6 walks — use this to decide how far to split.
+    pub fn max_order() -> u64 {
+        GROUP_MODULI[GROUP_MODULI.len() - 1] - 1
     }
 
     /// The prime modulus p.
@@ -92,8 +105,16 @@ pub enum GroupError {
     NotPrime(u64),
     /// The requested modulus is below 3.
     TooSmall(u64),
-    /// More targets than the largest ladder group can hold.
-    TooManyTargets(u64),
+    /// More targets than the largest ladder group can hold. Carries the
+    /// actual ceiling rather than a hardcoded constant, so the message
+    /// stays truthful if the ladder grows; per-prefix callers recover by
+    /// splitting the overflowing prefix instead of aborting.
+    TooManyTargets {
+        /// How many targets were requested.
+        requested: u64,
+        /// The largest order any ladder group offers.
+        largest_order: u64,
+    },
 }
 
 impl std::fmt::Display for GroupError {
@@ -101,8 +122,11 @@ impl std::fmt::Display for GroupError {
         match self {
             GroupError::NotPrime(p) => write!(f, "{p} is not prime"),
             GroupError::TooSmall(p) => write!(f, "modulus {p} is too small"),
-            GroupError::TooManyTargets(n) => {
-                write!(f, "{n} targets exceed the largest group (2^48 + 20 elements)")
+            GroupError::TooManyTargets { requested, largest_order } => {
+                write!(
+                    f,
+                    "{requested} targets exceed the largest group ({largest_order} elements)"
+                )
             }
         }
     }
@@ -144,7 +168,16 @@ mod tests {
     #[test]
     fn too_many_targets_errors() {
         let e = CyclicGroup::for_target_count(u64::MAX).unwrap_err();
-        assert!(matches!(e, GroupError::TooManyTargets(_)));
+        assert_eq!(
+            e,
+            GroupError::TooManyTargets {
+                requested: u64::MAX,
+                largest_order: (1u64 << 48) + 20,
+            }
+        );
+        // The message reports the real ceiling, not a baked-in constant.
+        assert!(e.to_string().contains(&((1u64 << 48) + 20).to_string()), "{e}");
+        assert_eq!(CyclicGroup::max_order(), (1u64 << 48) + 20);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod generator;
 pub mod group;
 pub mod parse;
 pub mod shard;
+pub mod v6;
 
 pub use constraint::Constraint;
 pub use cycle::Cycle;
@@ -52,6 +53,10 @@ pub use generator::{Target, TargetGenerator, TargetGeneratorBuilder};
 pub use group::CyclicGroup;
 pub use parse::{parse_cidr, parse_target_file_contents, ParseError};
 pub use shard::{ShardAlgorithm, ShardIter, ShardSpec};
+pub use v6::{
+    parse_prefix_list, DedupError, HostPattern, PrefixSpec, Target6, V6DedupSpace, V6Error,
+    V6ParseError, V6TargetIter, V6TargetSpace,
+};
 
 #[cfg(test)]
 mod tests {

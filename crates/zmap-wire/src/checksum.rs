@@ -44,6 +44,23 @@ pub fn pseudo_header(src: u32, dst: u32, protocol: u8, l4_len: u16) -> u32 {
     acc
 }
 
+/// The IPv6 TCP/UDP/ICMPv6 pseudo-header contribution (RFC 8200 §8.1):
+/// both 128-bit addresses, the upper-layer length, and the next header.
+/// Carries fold in [`finish`], so accumulating sixteen address words plus
+/// a 32-bit length into a `u32` cannot overflow (≤ 18 × 0xFFFF).
+pub fn pseudo_header_v6(src: &[u8; 16], dst: &[u8; 16], protocol: u8, l4_len: u32) -> u32 {
+    let mut acc = 0u32;
+    for addr in [src, dst] {
+        for w in addr.chunks_exact(2) {
+            acc += u32::from(u16::from_be_bytes([w[0], w[1]]));
+        }
+    }
+    acc += l4_len >> 16;
+    acc += l4_len & 0xFFFF;
+    acc += u32::from(protocol);
+    acc
+}
+
 /// Verifies a buffer whose checksum field is *included*: the folded sum of
 /// the whole thing must be zero.
 pub fn verify(data: &[u8], pseudo: u32) -> bool {
@@ -169,6 +186,24 @@ mod tests {
         let mut acc = incr_begin(before);
         incr_update(&mut acc, 0x1234, 0x1234);
         assert_eq!(incr_finish(acc), before);
+    }
+
+    #[test]
+    fn pseudo_header_v6_matches_wordwise_sum() {
+        // The v6 pseudo-header must equal summing the RFC 8200 §8.1
+        // layout as raw bytes: src ‖ dst ‖ length(32) ‖ zeros(24) ‖ next.
+        let src: [u8; 16] = [0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        let dst: [u8; 16] = [0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0xAA, 0, 0, 0, 0, 0, 0, 0, 2];
+        let l4_len = 0x0001_0004u32; // exercises the high length word
+        let mut layout = Vec::new();
+        layout.extend_from_slice(&src);
+        layout.extend_from_slice(&dst);
+        layout.extend_from_slice(&l4_len.to_be_bytes());
+        layout.extend_from_slice(&[0, 0, 0, 58]);
+        assert_eq!(
+            finish(pseudo_header_v6(&src, &dst, 58, l4_len)),
+            finish(sum(0, &layout))
+        );
     }
 
     #[test]

@@ -169,6 +169,74 @@ pub fn siphash24_2w_x8(k0: u64, k1: u64, m0: [u64; 8], m1: [u64; 8]) -> [u64; 8]
     out
 }
 
+/// SipHash-2-4 of a message that packs into exactly five blocks (32–39
+/// bytes): `m[0..4]` are the first 32 message bytes little-endian, `m[4]`
+/// the padded final block including the length byte on top. Produces the
+/// same output as [`siphash24`] over the equivalent byte string — this is
+/// the per-probe hot path for IPv6, whose 34-byte addressing message
+/// (`src ‖ dst ‖ dst_port`) no longer fits the two-block form.
+#[inline]
+pub fn siphash24_5w(k0: u64, k1: u64, m: [u64; 5]) -> u64 {
+    let mut v = init(k0, k1);
+    for w in m {
+        block(&mut v, w);
+    }
+    finalize(v)
+}
+
+/// Eight independent five-block SipHash-2-4 computations, interleaved —
+/// the IPv6 counterpart of [`siphash24_2w_x8`], same structure-of-arrays
+/// shape. Output lane `i` equals `siphash24_5w(k0, k1, m[i])` exactly.
+#[inline]
+pub fn siphash24_5w_x8(k0: u64, k1: u64, m: &[[u64; 5]; 8]) -> [u64; 8] {
+    // Structure-of-arrays, as in the two-block x8 form: each vN holds one
+    // state word across all eight lanes.
+    let mut v0 = [0x736f6d6570736575u64 ^ k0; 8];
+    let mut v1 = [0x646f72616e646f6du64 ^ k1; 8];
+    let mut v2 = [0x6c7967656e657261u64 ^ k0; 8];
+    let mut v3 = [0x7465646279746573u64 ^ k1; 8];
+
+    macro_rules! lanes {
+        (|$i:ident| $body:expr) => {
+            for $i in 0..8 {
+                $body;
+            }
+        };
+    }
+    macro_rules! rounds {
+        ($n:literal) => {
+            for _ in 0..$n {
+                lanes!(|i| v0[i] = v0[i].wrapping_add(v1[i]));
+                lanes!(|i| v1[i] = v1[i].rotate_left(13));
+                lanes!(|i| v1[i] ^= v0[i]);
+                lanes!(|i| v0[i] = v0[i].rotate_left(32));
+                lanes!(|i| v2[i] = v2[i].wrapping_add(v3[i]));
+                lanes!(|i| v3[i] = v3[i].rotate_left(16));
+                lanes!(|i| v3[i] ^= v2[i]);
+                lanes!(|i| v0[i] = v0[i].wrapping_add(v3[i]));
+                lanes!(|i| v3[i] = v3[i].rotate_left(21));
+                lanes!(|i| v3[i] ^= v0[i]);
+                lanes!(|i| v2[i] = v2[i].wrapping_add(v1[i]));
+                lanes!(|i| v1[i] = v1[i].rotate_left(17));
+                lanes!(|i| v1[i] ^= v2[i]);
+                lanes!(|i| v2[i] = v2[i].rotate_left(32));
+            }
+        };
+    }
+
+    for b in 0..5 {
+        lanes!(|i| v3[i] ^= m[i][b]);
+        rounds!(2);
+        lanes!(|i| v0[i] ^= m[i][b]);
+    }
+    lanes!(|i| v2[i] ^= 0xFF);
+    rounds!(4);
+
+    let mut out = [0u64; 8];
+    lanes!(|i| out[i] = v0[i] ^ v1[i] ^ v2[i] ^ v3[i]);
+    out
+}
+
 #[inline(always)]
 fn init(k0: u64, k1: u64) -> [u64; 4] {
     [
@@ -223,6 +291,25 @@ fn probe_msg(src_ip: u32, dst_ip: u32, dst_port: u16) -> (u64, u64) {
         u64::from(src_ip.swap_bytes()) | (u64::from(dst_ip.swap_bytes()) << 32),
         u64::from(dst_port.swap_bytes()) | (10u64 << 56),
     )
+}
+
+/// Packs one IPv6 probe's addressing into the five SipHash message
+/// blocks: the 34-byte message `src ‖ dst ‖ dst_port` in network order,
+/// little-endian-read into blocks with the length byte (34) padded on top
+/// of the final block — exactly what [`siphash24`] would compute over the
+/// equivalent byte string.
+#[inline(always)]
+fn probe_msg_v6(src: &[u8; 16], dst: &[u8; 16], dst_port: u16) -> [u64; 5] {
+    let le = |b: &[u8]| {
+        u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+    };
+    [
+        le(&src[0..8]),
+        le(&src[8..16]),
+        le(&dst[0..8]),
+        le(&dst[8..16]),
+        u64::from(dst_port.swap_bytes()) | (34u64 << 56),
+    ]
 }
 
 /// Per-scan validation key material.
@@ -336,6 +423,35 @@ impl ValidationKey {
             m1[i] = b;
         }
         let macs = siphash24_2w_x8(self.k0, self.k1, m0, m1);
+        macs.map(|mac| ProbeValues { mac })
+    }
+
+    /// The single per-probe MAC for an IPv6 target: SipHash-2-4 over the
+    /// 34-byte message `src ‖ dst ‖ dst_port` (network order), packed
+    /// directly into five SipHash blocks. The derived [`ProbeValues`]
+    /// fields are family-agnostic, so TCP/ICMPv6/UDP cookies come out of
+    /// the same methods as the v4 path. ICMPv6 probes pass `dst_port == 0`.
+    #[inline]
+    pub fn probe_v6(&self, src: &[u8; 16], dst: &[u8; 16], dst_port: u16) -> ProbeValues {
+        ProbeValues {
+            mac: siphash24_5w(self.k0, self.k1, probe_msg_v6(src, dst, dst_port)),
+        }
+    }
+
+    /// Eight IPv6 probe MACs at once via the 8-lane interleaved SipHash;
+    /// lane `i` equals `probe_v6(src, &dst[i], dst_port[i])` exactly.
+    #[inline]
+    pub fn probe_v6_x8(
+        &self,
+        src: &[u8; 16],
+        dst: &[[u8; 16]; 8],
+        dst_port: [u16; 8],
+    ) -> [ProbeValues; 8] {
+        let mut m = [[0u64; 5]; 8];
+        for i in 0..8 {
+            m[i] = probe_msg_v6(src, &dst[i], dst_port[i]);
+        }
+        let macs = siphash24_5w_x8(self.k0, self.k1, &m);
         macs.map(|mac| ProbeValues { mac })
     }
 
@@ -605,6 +721,97 @@ mod tests {
             assert_eq!(&wide[..4], &quad_lo[..]);
             assert_eq!(&wide[4..], &quad_hi[..]);
         }
+    }
+
+    #[test]
+    fn five_word_fast_path_matches_generic() {
+        // The five-block form must agree with the byte-slice SipHash for
+        // the message lengths it claims to cover (32–39 bytes).
+        let mut x = 0x5151_5151_DEAD_BEEFu64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for len in 32..=39usize {
+            for _ in 0..20 {
+                let mut msg = [0u8; 39];
+                for b in msg.iter_mut() {
+                    *b = next() as u8;
+                }
+                let msg = &msg[..len];
+                let mut m = [0u64; 5];
+                for (i, w) in m.iter_mut().enumerate().take(4) {
+                    *w = u64::from_le_bytes(msg[8 * i..8 * i + 8].try_into().unwrap());
+                }
+                let mut last = [0u8; 8];
+                last[..len - 32].copy_from_slice(&msg[32..]);
+                last[7] = len as u8;
+                m[4] = u64::from_le_bytes(last);
+                assert_eq!(siphash24_5w(1, 2, m), siphash24(1, 2, msg), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn v6_probe_mac_matches_generic_siphash_over_packed_message() {
+        // `probe_v6` must be a plain SipHash of the documented 34-byte
+        // message — the five-block packing cannot change the MAC.
+        let key = ValidationKey::from_seed(42);
+        let src: [u8; 16] = [0x20, 1, 0xd, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        for (dst, port) in [
+            ([0u8; 16], 0u16),
+            ([0xFF; 16], u16::MAX),
+            ([0x20, 1, 0xd, 0xb8, 0, 0xA, 0, 0, 0, 0, 0, 0, 0, 0, 0, 9], 443),
+        ] {
+            let mut msg = [0u8; 34];
+            msg[0..16].copy_from_slice(&src);
+            msg[16..32].copy_from_slice(&dst);
+            msg[32..34].copy_from_slice(&port.to_be_bytes());
+            assert_eq!(
+                key.probe_v6(&src, &dst, port).mac,
+                siphash24(key.k0, key.k1, &msg),
+                "port {port}"
+            );
+        }
+    }
+
+    #[test]
+    fn v6_interleaved_x8_lanes_match_serial() {
+        let key = ValidationKey::from_seed(1234);
+        let src: [u8; 16] = [0x20, 1, 0xd, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        let mut dst = [[0u8; 16]; 8];
+        let mut port = [0u16; 8];
+        for i in 0..8 {
+            dst[i][0] = 0x20;
+            dst[i][1] = 1;
+            dst[i][15] = i as u8;
+            port[i] = 80 + 7 * i as u16;
+        }
+        let lanes = key.probe_v6_x8(&src, &dst, port);
+        for i in 0..8 {
+            assert_eq!(lanes[i], key.probe_v6(&src, &dst[i], port[i]), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn v6_icmp_cookie_roundtrip() {
+        // The ICMPv6 echo id/seq derive from the v6 MAC exactly like the
+        // v4 ones do from the v4 MAC, and bind the full address pair.
+        let key = ValidationKey::from_seed(9);
+        let src: [u8; 16] = [0x20, 1, 0xd, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        let mut dst = src;
+        dst[15] = 9;
+        let (id, seq) = key.probe_v6(&src, &dst, 0).icmp_id_seq();
+        assert_eq!(key.probe_v6(&src, &dst, 0).icmp_id_seq(), (id, seq));
+        let mut other = dst;
+        other[7] ^= 1;
+        assert_ne!(key.probe_v6(&src, &other, 0).icmp_id_seq(), (id, seq));
+        assert_ne!(
+            ValidationKey::from_seed(10).probe_v6(&src, &dst, 0).icmp_id_seq(),
+            (id, seq)
+        );
     }
 
     #[test]

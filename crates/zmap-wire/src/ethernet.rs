@@ -42,6 +42,8 @@ pub enum EtherType {
     Ipv4,
     /// 0x0806
     Arp,
+    /// 0x86DD
+    Ipv6,
     /// Anything else, carried verbatim.
     Other(u16),
 }
@@ -51,6 +53,7 @@ impl From<u16> for EtherType {
         match v {
             0x0800 => EtherType::Ipv4,
             0x0806 => EtherType::Arp,
+            0x86DD => EtherType::Ipv6,
             other => EtherType::Other(other),
         }
     }
@@ -61,6 +64,7 @@ impl From<EtherType> for u16 {
         match t {
             EtherType::Ipv4 => 0x0800,
             EtherType::Arp => 0x0806,
+            EtherType::Ipv6 => 0x86DD,
             EtherType::Other(v) => v,
         }
     }
@@ -174,7 +178,8 @@ mod tests {
     fn ethertype_mapping() {
         assert_eq!(EtherType::from(0x0800u16), EtherType::Ipv4);
         assert_eq!(EtherType::from(0x0806u16), EtherType::Arp);
-        assert_eq!(EtherType::from(0x86DDu16), EtherType::Other(0x86DD));
+        assert_eq!(EtherType::from(0x86DDu16), EtherType::Ipv6);
+        assert_eq!(u16::from(EtherType::Ipv6), 0x86DD);
         assert_eq!(u16::from(EtherType::Other(0x1234)), 0x1234);
     }
 

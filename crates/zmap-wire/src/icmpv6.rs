@@ -1,0 +1,169 @@
+//! ICMPv6 echo (RFC 4443 §4) for the v6 echo-scan module.
+//!
+//! Structurally identical to ICMPv4 echo — type, code, checksum, id, seq,
+//! payload — with two differences: the type numbers (128/129 instead of
+//! 8/0) and the checksum, which covers the RFC 8200 pseudo-header in
+//! addition to the message (ICMPv4's does not).
+
+use crate::checksum;
+use crate::WireError;
+
+/// ICMPv6 header length (type, code, checksum, rest-of-header).
+pub const HEADER_LEN: usize = 8;
+
+/// ICMPv6 message types relevant to scanning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Icmpv6Type {
+    /// Type 128: echo request.
+    EchoRequest,
+    /// Type 129: echo reply.
+    EchoReply,
+    /// Anything else.
+    Other(u8, u8),
+}
+
+impl Icmpv6Type {
+    fn type_code(&self) -> (u8, u8) {
+        match *self {
+            Icmpv6Type::EchoRequest => (128, 0),
+            Icmpv6Type::EchoReply => (129, 0),
+            Icmpv6Type::Other(t, c) => (t, c),
+        }
+    }
+
+    fn from_type_code(t: u8, c: u8) -> Icmpv6Type {
+        match t {
+            128 => Icmpv6Type::EchoRequest,
+            129 => Icmpv6Type::EchoReply,
+            _ => Icmpv6Type::Other(t, c),
+        }
+    }
+}
+
+/// High-level description of an ICMPv6 echo message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Icmpv6Repr {
+    pub icmp_type: Icmpv6Type,
+    pub id: u16,
+    pub seq: u16,
+}
+
+impl Icmpv6Repr {
+    /// Appends header + payload (checksum filled in) to `buf`. `pseudo`
+    /// must cover next-header 58 and the full message length.
+    pub fn emit(&self, pseudo: u32, payload: &[u8], buf: &mut Vec<u8>) {
+        let start = buf.len();
+        let (t, c) = self.icmp_type.type_code();
+        buf.push(t);
+        buf.push(c);
+        buf.extend_from_slice(&[0, 0]); // checksum placeholder
+        buf.extend_from_slice(&self.id.to_be_bytes());
+        buf.extend_from_slice(&self.seq.to_be_bytes());
+        buf.extend_from_slice(payload);
+        let csum = checksum::finish(checksum::sum(pseudo, &buf[start..]));
+        buf[start + 2..start + 4].copy_from_slice(&csum.to_be_bytes());
+    }
+}
+
+/// Zero-copy view over a received ICMPv6 message.
+#[derive(Debug, Clone, Copy)]
+pub struct Icmpv6View<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Icmpv6View<'a> {
+    pub fn parse(buf: &'a [u8]) -> Result<Self, WireError> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(Icmpv6View { buf })
+    }
+
+    pub fn icmp_type(&self) -> Icmpv6Type {
+        Icmpv6Type::from_type_code(self.buf[0], self.buf[1])
+    }
+
+    /// Echo identifier.
+    pub fn id(&self) -> u16 {
+        u16::from_be_bytes([self.buf[4], self.buf[5]])
+    }
+
+    /// Echo sequence number.
+    pub fn seq(&self) -> u16 {
+        u16::from_be_bytes([self.buf[6], self.buf[7]])
+    }
+
+    /// Message payload (echo data).
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[HEADER_LEN..]
+    }
+
+    /// True if the checksum verifies against the v6 pseudo-header sum.
+    pub fn verify_checksum(&self, pseudo: u32) -> bool {
+        checksum::verify(self.buf, pseudo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(len: u32) -> u32 {
+        let src = [0x20u8, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        let dst = [0x20u8, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 9];
+        checksum::pseudo_header_v6(&src, &dst, crate::ipv6::NEXT_HEADER_ICMPV6, len)
+    }
+
+    #[test]
+    fn echo_roundtrip() {
+        let repr = Icmpv6Repr {
+            icmp_type: Icmpv6Type::EchoRequest,
+            id: 0xBEEF,
+            seq: 7,
+        };
+        let payload = b"xmap-echo-data";
+        let p = pseudo((HEADER_LEN + payload.len()) as u32);
+        let mut buf = Vec::new();
+        repr.emit(p, payload, &mut buf);
+        let v = Icmpv6View::parse(&buf).unwrap();
+        assert_eq!(v.icmp_type(), Icmpv6Type::EchoRequest);
+        assert_eq!(v.id(), 0xBEEF);
+        assert_eq!(v.seq(), 7);
+        assert_eq!(v.payload(), payload);
+        assert!(v.verify_checksum(p));
+    }
+
+    #[test]
+    fn checksum_binds_the_pseudo_header() {
+        // The same message under a different address pair must fail —
+        // this is what distinguishes ICMPv6 from ICMPv4 checksumming.
+        let repr = Icmpv6Repr { icmp_type: Icmpv6Type::EchoReply, id: 1, seq: 2 };
+        let p = pseudo(8);
+        let mut buf = Vec::new();
+        repr.emit(p, &[], &mut buf);
+        assert!(Icmpv6View::parse(&buf).unwrap().verify_checksum(p));
+        assert!(!Icmpv6View::parse(&buf).unwrap().verify_checksum(p + 1));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let repr = Icmpv6Repr { icmp_type: Icmpv6Type::EchoReply, id: 1, seq: 2 };
+        let p = pseudo(8);
+        let mut buf = Vec::new();
+        repr.emit(p, &[], &mut buf);
+        buf[4] ^= 1;
+        assert!(!Icmpv6View::parse(&buf).unwrap().verify_checksum(p));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(Icmpv6View::parse(&[0u8; 7]).unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn type_mapping() {
+        assert_eq!(Icmpv6Type::from_type_code(128, 0), Icmpv6Type::EchoRequest);
+        assert_eq!(Icmpv6Type::from_type_code(129, 0), Icmpv6Type::EchoReply);
+        assert_eq!(Icmpv6Type::from_type_code(1, 4), Icmpv6Type::Other(1, 4));
+    }
+}

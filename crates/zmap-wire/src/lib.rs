@@ -27,22 +27,30 @@ pub mod checksum;
 pub mod cookie;
 pub mod ethernet;
 pub mod icmp;
+pub mod icmpv6;
 pub mod ipv4;
+pub mod ipv6;
 pub mod options;
 pub mod probe;
+pub mod probe6;
 pub mod tcp;
 pub mod template;
+pub mod template6;
 pub mod timing;
 pub mod udp;
 
 pub use cookie::{ProbeValues, ValidationKey};
 pub use ethernet::{EtherType, EthernetRepr, EthernetView, MacAddr};
 pub use icmp::{IcmpRepr, IcmpType, IcmpView};
+pub use icmpv6::{Icmpv6Repr, Icmpv6Type, Icmpv6View};
 pub use ipv4::{IpIdMode, IpProtocol, Ipv4Repr, Ipv4View};
+pub use ipv6::{Ipv6Repr, Ipv6View};
 pub use options::{OptionLayout, TcpOption};
 pub use probe::{ProbeBuilder, Response, ResponseKind};
+pub use probe6::{ProbeBuilderV6, Response6};
 pub use tcp::{TcpFlags, TcpRepr, TcpView};
 pub use template::ProbeTemplate;
+pub use template6::ProbeTemplateV6;
 pub use udp::{UdpRepr, UdpView};
 
 /// Error type for all packet parsing in this crate.

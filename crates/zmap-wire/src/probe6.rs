@@ -1,0 +1,532 @@
+//! IPv6 probe frame assembly and response classification — the v6
+//! counterpart of [`crate::probe`], following XMap's design: the same
+//! stateless SipHash cookies, carried over a 40-byte IPv6 header with the
+//! RFC 8200 pseudo-header feeding every upper-layer checksum (including
+//! ICMPv6's, which — unlike ICMPv4's — covers the address pair).
+
+use crate::cookie::ValidationKey;
+use crate::ethernet::{EtherType, EthernetRepr, EthernetView, MacAddr};
+use crate::icmpv6::{Icmpv6Repr, Icmpv6Type, Icmpv6View};
+use crate::ipv4::IpProtocol;
+use crate::ipv6::{Ipv6Repr, Ipv6View};
+use crate::options::OptionLayout;
+use crate::probe::{DEFAULT_SPORT_BASE, DEFAULT_SPORT_COUNT, ResponseKind};
+use crate::tcp::{TcpFlags, TcpRepr, TcpView};
+use crate::udp::{UdpRepr, UdpView};
+use crate::{checksum, WireError};
+use std::net::Ipv6Addr;
+
+/// Largest caller-supplied UDP probe payload over v6: 65535 (payload
+/// length field) minus 8 (UDP header) and 8 (validation tag).
+pub const MAX_UDP_PAYLOAD_V6: usize = 65535 - 8 - 8;
+
+/// Builds IPv6 probe frames for one scan (fixed L2 addressing, key,
+/// layout). The seed-derived MACs and validation key match what
+/// [`crate::probe::ProbeBuilder`] would derive from the same seed, so a
+/// dual-stack scan shares one identity.
+#[derive(Debug, Clone)]
+pub struct ProbeBuilderV6 {
+    /// Scanner MAC.
+    pub src_mac: MacAddr,
+    /// Gateway MAC.
+    pub gw_mac: MacAddr,
+    /// Scanner source address.
+    pub src_ip: Ipv6Addr,
+    /// TCP option layout for SYN probes.
+    pub layout: OptionLayout,
+    /// Hop limit (the v6 TTL; the scanner sends 255).
+    pub hop_limit: u8,
+    /// Source-port range base.
+    pub sport_base: u16,
+    /// Source-port range size.
+    pub sport_count: u16,
+    /// Validation key (per scan).
+    pub key: ValidationKey,
+}
+
+impl ProbeBuilderV6 {
+    /// A builder with scanner defaults, deriving MACs/key from `seed`.
+    pub fn new(src_ip: Ipv6Addr, seed: u64) -> Self {
+        ProbeBuilderV6 {
+            src_mac: MacAddr::local(seed as u32),
+            gw_mac: MacAddr::local((seed >> 32) as u32 ^ 0xFFFF),
+            src_ip,
+            layout: OptionLayout::default(),
+            hop_limit: 255,
+            sport_base: DEFAULT_SPORT_BASE,
+            sport_count: DEFAULT_SPORT_COUNT,
+            key: ValidationKey::from_seed(seed),
+        }
+    }
+
+    /// The MAC-derived per-probe material for `(dst_ip, dst_port)` —
+    /// one five-block hash invocation yielding every varying field.
+    pub fn probe_values(&self, dst_ip: Ipv6Addr, dst_port: u16) -> crate::cookie::ProbeValues {
+        self.key
+            .probe_v6(&self.src_ip.octets(), &dst_ip.octets(), dst_port)
+    }
+
+    /// The source port this scan uses for `(dst_ip, dst_port)`.
+    pub fn source_port(&self, dst_ip: Ipv6Addr, dst_port: u16) -> u16 {
+        self.probe_values(dst_ip, dst_port)
+            .source_port(self.sport_base, self.sport_count)
+    }
+
+    /// Whether `port` falls in this scan's source-port range.
+    pub fn owns_source_port(&self, port: u16) -> bool {
+        let off = port.wrapping_sub(self.sport_base);
+        off < self.sport_count
+    }
+
+    fn emit_eth(&self, buf: &mut Vec<u8>) {
+        EthernetRepr {
+            dst: self.gw_mac,
+            src: self.src_mac,
+            ethertype: EtherType::Ipv6,
+        }
+        .emit(buf);
+    }
+
+    /// A complete Ethernet frame carrying a TCP SYN probe over IPv6.
+    pub fn tcp_syn(&self, dst_ip: Ipv6Addr, dst_port: u16) -> Vec<u8> {
+        let v = self.probe_values(dst_ip, dst_port);
+        let sport = v.source_port(self.sport_base, self.sport_count);
+        let tcp = TcpRepr {
+            src_port: sport,
+            dst_port,
+            seq: v.tcp_seq(),
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 65535,
+            options: self.layout.bytes(),
+        };
+        let tcp_len = tcp.header_len() as u16;
+        let mut buf = Vec::with_capacity(14 + 40 + tcp.header_len());
+        self.emit_eth(&mut buf);
+        Ipv6Repr {
+            src: self.src_ip,
+            dst: dst_ip,
+            next_header: IpProtocol::Tcp,
+            hop_limit: self.hop_limit,
+            payload_len: tcp_len,
+        }
+        .emit(&mut buf);
+        let pseudo = checksum::pseudo_header_v6(
+            &self.src_ip.octets(),
+            &dst_ip.octets(),
+            IpProtocol::Tcp.into(),
+            u32::from(tcp_len),
+        );
+        tcp.emit(pseudo, &[], &mut buf);
+        buf
+    }
+
+    /// A complete Ethernet frame carrying an ICMPv6 echo request probe.
+    pub fn icmp_echo(&self, dst_ip: Ipv6Addr) -> Vec<u8> {
+        let (id, seq) = self.probe_values(dst_ip, 0).icmp_id_seq();
+        let payload = [0u8; 8];
+        let msg_len = (crate::icmpv6::HEADER_LEN + payload.len()) as u16;
+        let mut buf = Vec::with_capacity(14 + 40 + usize::from(msg_len));
+        self.emit_eth(&mut buf);
+        Ipv6Repr {
+            src: self.src_ip,
+            dst: dst_ip,
+            next_header: IpProtocol::Other(crate::ipv6::NEXT_HEADER_ICMPV6),
+            hop_limit: self.hop_limit,
+            payload_len: msg_len,
+        }
+        .emit(&mut buf);
+        let pseudo = checksum::pseudo_header_v6(
+            &self.src_ip.octets(),
+            &dst_ip.octets(),
+            crate::ipv6::NEXT_HEADER_ICMPV6,
+            u32::from(msg_len),
+        );
+        Icmpv6Repr {
+            icmp_type: Icmpv6Type::EchoRequest,
+            id,
+            seq,
+        }
+        .emit(pseudo, &payload, &mut buf);
+        buf
+    }
+
+    /// A complete Ethernet frame carrying a UDP probe over IPv6 with
+    /// `payload` prefixed by the 8-byte validation tag.
+    ///
+    /// Fails with [`WireError::BadLength`] if `payload` exceeds
+    /// [`MAX_UDP_PAYLOAD_V6`].
+    pub fn udp(
+        &self,
+        dst_ip: Ipv6Addr,
+        dst_port: u16,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, WireError> {
+        if payload.len() > MAX_UDP_PAYLOAD_V6 {
+            return Err(WireError::BadLength);
+        }
+        let v = self.probe_values(dst_ip, dst_port);
+        let sport = v.source_port(self.sport_base, self.sport_count);
+        let tag = v.udp_tag();
+        let mut body = Vec::with_capacity(8 + payload.len());
+        body.extend_from_slice(&tag);
+        body.extend_from_slice(payload);
+        let udp_len = (8 + body.len()) as u16;
+        let mut buf = Vec::with_capacity(14 + 40 + usize::from(udp_len));
+        self.emit_eth(&mut buf);
+        Ipv6Repr {
+            src: self.src_ip,
+            dst: dst_ip,
+            next_header: IpProtocol::Udp,
+            hop_limit: self.hop_limit,
+            payload_len: udp_len,
+        }
+        .emit(&mut buf);
+        let pseudo = checksum::pseudo_header_v6(
+            &self.src_ip.octets(),
+            &dst_ip.octets(),
+            IpProtocol::Udp.into(),
+            u32::from(udp_len),
+        );
+        UdpRepr {
+            src_port: sport,
+            dst_port,
+        }
+        .emit(pseudo, &body, &mut buf);
+        Ok(buf)
+    }
+
+    /// Parses and validates a received frame against this scan — the
+    /// IPv6 counterpart of [`crate::probe::ProbeBuilder::parse_response`].
+    ///
+    /// Returns `Ok(None)` for frames that are well-formed but not for us,
+    /// `Err` for malformed packets addressed to us, including
+    /// [`WireError::BadChecksum`] for upper-layer checksum failures. A
+    /// zero UDP checksum is one of those failures here (RFC 8200 §8.1),
+    /// where the v4 parser accepts it (RFC 768).
+    pub fn parse_response(&self, frame: &[u8]) -> Result<Option<Response6>, WireError> {
+        let eth = EthernetView::parse(frame)?;
+        if eth.ethertype() != EtherType::Ipv6 {
+            return Ok(None);
+        }
+        let ip = Ipv6View::parse(eth.payload())?;
+        if ip.dst() != self.src_ip {
+            return Ok(None);
+        }
+        let responder = ip.src();
+        match ip.next_header() {
+            IpProtocol::Tcp => {
+                let tcp = TcpView::parse(ip.payload())?;
+                if !tcp.verify_checksum(ip.pseudo_sum()) {
+                    return Err(WireError::BadChecksum);
+                }
+                if !self.owns_source_port(tcp.dst_port()) {
+                    return Ok(None);
+                }
+                let v = self.probe_values(responder, tcp.src_port());
+                let valid = tcp.ack() == v.tcp_seq().wrapping_add(1)
+                    && tcp.dst_port() == v.source_port(self.sport_base, self.sport_count);
+                if !valid {
+                    return Ok(None);
+                }
+                let kind = if tcp.flags().syn() && tcp.flags().ack() {
+                    ResponseKind::SynAck
+                } else if tcp.flags().rst() {
+                    ResponseKind::Rst
+                } else {
+                    ResponseKind::OtherTcp(tcp.flags())
+                };
+                Ok(Some(Response6 {
+                    ip: responder,
+                    port: tcp.src_port(),
+                    kind,
+                    ttl: ip.hop_limit(),
+                    seq: tcp.seq(),
+                }))
+            }
+            IpProtocol::Other(crate::ipv6::NEXT_HEADER_ICMPV6) => {
+                let icmp = Icmpv6View::parse(ip.payload())?;
+                if !icmp.verify_checksum(ip.pseudo_sum()) {
+                    return Err(WireError::BadChecksum);
+                }
+                match icmp.icmp_type() {
+                    Icmpv6Type::EchoReply => {
+                        let (id, seq) = self.probe_values(responder, 0).icmp_id_seq();
+                        if (icmp.id(), icmp.seq()) != (id, seq) {
+                            return Ok(None);
+                        }
+                        Ok(Some(Response6 {
+                            ip: responder,
+                            port: 0,
+                            kind: ResponseKind::EchoReply,
+                            ttl: ip.hop_limit(),
+                            seq: 0,
+                        }))
+                    }
+                    _ => Ok(None),
+                }
+            }
+            IpProtocol::Udp => {
+                let udp = UdpView::parse(ip.payload())?;
+                if !udp.verify_checksum_v6(ip.pseudo_sum()) {
+                    return Err(WireError::BadChecksum);
+                }
+                if !self.owns_source_port(udp.dst_port()) {
+                    return Ok(None);
+                }
+                let v = self.probe_values(responder, udp.src_port());
+                let tag_ok = udp.payload().len() >= 8 && udp.payload()[..8] == v.udp_tag();
+                let port_ok =
+                    udp.dst_port() == v.source_port(self.sport_base, self.sport_count);
+                if !(tag_ok || port_ok) {
+                    return Ok(None);
+                }
+                Ok(Some(Response6 {
+                    ip: responder,
+                    port: udp.src_port(),
+                    kind: ResponseKind::UdpData(udp.payload().len()),
+                    ttl: ip.hop_limit(),
+                    seq: 0,
+                }))
+            }
+            _ => Ok(None),
+        }
+    }
+}
+
+/// A validated IPv6 response attributed to a probed target. The `kind`
+/// reuses the v4 [`ResponseKind`] vocabulary (the v6 parser never
+/// produces the `Unreachable` arm — the netsim population answers or
+/// stays silent, as XMap assumes of hitlist targets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Response6 {
+    /// The probed host.
+    pub ip: Ipv6Addr,
+    /// The probed port (0 for ICMPv6 echo).
+    pub port: u16,
+    /// What came back.
+    pub kind: ResponseKind,
+    /// Hop limit observed on the response (distance fingerprinting).
+    pub ttl: u8,
+    /// The responder's TCP sequence number (0 for non-TCP).
+    pub seq: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builder() -> ProbeBuilderV6 {
+        ProbeBuilderV6::new("2001:db8::9".parse().unwrap(), 0xABCD)
+    }
+
+    fn dst() -> Ipv6Addr {
+        "2001:db8:a::77".parse().unwrap()
+    }
+
+    /// Craft the SYN-ACK a live host would send for `probe`.
+    fn synthesize_synack(b: &ProbeBuilderV6, probe: &[u8], delta: u32) -> Vec<u8> {
+        let eth = EthernetView::parse(probe).unwrap();
+        let ip = Ipv6View::parse(eth.payload()).unwrap();
+        let tcp = TcpView::parse(ip.payload()).unwrap();
+        let reply_tcp = TcpRepr {
+            src_port: tcp.dst_port(),
+            dst_port: tcp.src_port(),
+            seq: 0x11223344,
+            ack: tcp.seq().wrapping_add(delta),
+            flags: TcpFlags::SYN_ACK,
+            window: 14600,
+            options: OptionLayout::Linux.bytes(),
+        };
+        let tcp_len = reply_tcp.header_len() as u16;
+        let mut buf = Vec::new();
+        EthernetRepr {
+            dst: b.src_mac,
+            src: MacAddr::local(77),
+            ethertype: EtherType::Ipv6,
+        }
+        .emit(&mut buf);
+        Ipv6Repr {
+            src: ip.dst(),
+            dst: ip.src(),
+            next_header: IpProtocol::Tcp,
+            hop_limit: 55,
+            payload_len: tcp_len,
+        }
+        .emit(&mut buf);
+        let pseudo = checksum::pseudo_header_v6(
+            &ip.dst().octets(),
+            &ip.src().octets(),
+            6,
+            u32::from(tcp_len),
+        );
+        reply_tcp.emit(pseudo, &[], &mut buf);
+        buf
+    }
+
+    #[test]
+    fn syn_probe_has_expected_shape() {
+        let b = builder();
+        let frame = b.tcp_syn(dst(), 80);
+        assert_eq!(frame.len(), 14 + 40 + 20 + 4); // MSS-only default
+        let eth = EthernetView::parse(&frame).unwrap();
+        assert_eq!(eth.ethertype(), EtherType::Ipv6);
+        let ip = Ipv6View::parse(eth.payload()).unwrap();
+        assert_eq!(ip.hop_limit(), 255);
+        assert_eq!(ip.dst(), dst());
+        let tcp = TcpView::parse(ip.payload()).unwrap();
+        assert!(tcp.verify_checksum(ip.pseudo_sum()));
+        assert!(tcp.flags().syn() && !tcp.flags().ack());
+        assert!(b.owns_source_port(tcp.src_port()));
+    }
+
+    #[test]
+    fn valid_synack_is_accepted_and_wrong_ack_rejected() {
+        let b = builder();
+        let probe = b.tcp_syn(dst(), 443);
+        let resp = b
+            .parse_response(&synthesize_synack(&b, &probe, 1))
+            .unwrap()
+            .unwrap();
+        assert_eq!(resp.ip, dst());
+        assert_eq!(resp.port, 443);
+        assert_eq!(resp.kind, ResponseKind::SynAck);
+        assert_eq!(resp.ttl, 55);
+        assert_eq!(
+            b.parse_response(&synthesize_synack(&b, &probe, 0x5501)).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn icmpv6_echo_roundtrip() {
+        let b = builder();
+        let probe = b.icmp_echo(dst());
+        let eth = EthernetView::parse(&probe).unwrap();
+        let ip = Ipv6View::parse(eth.payload()).unwrap();
+        let icmp = Icmpv6View::parse(ip.payload()).unwrap();
+        assert!(icmp.verify_checksum(ip.pseudo_sum()));
+        assert_eq!(icmp.icmp_type(), Icmpv6Type::EchoRequest);
+
+        // Synthesize the reply: swap addresses, type 129, same id/seq.
+        let msg_len = (crate::icmpv6::HEADER_LEN + icmp.payload().len()) as u16;
+        let mut buf = Vec::new();
+        EthernetRepr {
+            dst: b.src_mac,
+            src: MacAddr::local(5),
+            ethertype: EtherType::Ipv6,
+        }
+        .emit(&mut buf);
+        Ipv6Repr {
+            src: dst(),
+            dst: b.src_ip,
+            next_header: IpProtocol::Other(crate::ipv6::NEXT_HEADER_ICMPV6),
+            hop_limit: 61,
+            payload_len: msg_len,
+        }
+        .emit(&mut buf);
+        let pseudo = checksum::pseudo_header_v6(
+            &dst().octets(),
+            &b.src_ip.octets(),
+            crate::ipv6::NEXT_HEADER_ICMPV6,
+            u32::from(msg_len),
+        );
+        Icmpv6Repr {
+            icmp_type: Icmpv6Type::EchoReply,
+            id: icmp.id(),
+            seq: icmp.seq(),
+        }
+        .emit(pseudo, icmp.payload(), &mut buf);
+        let resp = b.parse_response(&buf).unwrap().unwrap();
+        assert_eq!(resp.kind, ResponseKind::EchoReply);
+        assert_eq!(resp.ip, dst());
+
+        // A reply from a different address must not validate the cookie.
+        let mut wrong = buf.clone();
+        wrong[14 + 8 + 15] ^= 1; // flip low byte of the v6 source
+        let icmp_off = 14 + 40 + 2;
+        // Re-checksum so the frame is well-formed but mis-addressed.
+        wrong[icmp_off] = 0;
+        wrong[icmp_off + 1] = 0;
+        let eth = EthernetView::parse(&wrong).unwrap();
+        let ipw = Ipv6View::parse(eth.payload()).unwrap();
+        let csum = checksum::finish(checksum::sum(ipw.pseudo_sum(), ipw.payload()));
+        wrong[icmp_off..icmp_off + 2].copy_from_slice(&csum.to_be_bytes());
+        assert_eq!(b.parse_response(&wrong).unwrap(), None);
+    }
+
+    #[test]
+    fn udp_probe_and_echoed_response() {
+        let b = builder();
+        let probe = b.udp(dst(), 53, b"hello").unwrap();
+        let eth = EthernetView::parse(&probe).unwrap();
+        let ip = Ipv6View::parse(eth.payload()).unwrap();
+        let udp = UdpView::parse(ip.payload()).unwrap();
+        assert!(udp.verify_checksum_v6(ip.pseudo_sum()));
+        assert_eq!(&udp.payload()[8..], b"hello");
+
+        // Service echoes the payload back.
+        let udp_len = (8 + udp.payload().len()) as u16;
+        let mut buf = Vec::new();
+        EthernetRepr {
+            dst: b.src_mac,
+            src: MacAddr::local(5),
+            ethertype: EtherType::Ipv6,
+        }
+        .emit(&mut buf);
+        Ipv6Repr {
+            src: dst(),
+            dst: b.src_ip,
+            next_header: IpProtocol::Udp,
+            hop_limit: 60,
+            payload_len: udp_len,
+        }
+        .emit(&mut buf);
+        let pseudo = checksum::pseudo_header_v6(
+            &dst().octets(),
+            &b.src_ip.octets(),
+            17,
+            u32::from(udp_len),
+        );
+        UdpRepr {
+            src_port: 53,
+            dst_port: udp.src_port(),
+        }
+        .emit(pseudo, udp.payload(), &mut buf);
+        let resp = b.parse_response(&buf).unwrap().unwrap();
+        assert_eq!(resp.kind, ResponseKind::UdpData(13));
+        assert_eq!(resp.port, 53);
+
+        // Zeroing the checksum must flip the verdict to BadChecksum —
+        // the version-aware zero-checksum rule end-to-end.
+        let mut zeroed = buf.clone();
+        zeroed[14 + 40 + 6] = 0;
+        zeroed[14 + 40 + 7] = 0;
+        assert_eq!(b.parse_response(&zeroed), Err(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn frames_for_other_hosts_or_protocols_are_ignored() {
+        let b = builder();
+        let other = ProbeBuilderV6::new("2001:db8::10".parse().unwrap(), 0xABCD);
+        let probe = other.tcp_syn(dst(), 80);
+        let reply = synthesize_synack(&other, &probe, 1);
+        assert_eq!(b.parse_response(&reply).unwrap(), None, "wrong destination");
+
+        let mut arp = vec![0u8; 60];
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        assert_eq!(b.parse_response(&arp).unwrap(), None, "non-v6 ethertype");
+    }
+
+    #[test]
+    fn dual_stack_identity_shares_key_and_macs() {
+        // The same seed must give the v4 and v6 builders one L2/cookie
+        // identity, so a dual-stack scan validates either family.
+        let v4 = crate::probe::ProbeBuilder::new(std::net::Ipv4Addr::new(192, 0, 2, 9), 0xABCD);
+        let v6 = builder();
+        assert_eq!(v4.src_mac, v6.src_mac);
+        assert_eq!(v4.gw_mac, v6.gw_mac);
+        assert_eq!(v4.key, v6.key);
+    }
+}

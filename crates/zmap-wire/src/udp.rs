@@ -74,10 +74,28 @@ impl<'a> UdpView<'a> {
     }
 
     /// Verifies the checksum (0 means "not computed" and passes).
+    ///
+    /// This is the **IPv4** rule (RFC 768): the checksum is optional, and
+    /// a transmitted zero means the sender skipped it. IPv6 receivers must
+    /// use [`verify_checksum_v6`](Self::verify_checksum_v6) instead.
     pub fn verify_checksum(&self, pseudo: u32) -> bool {
         let stored = u16::from_be_bytes([self.buf[6], self.buf[7]]);
         if stored == 0 {
             return true;
+        }
+        checksum::verify(&self.buf[..usize::from(self.len_field())], pseudo)
+    }
+
+    /// Verifies the checksum under IPv6 rules: RFC 8200 §8.1 makes the
+    /// UDP checksum mandatory, so a literal 0x0000 on the wire is a
+    /// malformed datagram and is **rejected** — unlike the IPv4 path,
+    /// where zero means "unchecksummed, accept". (A computed zero is
+    /// transmitted as 0xFFFF under both families, so no valid sender
+    /// ever emits 0x0000 over v6.)
+    pub fn verify_checksum_v6(&self, pseudo: u32) -> bool {
+        let stored = u16::from_be_bytes([self.buf[6], self.buf[7]]);
+        if stored == 0 {
+            return false;
         }
         checksum::verify(&self.buf[..usize::from(self.len_field())], pseudo)
     }
@@ -126,6 +144,32 @@ mod tests {
         buf[5] = 8;
         let v = UdpView::parse(&buf).unwrap();
         assert!(v.verify_checksum(12345));
+    }
+
+    #[test]
+    fn zero_checksum_rejected_on_v6_path() {
+        // Regression: the zero-checksum fold must be version-aware. The
+        // same unchecksummed datagram that IPv4 accepts (RFC 768) is
+        // forbidden over IPv6 (RFC 8200 §8.1) and must be rejected.
+        let mut buf = vec![0u8; 8];
+        buf[5] = 8;
+        let v = UdpView::parse(&buf).unwrap();
+        assert!(v.verify_checksum(12345), "v4 rule: zero means unchecksummed");
+        assert!(!v.verify_checksum_v6(12345), "v6 rule: zero is malformed");
+    }
+
+    #[test]
+    fn valid_checksum_passes_on_v6_path() {
+        let repr = UdpRepr { src_port: 53000, dst_port: 53 };
+        let src = [0x20u8, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        let dst = [0x20u8, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2];
+        let pseudo = checksum::pseudo_header_v6(&src, &dst, 17, 12);
+        let mut buf = Vec::new();
+        repr.emit(pseudo, b"abcd", &mut buf);
+        let v = UdpView::parse(&buf).unwrap();
+        assert!(v.verify_checksum_v6(pseudo));
+        buf[8] ^= 0xFF;
+        assert!(!UdpView::parse(&buf).unwrap().verify_checksum_v6(pseudo));
     }
 
     #[test]

@@ -33,7 +33,7 @@ fn main() {
 
     let scanner = Scanner::new(cfg, net.transport(source)).expect("valid config");
     let (ip_count, target_count) = {
-        let gen = scanner.generator();
+        let gen = scanner.generator().expect("v4 scan");
         println!(
             "{} IPs x {} ports = {} targets, permuted in one group of order {}",
             gen.ip_count(),

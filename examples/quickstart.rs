@@ -27,8 +27,8 @@ fn main() {
     let scanner = Scanner::new(cfg, net.transport(source)).expect("valid config");
     println!(
         "scanning {} targets (group modulus {})...",
-        scanner.generator().target_count(),
-        scanner.generator().cycle().group().prime()
+        scanner.generator().expect("v4 scan").target_count(),
+        scanner.generator().expect("v4 scan").cycle().group().prime()
     );
     let summary = scanner.run();
 

@@ -14,7 +14,7 @@ use zmap::prelude::*;
 
 fn main() {
     let shards = 3u32;
-    let mut union: HashSet<(std::net::Ipv4Addr, u16)> = HashSet::new();
+    let mut union: HashSet<(std::net::IpAddr, u16)> = HashSet::new();
     let mut total_sent = 0u64;
     let mut total_found = 0u64;
 

@@ -50,9 +50,10 @@ pub mod prelude {
         SupervisorReport,
     };
     pub use zmap_metrics::{HistogramSnapshot, Log2Histogram, MetricsSnapshot};
+    pub use zmap_core::Ipv6Config;
     pub use zmap_netsim::{
-        FaultPlan, SendError, ServiceModel, WorkerFault, WorkerFaultKind, WorkerFaultPlan, World,
-        WorldConfig,
+        FaultPlan, SendError, ServiceModel, V6Population, WorkerFault, WorkerFaultKind,
+        WorkerFaultPlan, World, WorldConfig,
     };
     pub use zmap_targets::{Constraint, ShardAlgorithm, Target, TargetGenerator};
     pub use zmap_wire::{IpIdMode, OptionLayout};

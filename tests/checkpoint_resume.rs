@@ -132,8 +132,8 @@ fn world(world_seed: u64, kill_at: Option<u64>) -> SimNet {
     })
 }
 
-fn discovered(summary: &ScanSummary) -> BTreeSet<(u32, u16)> {
-    summary.results.iter().map(|r| (u32::from(r.saddr), r.sport)).collect()
+fn discovered(summary: &ScanSummary) -> BTreeSet<(std::net::IpAddr, u16)> {
+    summary.results.iter().map(|r| (r.saddr, r.sport)).collect()
 }
 
 fn journal_path(name: &str) -> PathBuf {

@@ -51,12 +51,12 @@ fn sequential_and_parallel_engines_find_the_same_targets() {
     assert_eq!(parallel.sent, 512);
     assert_eq!(sequential.unique_successes, parallel.unique_successes);
 
-    let a: BTreeSet<(Ipv4Addr, u16)> = sequential
+    let a: BTreeSet<(std::net::IpAddr, u16)> = sequential
         .results
         .iter()
         .map(|r| (r.saddr, r.sport))
         .collect();
-    let b: BTreeSet<(Ipv4Addr, u16)> = parallel
+    let b: BTreeSet<(std::net::IpAddr, u16)> = parallel
         .results
         .iter()
         .map(|r| (r.saddr, r.sport))

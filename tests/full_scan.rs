@@ -62,7 +62,14 @@ fn scan_results_match_ground_truth_exactly() {
             }
         }
     }
-    let found: HashSet<Ipv4Addr> = summary.results.iter().map(|r| r.saddr).collect();
+    let found: HashSet<Ipv4Addr> = summary
+        .results
+        .iter()
+        .filter_map(|r| match r.saddr {
+            std::net::IpAddr::V4(v4) => Some(v4),
+            std::net::IpAddr::V6(_) => None,
+        })
+        .collect();
     assert_eq!(found, expected, "scanner output must equal ground truth");
     assert_eq!(summary.sent, 1 << 15);
 }

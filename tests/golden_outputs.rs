@@ -164,6 +164,72 @@ fn golden_icmp_echo() {
     });
 }
 
+/// The IPv6 scenario shared by the v6 golden snapshots: two prefixes
+/// with different procedural host patterns, partial density in one so
+/// the snapshot pins misses as well as hits.
+const V6_PREFIXES: &str = "2001:db8:a::/48 pattern=low bits=6 density=1.0\n\
+                           2001:db8:b::/48 pattern=eui64 bits=5 density=0.5\n";
+
+/// The v6 counterpart of [`scan_and_snapshot`]: same five sections, same
+/// byte-exactness, scanned over the procedural v6 population.
+fn scan_and_snapshot_v6(name: &str, mutate: impl FnOnce(&mut ScanConfig)) {
+    let src = Ipv4Addr::new(192, 0, 2, 9);
+    let mut wc = world_cfg(5);
+    wc.v6 = Some(
+        V6Population::from_prefix_list(V6_PREFIXES, vec![443]).expect("golden prefixes parse"),
+    );
+    let net = SimNet::new(wc);
+    let mut cfg = ScanConfig::new(src);
+    cfg.ipv6 = Some(Ipv6Config {
+        source_ip: "2001:db8:ffff::1".parse().unwrap(),
+        prefix_list: V6_PREFIXES.into(),
+    });
+    cfg.ports = vec![443];
+    cfg.seed = 3;
+    cfg.rate_pps = 100_000;
+    cfg.cooldown_secs = 2;
+    mutate(&mut cfg);
+    let logger = Logger::memory(Level::Debug);
+    let summary = Scanner::with_logger(cfg, net.transport(src), logger.clone())
+        .expect("golden config is valid")
+        .run();
+    assert!(!summary.killed, "golden scans are fault-free");
+
+    let logs = logger
+        .lines()
+        .iter()
+        .map(|(lvl, m)| format!("{lvl:?} {m}\n"))
+        .collect::<String>();
+    let status = summary
+        .status
+        .iter()
+        .map(|s| serde_json::to_string(s).expect("status serializes") + "\n")
+        .collect::<String>();
+    let actual = render(&[
+        ("data (csv)", data_section(&summary.results)),
+        ("logs", logs),
+        ("status (json)", status),
+        ("metadata (json)", summary.metadata.to_json()),
+        (
+            "metrics (json)",
+            serde_json::to_string(&summary.metrics).expect("metrics serialize"),
+        ),
+    ]);
+    check_golden(name, &actual);
+}
+
+#[test]
+fn golden_tcp_over_v6() {
+    scan_and_snapshot_v6("tcp443_v6", |_| {});
+}
+
+#[test]
+fn golden_icmpv6_echo() {
+    scan_and_snapshot_v6("icmpv6_echo_v6", |cfg| {
+        cfg.probe = ProbeKind::IcmpEcho;
+    });
+}
+
 /// The threaded engine: timestamps of *status samples* depend on thread
 /// scheduling, so the snapshot holds the scheduling-independent parts —
 /// the sorted result set, the final counters, and the metrics dump

@@ -74,7 +74,7 @@ fn solo_results(spec: &JobSpec, per_task_pps: u64) -> Vec<ScanResult> {
         assert!(!summary.killed, "solo reference must run uninterrupted");
         all.extend(summary.results);
     }
-    all.sort_by_key(|r| (r.ts_ns, u32::from(r.saddr), r.sport, r.ttl, r.success));
+    all.sort_by_key(|r| (r.ts_ns, r.saddr, r.sport, r.ttl, r.success));
     all.dedup();
     all
 }
