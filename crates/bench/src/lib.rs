@@ -53,6 +53,21 @@ pub fn ingest_instance(det: &mut ScanDetector, inst: &ScannerInstance, sample: u
     }
 }
 
+/// Runs `cfg` against `world` and returns the summary plus everything
+/// the world's darknet captured (arrival order, virtual-ns timestamps).
+/// Unlike [`run_prefix_scan`], the `SimNet` outlives the scan so the
+/// capture buffer can be harvested — the attribution experiments replay
+/// it through the telescope.
+pub fn run_darknet_scan(world: WorldConfig, cfg: ScanConfig) -> (ScanSummary, Vec<(u64, Vec<u8>)>) {
+    let net = SimNet::new(world);
+    let src = cfg.source_ip;
+    let summary = Scanner::new(cfg, net.transport(src))
+        .expect("experiment config is valid")
+        .run();
+    let capture = net.with_world(|w| w.take_darknet_capture());
+    (summary, capture)
+}
+
 /// Builds a `/len` scan config over the given world prefix and runs it.
 #[allow(clippy::too_many_arguments)]
 pub fn run_prefix_scan(

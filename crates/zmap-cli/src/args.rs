@@ -111,6 +111,14 @@ PROBES
   --option-layout L        none|mss|sack|ts|wscale|packed|linux|bsd|windows
   --static-ip-id           classic IP ID 54321 (default: random per probe)
   --probes N               probes per target (default 1)
+  --stealth                attribution countermeasures: keep the random
+                           per-probe IP ID and re-key the target
+                           permutation per block (16 blocks unless
+                           --rekey-blocks says otherwise), defeating
+                           both fingerprint and cyclic-walk attribution
+  --rekey-blocks N         split the walk into N independently-keyed,
+                           shuffled blocks (N >= 2; IPv4 only; same
+                           target coverage, resumable checkpoints)
 
 RATE & SHARDING
   -r, --rate PPS           probes per second (default 10000)
@@ -290,6 +298,16 @@ pub fn parse_args(argv: &[String]) -> Result<CliOptions, CliError> {
                 };
             }
             "--static-ip-id" => opts.config.ip_id = IpIdMode::Static,
+            "--stealth" => {
+                // Explicit --rekey-blocks wins regardless of flag order.
+                if opts.config.rekey_blocks == 0 {
+                    opts.config.rekey_blocks = 16;
+                }
+            }
+            "--rekey-blocks" => {
+                opts.config.rekey_blocks =
+                    parse_num("--rekey-blocks", &need(&mut it, "--rekey-blocks")?)?
+            }
             "--probes" => {
                 opts.config.probes_per_target = parse_num("--probes", &need(&mut it, "--probes")?)?
             }
@@ -466,6 +484,27 @@ fn validate(opts: &CliOptions) -> Result<(), CliError> {
             )));
         }
     }
+    if cfg.rekey_blocks == 1 {
+        return Err(CliError::Invalid(
+            "--rekey-blocks 1 is a single-keyed walk with extra steps; use \
+             2 or more blocks (or drop the flag for the classic walk)"
+                .into(),
+        ));
+    }
+    if cfg.rekey_blocks > 0 && cfg.ip_id == IpIdMode::Static {
+        return Err(CliError::Invalid(
+            "--static-ip-id stamps the fingerprint that --stealth / \
+             --rekey-blocks exist to remove; drop one of them"
+                .into(),
+        ));
+    }
+    if cfg.rekey_blocks > 0 && opts.ipv6_source.is_some() {
+        return Err(CliError::Invalid(
+            "--stealth / --rekey-blocks re-key the IPv4 walk and do not \
+             apply to --ipv6 scans"
+                .into(),
+        ));
+    }
     match (&opts.ipv6_source, &opts.prefix_list_path) {
         (Some(_), None) => {
             return Err(CliError::Invalid(
@@ -538,6 +577,32 @@ mod tests {
         let o = parse_args(&args("--option-layout linux --static-ip-id")).unwrap();
         assert_eq!(o.config.option_layout, OptionLayout::Linux);
         assert_eq!(o.config.ip_id, IpIdMode::Static);
+    }
+
+    #[test]
+    fn stealth_flags() {
+        assert_eq!(parse_args(&[]).unwrap().config.rekey_blocks, 0, "classic default");
+        assert_eq!(parse_args(&args("--stealth")).unwrap().config.rekey_blocks, 16);
+        assert_eq!(
+            parse_args(&args("--rekey-blocks 4")).unwrap().config.rekey_blocks,
+            4
+        );
+        // Explicit block count wins regardless of flag order.
+        assert_eq!(
+            parse_args(&args("--stealth --rekey-blocks 4")).unwrap().config.rekey_blocks,
+            4
+        );
+        assert_eq!(
+            parse_args(&args("--rekey-blocks 4 --stealth")).unwrap().config.rekey_blocks,
+            4
+        );
+        assert!(invalid_why("--rekey-blocks 1").contains("--rekey-blocks 1"));
+        assert!(invalid_why("--stealth --static-ip-id").contains("--static-ip-id"));
+        assert!(
+            invalid_why("--stealth --ipv6 2001:db8::1 --prefix-list v6.txt").contains("--ipv6")
+        );
+        assert!(USAGE.contains("--stealth"));
+        assert!(USAGE.contains("--rekey-blocks"));
     }
 
     #[test]

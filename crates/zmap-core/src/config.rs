@@ -91,6 +91,13 @@ pub struct ScanConfig {
     pub option_layout: OptionLayout,
     /// IP ID policy (§4.3; default random since 2024).
     pub ip_id: IpIdMode,
+    /// Stealth re-keying: walk the v4 candidate space as this many
+    /// independently keyed blocks in seeded pseudorandom order, so a
+    /// darknet cannot recover one permutation from the observed probe
+    /// order (Mazel & Strullu countermeasure). `0` (the default) keeps
+    /// the classic single permutation; `1` is rejected at plan build.
+    /// CLI `--stealth` sets this together with random IP ID.
+    pub rekey_blocks: u32,
     /// Deduplication (§4.1; default 10^6-entry sliding window).
     pub dedup: DedupMethod,
     /// Report RST/unreachable (host-alive-but-closed) results too, not
@@ -141,6 +148,7 @@ impl ScanConfig {
             shard_algorithm: ShardAlgorithm::Pizza,
             option_layout: OptionLayout::MssOnly,
             ip_id: IpIdMode::Random,
+            rekey_blocks: 0,
             dedup: DedupMethod::Window(1_000_000),
             report_failures: false,
             max_retries: 3,

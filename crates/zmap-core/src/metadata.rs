@@ -60,6 +60,8 @@ pub struct ConfigEcho {
     pub shard_algorithm: String,
     pub option_layout: String,
     pub ip_id: String,
+    /// Stealth re-key block count; present only when re-keying is on.
+    pub rekey_blocks: Option<u32>,
     pub dedup: String,
     pub max_retries: u32,
 }
@@ -67,7 +69,9 @@ pub struct ConfigEcho {
 impl Serialize for ConfigEcho {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         use serde::ser::SerializeStruct;
-        let extra = self.ipv6_source.is_some() as usize + self.prefix_list.is_some() as usize;
+        let extra = self.ipv6_source.is_some() as usize
+            + self.prefix_list.is_some() as usize
+            + self.rekey_blocks.is_some() as usize;
         let mut st = serializer.serialize_struct("ConfigEcho", 15 + extra)?;
         st.serialize_field("source_ip", &self.source_ip)?;
         // v6-only fields ride between source_ip and seed, but only when
@@ -90,6 +94,12 @@ impl Serialize for ConfigEcho {
         st.serialize_field("shard_algorithm", &self.shard_algorithm)?;
         st.serialize_field("option_layout", &self.option_layout)?;
         st.serialize_field("ip_id", &self.ip_id)?;
+        // Like the v6 fields: only stealth configs carry the re-key echo,
+        // so classic configs keep their pre-stealth byte-identical JSON
+        // (and so their pre-stealth config digest).
+        if let Some(blocks) = &self.rekey_blocks {
+            st.serialize_field("rekey_blocks", blocks)?;
+        }
         st.serialize_field("dedup", &self.dedup)?;
         st.serialize_field("max_retries", &self.max_retries)?;
         st.end()
@@ -169,6 +179,7 @@ impl ConfigEcho {
             shard_algorithm: format!("{:?}", cfg.shard_algorithm),
             option_layout: format!("{:?}", cfg.option_layout),
             ip_id: format!("{:?}", cfg.ip_id),
+            rekey_blocks: (cfg.rekey_blocks > 0).then_some(cfg.rekey_blocks),
             dedup: format!("{:?}", cfg.dedup),
             max_retries: cfg.max_retries,
         }
@@ -287,6 +298,21 @@ mod tests {
         let echo = ConfigEcho::from_config(&v6);
         assert_eq!(echo.ipv6_source.as_deref(), Some("2001:db8::1"));
         assert!(echo.prefix_list.as_deref().unwrap().contains("/48"));
+    }
+
+    #[test]
+    fn rekey_echo_absent_for_classic_configs() {
+        // Same contract as the v6 fields: a non-stealth config's echo
+        // JSON (and so its config digest) must not change because the
+        // stealth field exists.
+        let cfg = ScanConfig::new(Ipv4Addr::new(192, 0, 2, 1));
+        let json = serde_json::to_string(&ConfigEcho::from_config(&cfg)).unwrap();
+        assert!(!json.contains("rekey_blocks"), "{json}");
+
+        let mut stealth = ScanConfig::new(Ipv4Addr::new(192, 0, 2, 1));
+        stealth.rekey_blocks = 16;
+        let json = serde_json::to_string(&ConfigEcho::from_config(&stealth)).unwrap();
+        assert!(json.contains("\"rekey_blocks\":16"), "{json}");
     }
 
     #[test]

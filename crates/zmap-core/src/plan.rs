@@ -56,8 +56,8 @@ pub enum ScanPlan {
 impl ScanPlan {
     /// Builds and validates the plan for `cfg`. `cycle_parts` rebuilds a
     /// journaled v4 permutation verbatim instead of re-deriving it from
-    /// the seed; the v6 walk plan is a pure function of (prefix list,
-    /// ports, seed), so v6 resume ignores it.
+    /// the seed; the v6 walk plan and the stealth re-keyed walk are pure
+    /// functions of the config and seed, so their resume paths ignore it.
     pub fn build(
         cfg: &ScanConfig,
         cycle_parts: Option<(u64, u64)>,
@@ -71,13 +71,26 @@ impl ScanPlan {
                     .seed(cfg.seed)
                     .shards(cfg.num_shards.max(1))
                     .subshards(cfg.subshards.max(1))
-                    .algorithm(cfg.shard_algorithm);
-                if let Some((generator, offset)) = cycle_parts {
-                    gen_builder = gen_builder.cycle_parts(generator, offset);
+                    .algorithm(cfg.shard_algorithm)
+                    .rekey_blocks(cfg.rekey_blocks);
+                // A re-keyed walk is re-derived from the seed on resume
+                // (the journal's fingerprint gate catches drift); recorded
+                // single-permutation parts only apply to the classic walk.
+                if cfg.rekey_blocks == 0 {
+                    if let Some((generator, offset)) = cycle_parts {
+                        gen_builder = gen_builder.cycle_parts(generator, offset);
+                    }
                 }
                 Ok(ScanPlan::V4(gen_builder.build()?))
             }
             Some(v6) => {
+                if cfg.rekey_blocks > 0 {
+                    return Err(BuildError::Config(
+                        "stealth re-keying applies to the IPv4 cyclic walk; the v6 \
+                         per-prefix plan already re-keys per prefix"
+                            .into(),
+                    ));
+                }
                 if cfg.dedup == DedupMethod::FullBitmap {
                     return Err(BuildError::Config(
                         "full-bitmap dedup indexes bare IPv4 addresses; IPv6 scans \
@@ -118,13 +131,18 @@ impl ScanPlan {
     /// walk plan is a pure function of (prefix list, ports, seed), so its
     /// [`V6TargetSpace::fingerprint`] rides in the prime slot (with
     /// generator/offset zero) and the resume gate compares fingerprints.
+    /// A stealth re-keyed v4 walk is likewise seed-pure, so its
+    /// [`zmap_targets::RekeyedWalk::fingerprint`] rides the same way.
     pub fn permutation(&self) -> (u64, u64, u64) {
         match self {
-            ScanPlan::V4(gen) => (
-                gen.cycle().group().prime(),
-                gen.cycle().generator(),
-                gen.cycle().offset(),
-            ),
+            ScanPlan::V4(gen) => match gen.walk_fingerprint() {
+                Some(fp) => (fp, 0, 0),
+                None => (
+                    gen.cycle().group().prime(),
+                    gen.cycle().generator(),
+                    gen.cycle().offset(),
+                ),
+            },
             ScanPlan::V6(p) => (p.space.fingerprint(), 0, 0),
         }
     }
@@ -418,6 +436,47 @@ mod tests {
             .map(|t| (IpAddr::V4(t.ip), t.port))
             .collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stealth_permutation_is_fingerprint_with_zero_parts() {
+        let mut cfg = ScanConfig::new(Ipv4Addr::new(198, 51, 100, 7));
+        cfg.rekey_blocks = 8;
+        let plan = ScanPlan::build(&cfg, None).unwrap();
+        let (fp, g, o) = plan.permutation();
+        assert_ne!(fp, 0);
+        assert_eq!((g, o), (0, 0));
+        // Seed shifts the fingerprint: a foreign journal cannot slip
+        // through the resume gate.
+        let mut other = ScanConfig::new(Ipv4Addr::new(198, 51, 100, 7));
+        other.rekey_blocks = 8;
+        other.seed = 1;
+        assert_ne!(ScanPlan::build(&other, None).unwrap().permutation().0, fp);
+    }
+
+    #[test]
+    fn stealth_resume_ignores_cycle_parts() {
+        // A stealth journal records (fingerprint, 0, 0); the resume path
+        // feeds those zero parts back through build, which must re-derive
+        // the walk from the seed instead of choking on generator 0.
+        let mut cfg = ScanConfig::new(Ipv4Addr::new(198, 51, 100, 7));
+        cfg.rekey_blocks = 8;
+        let fresh = ScanPlan::build(&cfg, None).unwrap();
+        let resumed = ScanPlan::build(&cfg, Some((0, 0))).unwrap();
+        assert_eq!(resumed.permutation(), fresh.permutation());
+        let a: Vec<_> = fresh.iter_shard(0, 0).take(64).collect();
+        let b: Vec<_> = resumed.iter_shard(0, 0).take(64).collect();
+        assert_eq!(a, b, "resume must re-enter the identical walk");
+    }
+
+    #[test]
+    fn stealth_rejects_v6_mode() {
+        let mut cfg = v6_cfg();
+        cfg.rekey_blocks = 4;
+        assert!(matches!(
+            ScanPlan::build(&cfg, None),
+            Err(BuildError::Config(_))
+        ));
     }
 
     #[test]

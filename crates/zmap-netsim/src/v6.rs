@@ -142,7 +142,7 @@ impl V6Population {
         let Ok(tcp) = TcpView::parse(ip.payload()) else {
             return vec![];
         };
-        if !(tcp.flags().syn() && !tcp.flags().ack()) {
+        if !tcp.flags().syn() || tcp.flags().ack() {
             return vec![];
         }
         let dst = ip.dst();
@@ -265,7 +265,7 @@ fn reply_v6(
 ) -> Ipv6Repr {
     EthernetRepr {
         dst: eth.src(),
-        src: MacAddr::local(hash6(seed, ip.dst(), 0x6D61_63) as u32),
+        src: MacAddr::local(hash6(seed, ip.dst(), 0x6D_61_63) as u32),
         ethertype: EtherType::Ipv6,
     }
     .emit(frame);

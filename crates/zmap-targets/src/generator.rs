@@ -12,6 +12,7 @@
 use crate::constraint::Constraint;
 use crate::cycle::Cycle;
 use crate::group::{CyclicGroup, GroupError};
+use crate::rekey::{RekeyError, RekeyIter, RekeyedWalk};
 use crate::shard::{ShardAlgorithm, ShardError, ShardIter, ShardSpec};
 use std::net::Ipv4Addr;
 
@@ -42,6 +43,7 @@ pub struct TargetGenerator {
     num_ips: u64,
     port_bits: u32,
     cycle: Cycle,
+    rekey: Option<RekeyedWalk>,
     num_shards: u32,
     num_subshards: u32,
     algorithm: ShardAlgorithm,
@@ -72,6 +74,21 @@ impl TargetGenerator {
     /// in scan metadata so a scan is reproducible/resumable.
     pub fn cycle(&self) -> &Cycle {
         &self.cycle
+    }
+
+    /// The stealth re-keyed walk plan, when built with
+    /// [`TargetGeneratorBuilder::rekey_blocks`] — `None` for the classic
+    /// single-permutation walk. Exposes the ground-truth block parameters
+    /// (the attribution oracle) and the journal fingerprint.
+    pub fn rekeyed_walk(&self) -> Option<&RekeyedWalk> {
+        self.rekey.as_ref()
+    }
+
+    /// The re-keyed walk's stable fingerprint, or `None` for a
+    /// single-permutation walk. Scan journals store this where the classic
+    /// path stores the group prime.
+    pub fn walk_fingerprint(&self) -> Option<u64> {
+        self.rekey.as_ref().map(RekeyedWalk::fingerprint)
     }
 
     /// The sharding algorithm in use.
@@ -122,10 +139,11 @@ impl TargetGenerator {
     /// Iterator for an explicit [`ShardSpec`] (counts may differ from the
     /// builder's, e.g. when a coordinator hands out specs).
     pub fn iter_spec(&self, spec: ShardSpec) -> Result<TargetIter<'_>, ShardError> {
-        Ok(TargetIter {
-            gen: self,
-            inner: ShardIter::new(&self.cycle, spec, self.algorithm)?,
-        })
+        let inner = match &self.rekey {
+            Some(walk) => WalkIter::Rekeyed(walk.iter_spec(spec, self.algorithm)?),
+            None => WalkIter::Single(ShardIter::new(&self.cycle, spec, self.algorithm)?),
+        };
+        Ok(TargetIter { gen: self, inner })
     }
 
     /// Whether `ip` is in the allowed set.
@@ -134,11 +152,20 @@ impl TargetGenerator {
     }
 }
 
+/// The walk driving one subshard: a single shared permutation, or the
+/// stealth re-keyed block sequence. Both yield elements whose `− 1` is a
+/// packed global candidate, so [`TargetGenerator::decode`] is common.
+#[derive(Debug)]
+enum WalkIter<'a> {
+    Single(ShardIter<'a>),
+    Rekeyed(RekeyIter<'a>),
+}
+
 /// Iterator over one subshard's targets (rejection-sampled group walk).
 #[derive(Debug)]
 pub struct TargetIter<'a> {
     gen: &'a TargetGenerator,
-    inner: ShardIter<'a>,
+    inner: WalkIter<'a>,
 }
 
 impl TargetIter<'_> {
@@ -147,20 +174,29 @@ impl TargetIter<'_> {
     /// element positions, not target counts, because rejection sampling
     /// makes decoded targets a subsequence of walked elements.
     pub fn elements_consumed(&self) -> u64 {
-        self.inner.consumed()
+        match &self.inner {
+            WalkIter::Single(it) => it.consumed(),
+            WalkIter::Rekeyed(it) => it.consumed(),
+        }
     }
 
     /// Group elements left in this subshard's walk.
     pub fn elements_remaining(&self) -> u64 {
-        self.inner.remaining()
+        match &self.inner {
+            WalkIter::Single(it) => it.remaining(),
+            WalkIter::Rekeyed(it) => it.remaining(),
+        }
     }
 
     /// Skips the next `min(k, remaining)` *elements* (one modular
-    /// exponentiation, no decoding) and returns how many were skipped.
-    /// Resuming a scan fast-forwards each subshard to its journaled
-    /// position before the first `next()`.
+    /// exponentiation per walk segment, no decoding) and returns how many
+    /// were skipped. Resuming a scan fast-forwards each subshard to its
+    /// journaled position before the first `next()`.
     pub fn fast_forward_elements(&mut self, k: u64) -> u64 {
-        self.inner.fast_forward(k)
+        match &mut self.inner {
+            WalkIter::Single(it) => it.fast_forward(k),
+            WalkIter::Rekeyed(it) => it.fast_forward(k),
+        }
     }
 }
 
@@ -169,7 +205,10 @@ impl Iterator for TargetIter<'_> {
 
     fn next(&mut self) -> Option<Target> {
         loop {
-            let element = self.inner.next()?;
+            let element = match &mut self.inner {
+                WalkIter::Single(it) => it.next()?,
+                WalkIter::Rekeyed(it) => it.next()?,
+            };
             if let Some(t) = self.gen.decode(element) {
                 return Some(t);
             }
@@ -178,7 +217,7 @@ impl Iterator for TargetIter<'_> {
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         // At most every remaining element decodes.
-        (0, Some(usize::try_from(self.inner.remaining()).unwrap_or(usize::MAX)))
+        (0, Some(usize::try_from(self.elements_remaining()).unwrap_or(usize::MAX)))
     }
 }
 
@@ -193,6 +232,8 @@ pub enum BuildError {
     Group(GroupError),
     /// Explicit cycle parts (resume path) were invalid for the group.
     Cycle(crate::cycle::CycleError),
+    /// The stealth re-keying plan could not be built.
+    Rekey(RekeyError),
     /// A scan-configuration combination the engine cannot honor
     /// (engines surface e.g. oversized UDP payloads through this).
     Config(String),
@@ -205,6 +246,7 @@ impl std::fmt::Display for BuildError {
             BuildError::EmptyAddressSet => write!(f, "constraint allows zero addresses"),
             BuildError::Group(e) => write!(f, "group selection failed: {e}"),
             BuildError::Cycle(e) => write!(f, "resumed cycle parameters invalid: {e}"),
+            BuildError::Rekey(e) => write!(f, "stealth re-keying invalid: {e}"),
             BuildError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
@@ -222,6 +264,7 @@ pub struct TargetGeneratorBuilder {
     num_subshards: u32,
     algorithm: ShardAlgorithm,
     cycle_parts: Option<(u64, u64)>,
+    rekey_blocks: u32,
 }
 
 impl Default for TargetGeneratorBuilder {
@@ -234,6 +277,7 @@ impl Default for TargetGeneratorBuilder {
             num_subshards: 1,
             algorithm: ShardAlgorithm::Pizza,
             cycle_parts: None,
+            rekey_blocks: 0,
         }
     }
 }
@@ -288,6 +332,18 @@ impl TargetGeneratorBuilder {
         self
     }
 
+    /// Stealth re-keying: walk the candidate space as `blocks` contiguous
+    /// blocks, each with an independently seeded cyclic group, visited in
+    /// seeded pseudorandom order (see [`crate::rekey`]). `0` (the
+    /// default) keeps the classic single permutation; `1` is rejected at
+    /// build time. Incompatible with [`cycle_parts`](Self::cycle_parts) —
+    /// a re-keyed walk derives every block from the seed, so resume
+    /// re-derives it rather than replaying recorded parts.
+    pub fn rekey_blocks(mut self, blocks: u32) -> Self {
+        self.rekey_blocks = blocks;
+        self
+    }
+
     /// Finalizes the constraint, selects the group, and derives the cycle.
     pub fn build(mut self) -> Result<TargetGenerator, BuildError> {
         if self.ports.is_empty() {
@@ -307,6 +363,16 @@ impl TargetGeneratorBuilder {
                 largest_order: CyclicGroup::max_order(),
             }))?;
         let group = CyclicGroup::for_target_count(needed).map_err(BuildError::Group)?;
+        let rekey = if self.rekey_blocks > 0 {
+            if self.cycle_parts.is_some() {
+                return Err(BuildError::Config(
+                    "explicit cycle parts do not apply to a re-keyed walk".into(),
+                ));
+            }
+            Some(RekeyedWalk::new(needed, self.rekey_blocks, self.seed).map_err(BuildError::Rekey)?)
+        } else {
+            None
+        };
         let cycle = match self.cycle_parts {
             Some((generator, offset)) => {
                 Cycle::from_parts(group, generator, offset).map_err(BuildError::Cycle)?
@@ -319,6 +385,7 @@ impl TargetGeneratorBuilder {
             num_ips,
             port_bits,
             cycle,
+            rekey,
             num_shards: self.num_shards,
             num_subshards: self.num_subshards,
             algorithm: self.algorithm,
@@ -525,6 +592,105 @@ mod tests {
             let b: Vec<Target> = jumped.collect();
             assert_eq!(a, b, "skip {skip}");
         }
+    }
+
+    fn slash24_rekeyed(ports: &[u16], seed: u64, blocks: u32) -> TargetGenerator {
+        let mut c = Constraint::new(false);
+        c.set_prefix(0xC0000200, 24, true);
+        TargetGenerator::builder()
+            .constraint(c)
+            .ports(ports)
+            .seed(seed)
+            .rekey_blocks(blocks)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn rekeyed_walk_covers_every_target_exactly_once() {
+        let gen = slash24_rekeyed(&[80, 443, 8080], 5, 8);
+        assert!(gen.rekeyed_walk().is_some());
+        let got: Vec<Target> = gen.iter_shard(0, 0).collect();
+        assert_eq!(got.len() as u64, gen.target_count());
+        let set: HashSet<Target> = got.iter().copied().collect();
+        assert_eq!(set.len() as u64, gen.target_count());
+    }
+
+    #[test]
+    fn rekeyed_sharded_union_equals_whole_scan() {
+        for alg in [ShardAlgorithm::Pizza, ShardAlgorithm::Interleaved] {
+            let mut c = Constraint::new(false);
+            c.set_prefix(0x0A000000, 25, true);
+            let gen = TargetGenerator::builder()
+                .constraint(c)
+                .ports(&[80, 443])
+                .seed(9)
+                .shards(3)
+                .subshards(2)
+                .algorithm(alg)
+                .rekey_blocks(4)
+                .build()
+                .unwrap();
+            let mut union = HashSet::new();
+            for s in 0..3 {
+                for t in 0..2 {
+                    for target in gen.iter_shard(s, t) {
+                        assert!(union.insert(target), "{target:?} duplicated ({alg:?})");
+                    }
+                }
+            }
+            assert_eq!(union.len() as u64, gen.target_count(), "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn rekeyed_order_differs_from_single_walk_but_same_set() {
+        let single: Vec<Target> = slash24_gen(&[80], 6).iter_shard(0, 0).collect();
+        let rekeyed: Vec<Target> = slash24_rekeyed(&[80], 6, 4).iter_shard(0, 0).collect();
+        assert_ne!(single, rekeyed);
+        let a: HashSet<_> = single.into_iter().collect();
+        let b: HashSet<_> = rekeyed.into_iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rekeyed_target_iter_fast_forward_matches_stepping() {
+        let gen = slash24_rekeyed(&[80, 443], 33, 4);
+        for skip in [0u64, 1, 100, 512, 700] {
+            let mut stepped = gen.iter_shard(0, 0);
+            while stepped.elements_consumed() < skip && stepped.next().is_some() {}
+            let consumed = stepped.elements_consumed();
+            let mut jumped = gen.iter_shard(0, 0);
+            jumped.fast_forward_elements(consumed);
+            assert_eq!(jumped.elements_consumed(), consumed);
+            let a: Vec<Target> = stepped.collect();
+            let b: Vec<Target> = jumped.collect();
+            assert_eq!(a, b, "skip {skip}");
+        }
+    }
+
+    #[test]
+    fn rekey_rejects_cycle_parts_and_single_block() {
+        let mut c = Constraint::new(false);
+        c.set_prefix(0xC0000200, 24, true);
+        let err = TargetGenerator::builder()
+            .constraint(c)
+            .rekey_blocks(4)
+            .cycle_parts(3, 0)
+            .build();
+        assert!(matches!(err, Err(BuildError::Config(_))), "{err:?}");
+        let mut c = Constraint::new(false);
+        c.set_prefix(0xC0000200, 24, true);
+        let err = TargetGenerator::builder().constraint(c).rekey_blocks(1).build();
+        assert!(matches!(err, Err(BuildError::Rekey(_))), "{err:?}");
+    }
+
+    #[test]
+    fn walk_fingerprint_only_in_rekey_mode() {
+        assert_eq!(slash24_gen(&[80], 3).walk_fingerprint(), None);
+        let a = slash24_rekeyed(&[80], 3, 4).walk_fingerprint().unwrap();
+        let b = slash24_rekeyed(&[80], 4, 4).walk_fingerprint().unwrap();
+        assert_ne!(a, b, "fingerprint must track the seed");
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod cycle;
 pub mod generator;
 pub mod group;
 pub mod parse;
+pub mod rekey;
 pub mod shard;
 pub mod v6;
 
@@ -52,6 +53,7 @@ pub use cycle::Cycle;
 pub use generator::{Target, TargetGenerator, TargetGeneratorBuilder};
 pub use group::CyclicGroup;
 pub use parse::{parse_cidr, parse_target_file_contents, ParseError};
+pub use rekey::{BlockParams, RekeyError, RekeyIter, RekeyedWalk};
 pub use shard::{ShardAlgorithm, ShardIter, ShardSpec};
 pub use v6::{
     parse_prefix_list, DedupError, HostPattern, PrefixSpec, Target6, V6DedupSpace, V6Error,

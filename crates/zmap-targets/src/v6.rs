@@ -818,8 +818,8 @@ impl V6TargetIter<'_> {
         let mut done = 0u64;
         while done < k {
             let mut best: Option<usize> = None;
-            for i in 0..self.lanes.len() {
-                if rem[i] == 0 {
+            for (i, r) in rem.iter().enumerate() {
+                if *r == 0 {
                     continue;
                 }
                 match best {

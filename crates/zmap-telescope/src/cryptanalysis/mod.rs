@@ -1,0 +1,254 @@
+//! Cryptanalytic scan attribution: identifying ZMap-style scanners from
+//! probe *order* alone, after the IP-ID fingerprint has been stripped.
+//!
+//! Mazel & Strullu ("Identifying and characterizing ZMap scans: a
+//! cryptanalytic approach", PAPERS.md) observe that ZMap's defining
+//! artifact is not a header constant but the cyclic-group permutation
+//! itself: a darknet that knows (or guesses) the scanned address space
+//! can map its hits back to packed candidate indices and test whether
+//! adjacent hits are related by `x ← x·g^k mod p` for a ladder prime `p`
+//! and small gaps `k`. This module family implements that pipeline:
+//!
+//! * [`SpaceHypothesis`] — the analyst's guess of the scanned space,
+//!   mapping `(dst_ip, dst_port)` hits to candidate group elements with
+//!   the same packing `zmap_targets::TargetGenerator::decode` uses,
+//! * [`recover::recover_walk`] — prime/generator candidate search and
+//!   transition scoring (with [`dlog::BoundedDlog`] underneath),
+//! * [`Attribution`] — the per-scan verdict: tool, method, confidence,
+//!   and the recovered walk parameters as evidence,
+//! * [`report_json`] — a deterministic JSON roll-up for golden snapshots
+//!   and the CI double-run diff.
+//!
+//! [`crate::ScanDetector::attributions`] runs this as the second stage
+//! behind the majority-vote fingerprint: scans the vote already settles
+//! (static IP-ID ZMap, Masscan's derived IP-ID) never reach the
+//! cryptanalysis; everything else is attributed — or not — by walk
+//! recovery.
+
+pub mod dlog;
+pub mod recover;
+
+pub use recover::{recover_walk, RecoveredParams};
+
+use crate::fingerprint::Fingerprint;
+
+/// Minimum in-order observations before walk recovery is attempted.
+pub const MIN_OBSERVATIONS: usize = 16;
+
+/// Explained-transition fraction at or above which a scan is attributed
+/// to ZMap cryptanalytically.
+pub const CONFIDENCE_THRESHOLD: f64 = 0.5;
+
+/// Candidate generators scored per hypothesized prime.
+pub const MAX_CANDIDATES: usize = 16;
+
+/// Gap-bound slack: the dlog bound is this multiple of the mean
+/// observed sampling stride (`pool / observations`).
+const GAP_SLACK: u64 = 8;
+
+/// The analyst's hypothesis of the scanned target space: a contiguous
+/// address range and a port list. The darknet only sees its own slice of
+/// the scan, so it guesses the enclosing announced prefix; a wrong guess
+/// misaligns the candidate packing and simply scores poorly, which is
+/// itself evidence the hypothesis (not the attack) failed.
+#[derive(Debug, Clone)]
+pub struct SpaceHypothesis {
+    base_ip: u32,
+    ip_count: u64,
+    ports: Vec<u16>,
+    port_bits: u32,
+}
+
+impl SpaceHypothesis {
+    /// Hypothesizes a scan of `ip_count` addresses starting at `base_ip`
+    /// over `ports` (the scanner's port-list order must be guessed too;
+    /// single-port scans — the common case — have nothing to guess).
+    pub fn new(base_ip: std::net::Ipv4Addr, ip_count: u64, ports: &[u16]) -> Self {
+        let port_bits = (ports.len().max(1) as u64).next_power_of_two().trailing_zeros();
+        SpaceHypothesis {
+            base_ip: u32::from(base_ip),
+            ip_count,
+            ports: ports.to_vec(),
+            port_bits,
+        }
+    }
+
+    /// The packed candidate pool size under this hypothesis.
+    pub fn pool(&self) -> u64 {
+        self.ip_count << self.port_bits
+    }
+
+    /// Maps one darknet hit to its hypothesized group element (packed
+    /// candidate + 1), mirroring the scanner's packing: low bits index
+    /// the port list, high bits the address offset. `None` when the hit
+    /// falls outside the hypothesized space.
+    pub fn element(&self, dst_ip: u32, dst_port: u16) -> Option<u64> {
+        let ip_idx = u64::from(dst_ip.checked_sub(self.base_ip)?);
+        if ip_idx >= self.ip_count {
+            return None;
+        }
+        let port_idx = self.ports.iter().position(|&p| p == dst_port)? as u64;
+        Some(((ip_idx << self.port_bits) | port_idx) + 1)
+    }
+
+    /// The dlog gap bound for `observed` hits: a few multiples of the
+    /// mean sampling stride, clamped to keep the BSGS tables small.
+    pub fn gap_bound(&self, observed: usize) -> u64 {
+        let stride = self.pool() / (observed.max(1) as u64).max(1);
+        (stride.max(1) * GAP_SLACK).clamp(64, 65_536)
+    }
+}
+
+/// How a scan was (or was not) attributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttributionMethod {
+    /// The per-packet majority vote settled it (stage 1).
+    Fingerprint,
+    /// Walk recovery explained the probe order (stage 2).
+    Cryptanalytic,
+    /// Neither stage produced a confident verdict.
+    Unattributed,
+}
+
+impl AttributionMethod {
+    /// The stable lowercase name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttributionMethod::Fingerprint => "fingerprint",
+            AttributionMethod::Cryptanalytic => "cryptanalytic",
+            AttributionMethod::Unattributed => "unattributed",
+        }
+    }
+}
+
+/// The per-scan attribution verdict.
+#[derive(Debug, Clone)]
+pub struct Attribution {
+    /// Scan source address.
+    pub src_ip: u32,
+    /// Scanned port.
+    pub dst_port: u16,
+    /// The attributed tool (`Unknown` when unattributed).
+    pub tool: Fingerprint,
+    /// Which stage produced the verdict.
+    pub method: AttributionMethod,
+    /// Fingerprint stage: the winning vote share. Cryptanalytic stage:
+    /// the explained-transition fraction. Unattributed: the best
+    /// (sub-threshold) explained fraction, 0 when recovery never ran.
+    pub confidence: f64,
+    /// Recovered walk parameters, when the cryptanalytic stage ran and
+    /// found any candidate — kept below threshold too, as evidence of
+    /// *why* the scan was not attributed.
+    pub recovered: Option<RecoveredParams>,
+}
+
+/// Renders attributions as deterministic, pretty-printed JSON: arms in
+/// the given order, scans in the detector's (src_ip, dst_port) order,
+/// confidences fixed to 4 decimals. Both the golden snapshot test and
+/// the `exp_attribution --scenario` CI double-run diff this string
+/// byte-for-byte.
+pub fn report_json(arms: &[(&str, &[Attribution])]) -> String {
+    let mut out = String::from("{\n  \"report\": \"attribution\",\n  \"arms\": [\n");
+    for (ai, (name, attrs)) in arms.iter().enumerate() {
+        out.push_str(&format!("    {{\n      \"name\": \"{name}\",\n      \"scans\": [\n"));
+        for (si, a) in attrs.iter().enumerate() {
+            let ip = std::net::Ipv4Addr::from(a.src_ip);
+            out.push_str(&format!(
+                "        {{\"src_ip\": \"{ip}\", \"dst_port\": {}, \"tool\": \"{:?}\", \
+                 \"method\": \"{}\", \"confidence\": {:.4}",
+                a.dst_port,
+                a.tool,
+                a.method.name(),
+                a.confidence
+            ));
+            if let Some(r) = &a.recovered {
+                out.push_str(&format!(
+                    ", \"recovered\": {{\"prime\": {}, \"generator\": {}, \
+                     \"explained\": {}, \"transitions\": {}}}",
+                    r.prime, r.generator, r.explained, r.transitions
+                ));
+            }
+            out.push_str(if si + 1 < attrs.len() { "},\n" } else { "}\n" });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if ai + 1 < arms.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn hypothesis_packing_matches_generator_decode() {
+        // One port: element = (ip − base) + 1, no port bits.
+        let h = SpaceHypothesis::new(Ipv4Addr::new(10, 20, 0, 0), 65_536, &[80]);
+        assert_eq!(h.pool(), 65_536);
+        assert_eq!(h.element(u32::from(Ipv4Addr::new(10, 20, 0, 0)), 80), Some(1));
+        assert_eq!(
+            h.element(u32::from(Ipv4Addr::new(10, 20, 255, 255)), 80),
+            Some(65_536)
+        );
+        // Outside the space or port list: no element.
+        assert_eq!(h.element(u32::from(Ipv4Addr::new(10, 21, 0, 0)), 80), None);
+        assert_eq!(h.element(u32::from(Ipv4Addr::new(10, 20, 0, 1)), 443), None);
+        assert_eq!(h.element(u32::from(Ipv4Addr::new(10, 19, 255, 255)), 80), None);
+
+        // Three ports pack into 2 port bits, port-index in the low bits.
+        let h = SpaceHypothesis::new(Ipv4Addr::new(10, 20, 0, 0), 256, &[80, 443, 8080]);
+        assert_eq!(h.pool(), 1024);
+        let base = u32::from(Ipv4Addr::new(10, 20, 0, 0));
+        assert_eq!(h.element(base, 80), Some(1));
+        assert_eq!(h.element(base, 443), Some(2));
+        assert_eq!(h.element(base, 8080), Some(3));
+        assert_eq!(h.element(base + 1, 80), Some(5));
+    }
+
+    #[test]
+    fn gap_bound_scales_with_density_and_clamps() {
+        let h = SpaceHypothesis::new(Ipv4Addr::new(10, 0, 0, 0), 65_536, &[80]);
+        // 4096 observations of 65536: stride 16 → bound 128.
+        assert_eq!(h.gap_bound(4096), 128);
+        // Dense observation clamps to the floor.
+        assert_eq!(h.gap_bound(65_536), 64);
+        // Near-empty observation clamps to the ceiling.
+        assert_eq!(h.gap_bound(1), 65_536);
+    }
+
+    #[test]
+    fn report_json_is_stable_and_complete() {
+        let attrs = vec![
+            Attribution {
+                src_ip: u32::from(Ipv4Addr::new(192, 0, 2, 9)),
+                dst_port: 80,
+                tool: Fingerprint::ZMap,
+                method: AttributionMethod::Cryptanalytic,
+                confidence: 0.987_654,
+                recovered: Some(RecoveredParams {
+                    prime: 65_537,
+                    generator: 3,
+                    explained: 400,
+                    transitions: 405,
+                }),
+            },
+            Attribution {
+                src_ip: u32::from(Ipv4Addr::new(192, 0, 2, 10)),
+                dst_port: 443,
+                tool: Fingerprint::Unknown,
+                method: AttributionMethod::Unattributed,
+                confidence: 0.25,
+                recovered: None,
+            },
+        ];
+        let a = report_json(&[("arm-a", &attrs), ("arm-b", &[])]);
+        let b = report_json(&[("arm-a", &attrs), ("arm-b", &[])]);
+        assert_eq!(a, b);
+        assert!(a.contains("\"confidence\": 0.9877"), "{a}");
+        assert!(a.contains("\"method\": \"cryptanalytic\""), "{a}");
+        assert!(a.contains("\"generator\": 3"), "{a}");
+        assert!(a.ends_with("}\n"), "{a}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Recovering cyclic-walk parameters from a sparse observation of the
+//! walk — the core of the Mazel & Strullu attribution attack.
+//!
+//! A ZMap scan visits packed candidates `x − 1` where `x` walks the
+//! multiplicative group of a ladder prime `p` by `x ← x·g mod p`. A
+//! darknet observes a subsample of that sequence in order, so adjacent
+//! observations satisfy `x_{i+1} ≡ x_i · g^{k_i} (mod p)` with small
+//! geometric gaps `k_i`. Recovery therefore:
+//!
+//! 1. guesses `p` from the ladder (the smallest modulus exceeding every
+//!    observed element, then larger ones if scoring stays poor),
+//! 2. collects the multiplicative ratios `r_i = x_{i+1} · x_i^{−1} mod p`
+//!    of adjacent observations — the most frequent ratio is `g^1` at any
+//!    realistic darknet density, and other frequent ratios are small
+//!    powers of `g`,
+//! 3. scores each frequent, primitive-root ratio `g'` by the fraction of
+//!    transitions whose bounded discrete log `log_{g'}(r_i) ≤ max_gap`
+//!    exists (see [`super::dlog`]).
+//!
+//! The best-scoring candidate's explained fraction is the confidence. A
+//! single-permutation walk at moderate darknet density scores ≈1.0; a
+//! re-keyed walk ([`zmap_targets::rekey`]) caps every candidate near
+//! `1/K` because each block has its own generator *and* block bases
+//! shift the observed values off the pure ladder.
+
+use super::dlog::BoundedDlog;
+use std::collections::HashMap;
+use zmap_math::{factorization, is_primitive_root, modinv, modmul};
+use zmap_targets::group::GROUP_MODULI;
+
+/// Walk parameters recovered from observations, plus the evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveredParams {
+    /// The hypothesized ladder prime.
+    pub prime: u64,
+    /// The best-scoring candidate generator.
+    pub generator: u64,
+    /// Transitions whose gap the candidate explains (bounded dlog found).
+    pub explained: u64,
+    /// Total adjacent-observation transitions scored.
+    pub transitions: u64,
+}
+
+impl RecoveredParams {
+    /// Explained fraction in `[0, 1]` — the attribution confidence.
+    pub fn confidence(&self) -> f64 {
+        if self.transitions == 0 {
+            0.0
+        } else {
+            self.explained as f64 / self.transitions as f64
+        }
+    }
+}
+
+/// Once a prime's best candidate explains this fraction, larger ladder
+/// primes are not tried (they cannot be the scan's smallest-fitting
+/// modulus and would only waste scoring work).
+const EARLY_EXIT_CONFIDENCE: f64 = 0.9;
+
+/// Searches ladder primes and candidate generators for the walk that
+/// best explains `elements` (packed candidates + 1 in observation
+/// order). `max_gap` bounds the per-transition discrete log;
+/// `max_candidates` caps how many frequent ratios are scored per prime.
+/// Returns `None` when there are fewer than 2 usable transitions or no
+/// ladder prime exceeds every observation.
+pub fn recover_walk(
+    elements: &[u64],
+    max_gap: u64,
+    max_candidates: usize,
+) -> Option<RecoveredParams> {
+    let transitions: Vec<(u64, u64)> = elements
+        .windows(2)
+        .map(|w| (w[0], w[1]))
+        .filter(|&(a, b)| a != b && a >= 1 && b >= 1)
+        .collect();
+    if transitions.len() < 2 {
+        return None;
+    }
+    let max_elem = elements.iter().copied().max().unwrap_or(0);
+    let mut best: Option<RecoveredParams> = None;
+    for &p in GROUP_MODULI.iter().filter(|&&p| p > max_elem) {
+        if let Some(got) = score_prime(p, &transitions, max_gap, max_candidates) {
+            if best.as_ref().is_none_or(|b| got.confidence() > b.confidence()) {
+                best = Some(got);
+            }
+        }
+        if best.as_ref().is_some_and(|b| b.confidence() >= EARLY_EXIT_CONFIDENCE) {
+            break;
+        }
+    }
+    best
+}
+
+/// Scores one hypothesized prime: extracts frequent transition ratios,
+/// filters them to primitive roots, and keeps the generator explaining
+/// the most transitions. Deterministic: candidate order is (count desc,
+/// ratio asc) and ties keep the earlier candidate.
+fn score_prime(
+    p: u64,
+    transitions: &[(u64, u64)],
+    max_gap: u64,
+    max_candidates: usize,
+) -> Option<RecoveredParams> {
+    let mut ratios = Vec::with_capacity(transitions.len());
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for &(a, b) in transitions {
+        // a < p is guaranteed (p exceeds every observation), so the
+        // inverse exists for a ≥ 1.
+        let inv = modinv(a, p)?;
+        let r = modmul(b % p, inv, p);
+        *counts.entry(r).or_insert(0) += 1;
+        ratios.push(r);
+    }
+    let mut candidates: Vec<(u64, u64)> = counts.into_iter().map(|(r, c)| (c, r)).collect();
+    candidates.sort_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
+    let order_fact = factorization(p - 1);
+    let mut best: Option<RecoveredParams> = None;
+    for &(_, g) in candidates
+        .iter()
+        .filter(|&&(_, g)| is_primitive_root(g, p, &order_fact))
+        .take(max_candidates)
+    {
+        let table = BoundedDlog::new(g, p, max_gap)?;
+        let explained = ratios
+            .iter()
+            .filter(|&&r| table.dlog(r).is_some_and(|k| k >= 1))
+            .count() as u64;
+        let got = RecoveredParams {
+            prime: p,
+            generator: g,
+            explained,
+            transitions: transitions.len() as u64,
+        };
+        if best.as_ref().is_none_or(|b| got.explained > b.explained) {
+            best = Some(got);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zmap_targets::{Cycle, CyclicGroup};
+
+    /// Walks the whole cycle and keeps elements divisible by `density` —
+    /// a darknet's view: which elements are observed depends on their
+    /// *value* (is the address in the telescope?), not their walk
+    /// position, so observation gaps are geometric with mode 1.
+    fn darknet_view(cycle: &Cycle, density: u64) -> Vec<u64> {
+        (0..cycle.group().order())
+            .map(|i| cycle.element_at_position(i))
+            .filter(|e| e % density == 0)
+            .collect()
+    }
+
+    #[test]
+    fn recovers_exact_parameters_from_sparse_sample() {
+        for seed in [1u64, 7, 42, 1234] {
+            let cycle = Cycle::new(CyclicGroup::new(65_537).unwrap(), seed);
+            let obs = darknet_view(&cycle, 16); // 1/16 of the space observed
+            let got = recover_walk(&obs, 128, 16).unwrap();
+            assert_eq!(got.prime, 65_537, "seed {seed}");
+            assert_eq!(got.generator, cycle.generator(), "seed {seed}");
+            assert!(
+                got.confidence() >= 0.95,
+                "seed {seed}: confidence {}",
+                got.confidence()
+            );
+        }
+    }
+
+    #[test]
+    fn small_gap_bound_rejects_wide_subsamples() {
+        let cycle = Cycle::new(CyclicGroup::new(65_537).unwrap(), 3);
+        let obs = darknet_view(&cycle, 512);
+        // Typical gaps are ~512, far beyond the bound of 64: most
+        // transitions must stay unexplained.
+        let got = recover_walk(&obs, 64, 16);
+        assert!(
+            got.is_none_or(|r| r.confidence() < 0.5),
+            "gaps beyond the bound must not be explained: {got:?}"
+        );
+    }
+
+    #[test]
+    fn shuffled_observations_do_not_attribute() {
+        // Same elements, walk order destroyed: ratios are uniform noise.
+        let cycle = Cycle::new(CyclicGroup::new(65_537).unwrap(), 9);
+        let mut obs = darknet_view(&cycle, 16);
+        obs.sort_unstable(); // numeric order ≠ walk order
+        let got = recover_walk(&obs, 128, 16);
+        assert!(
+            got.is_none_or(|r| r.confidence() < 0.5),
+            "sorted observations must not look like a walk: {got:?}"
+        );
+    }
+
+    #[test]
+    fn too_few_observations_is_none() {
+        assert!(recover_walk(&[], 64, 8).is_none());
+        assert!(recover_walk(&[5], 64, 8).is_none());
+        assert!(recover_walk(&[5, 5, 5], 64, 8).is_none());
+    }
+
+    #[test]
+    fn observations_beyond_the_ladder_are_none() {
+        // No ladder prime exceeds u64::MAX − 1.
+        assert!(recover_walk(&[u64::MAX - 1, 3, 9], 64, 8).is_none());
+    }
+}

@@ -7,6 +7,10 @@
 //! majority over its packets' fingerprints, which suppresses the
 //! 1/65536-per-packet false positives of the static-IP-ID rule.
 
+use crate::cryptanalysis::{
+    recover_walk, Attribution, AttributionMethod, SpaceHypothesis, CONFIDENCE_THRESHOLD,
+    MAX_CANDIDATES, MIN_OBSERVATIONS,
+};
 use crate::fingerprint::{classify_frame, Fingerprint, ProbeInfo};
 use std::collections::{HashMap, HashSet};
 
@@ -33,6 +37,10 @@ struct FlowState {
     votes_zmap: u64,
     votes_masscan: u64,
     votes_unknown: u64,
+    /// Destination addresses in arrival order (bounded by the detector's
+    /// capture limit) — the observation sequence the cryptanalytic stage
+    /// recovers the walk from.
+    sequence: Vec<u32>,
 }
 
 /// Streaming scan detector over captured frames.
@@ -40,12 +48,25 @@ struct FlowState {
 pub struct ScanDetector {
     flows: HashMap<(u32, u16), FlowState>,
     non_tcp: u64,
+    /// Per-flow hit-sequence capture bound; 0 disables capture (and so
+    /// the cryptanalytic stage).
+    capture_limit: usize,
 }
 
 impl ScanDetector {
-    /// An empty detector.
+    /// An empty detector (fingerprint attribution only).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A detector that also records up to `limit` in-order destination
+    /// addresses per flow, enabling [`Self::attributions`]' second-stage
+    /// cryptanalysis.
+    pub fn with_sequence_capture(limit: usize) -> Self {
+        ScanDetector {
+            capture_limit: limit,
+            ..Self::default()
+        }
     }
 
     /// Ingests one captured frame.
@@ -72,6 +93,9 @@ impl ScanDetector {
         let flow = self.flows.entry((info.src_ip, info.dst_port)).or_default();
         flow.packets += weight;
         flow.distinct.insert(info.dst_ip);
+        if flow.sequence.len() < self.capture_limit {
+            flow.sequence.push(info.dst_ip);
+        }
         match info.fingerprint {
             Fingerprint::ZMap => flow.votes_zmap += weight,
             Fingerprint::Masscan => flow.votes_masscan += weight,
@@ -109,8 +133,84 @@ impl ScanDetector {
                 }
             })
             .collect();
-        out.sort_by_key(|s| (std::cmp::Reverse(s.packets), s.src_ip, s.dst_port));
+        // (src_ip, dst_port) is the flow key, so this order is total and
+        // deterministic regardless of hasher state — reports double-run
+        // byte-identically.
+        out.sort_by_key(|s| (s.src_ip, s.dst_port));
         out
+    }
+
+    /// Two-stage attribution of every detected scan, in the same
+    /// deterministic (src_ip, dst_port) order as [`Self::scans`].
+    ///
+    /// Stage 1 is the majority fingerprint vote: a flow the vote settles
+    /// as ZMap (static IP-ID 54321) or Masscan (destination-derived
+    /// IP-ID) is attributed immediately with the winning vote share as
+    /// confidence. Everything else — notably ZMap forks running with
+    /// randomized IP-ID — goes to stage 2: the captured hit sequence is
+    /// mapped to candidate group elements under `hyp` and
+    /// [`recover_walk`] searches for a cyclic-walk (prime, generator)
+    /// explaining the observed order. A recovery at or above
+    /// [`CONFIDENCE_THRESHOLD`] attributes the scan to ZMap
+    /// cryptanalytically; anything weaker stays unattributed, with the
+    /// best recovered parameters kept as evidence.
+    pub fn attributions(&self, hyp: &SpaceHypothesis) -> Vec<Attribution> {
+        self.scans()
+            .into_iter()
+            .map(|scan| {
+                let flow = &self.flows[&(scan.src_ip, scan.dst_port)];
+                let share = |votes: u64| votes as f64 / flow.packets.max(1) as f64;
+                match scan.tool {
+                    Fingerprint::ZMap => Attribution {
+                        src_ip: scan.src_ip,
+                        dst_port: scan.dst_port,
+                        tool: Fingerprint::ZMap,
+                        method: AttributionMethod::Fingerprint,
+                        confidence: share(flow.votes_zmap),
+                        recovered: None,
+                    },
+                    Fingerprint::Masscan => Attribution {
+                        src_ip: scan.src_ip,
+                        dst_port: scan.dst_port,
+                        tool: Fingerprint::Masscan,
+                        method: AttributionMethod::Fingerprint,
+                        confidence: share(flow.votes_masscan),
+                        recovered: None,
+                    },
+                    Fingerprint::Unknown => {
+                        let elements: Vec<u64> = flow
+                            .sequence
+                            .iter()
+                            .filter_map(|&dst| hyp.element(dst, scan.dst_port))
+                            .collect();
+                        let recovered = (elements.len() >= MIN_OBSERVATIONS)
+                            .then(|| {
+                                recover_walk(
+                                    &elements,
+                                    hyp.gap_bound(elements.len()),
+                                    MAX_CANDIDATES,
+                                )
+                            })
+                            .flatten();
+                        let confidence =
+                            recovered.as_ref().map_or(0.0, |r| r.confidence());
+                        let (tool, method) = if confidence >= CONFIDENCE_THRESHOLD {
+                            (Fingerprint::ZMap, AttributionMethod::Cryptanalytic)
+                        } else {
+                            (Fingerprint::Unknown, AttributionMethod::Unattributed)
+                        };
+                        Attribution {
+                            src_ip: scan.src_ip,
+                            dst_port: scan.dst_port,
+                            tool,
+                            method,
+                            confidence,
+                            recovered,
+                        }
+                    }
+                }
+            })
+            .collect()
     }
 }
 
@@ -181,6 +281,116 @@ mod tests {
         assert_eq!(scans.len(), 1);
         assert_eq!(scans[0].tool, Fingerprint::Unknown);
         assert_eq!(scans[0].packets, 100);
+    }
+
+    #[test]
+    fn report_order_is_deterministic_and_keyed() {
+        // Identical streams ingested into fresh detectors (fresh HashMap
+        // hasher state) must emit byte-identical record sequences, in
+        // (src_ip, dst_port) order.
+        let stream: Vec<ProbeInfo> = (0..40u32)
+            .flat_map(|i| {
+                [
+                    info(9, 100 + i, 443, Fingerprint::Unknown),
+                    info(3, 100 + i, 80, Fingerprint::ZMap),
+                    info(3, 100 + i, 22, Fingerprint::Masscan),
+                    info(7, 100 + i, 80, Fingerprint::ZMap),
+                ]
+            })
+            .collect();
+        let run = || {
+            let mut d = ScanDetector::new();
+            for p in &stream {
+                d.ingest_info(p);
+            }
+            d.scans()
+                .iter()
+                .map(|s| (s.src_ip, s.dst_port, s.packets, s.distinct_ips, s.tool))
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run(), "double-run identity");
+        let keys: Vec<(u32, u16)> = a.iter().map(|&(s, p, ..)| (s, p)).collect();
+        assert_eq!(keys, vec![(3, 22), (3, 80), (7, 80), (9, 443)]);
+    }
+
+    #[test]
+    fn sequence_capture_is_bounded_and_ordered() {
+        let mut d = ScanDetector::with_sequence_capture(5);
+        for i in 0..20u32 {
+            d.ingest_info(&info(1, 100 + i, 80, Fingerprint::Unknown));
+        }
+        let flow = &d.flows[&(1, 80)];
+        assert_eq!(flow.sequence, vec![100, 101, 102, 103, 104]);
+        // Default detector captures nothing.
+        let mut d = ScanDetector::new();
+        d.ingest_info(&info(1, 100, 80, Fingerprint::Unknown));
+        assert!(d.flows[&(1, 80)].sequence.is_empty());
+    }
+
+    #[test]
+    fn fingerprinted_scans_skip_cryptanalysis() {
+        use crate::cryptanalysis::{AttributionMethod, SpaceHypothesis};
+        let mut d = ScanDetector::with_sequence_capture(1024);
+        for i in 0..50u32 {
+            d.ingest_info(&info(1, i, 80, Fingerprint::ZMap));
+            d.ingest_info(&info(2, i, 80, Fingerprint::Masscan));
+        }
+        let hyp = SpaceHypothesis::new(std::net::Ipv4Addr::new(0, 0, 0, 0), 4096, &[80]);
+        let attrs = d.attributions(&hyp);
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(attrs[0].tool, Fingerprint::ZMap);
+        assert_eq!(attrs[0].method, AttributionMethod::Fingerprint);
+        assert_eq!(attrs[0].confidence, 1.0);
+        assert!(attrs[0].recovered.is_none());
+        assert_eq!(attrs[1].tool, Fingerprint::Masscan);
+        assert_eq!(attrs[1].method, AttributionMethod::Fingerprint);
+    }
+
+    #[test]
+    fn unknown_scan_with_walk_order_is_attributed_cryptanalytically() {
+        use crate::cryptanalysis::{AttributionMethod, SpaceHypothesis};
+        use zmap_targets::{Cycle, CyclicGroup};
+        // Simulate a randomized-IP-ID ZMap scan of a /16 whose top /20
+        // (4096 addresses, 1/16 density) is a darknet: the telescope
+        // observes exactly the walk elements that land in its range.
+        let cycle = Cycle::new(CyclicGroup::new(65_537).unwrap(), 77);
+        let base = u32::from(std::net::Ipv4Addr::new(10, 20, 0, 0));
+        let mut d = ScanDetector::with_sequence_capture(8192);
+        for i in 0..65_536u64 {
+            let candidate = cycle.element_at_position(i) - 1;
+            if !(61_440..65_536).contains(&candidate) {
+                continue; // not in the darknet (or a rejection-sampled slot)
+            }
+            d.ingest_info(&info(1, base + candidate as u32, 80, Fingerprint::Unknown));
+        }
+        let hyp = SpaceHypothesis::new(std::net::Ipv4Addr::new(10, 20, 0, 0), 65_536, &[80]);
+        let attrs = d.attributions(&hyp);
+        assert_eq!(attrs.len(), 1);
+        let a = &attrs[0];
+        assert_eq!(a.tool, Fingerprint::ZMap, "{a:?}");
+        assert_eq!(a.method, AttributionMethod::Cryptanalytic);
+        assert!(a.confidence >= 0.95, "confidence {}", a.confidence);
+        let r = a.recovered.unwrap();
+        assert_eq!(r.prime, 65_537);
+        assert_eq!(r.generator, cycle.generator(), "exact generator recovery");
+    }
+
+    #[test]
+    fn unknown_scan_without_walk_order_stays_unattributed() {
+        use crate::cryptanalysis::{AttributionMethod, SpaceHypothesis};
+        let mut d = ScanDetector::with_sequence_capture(8192);
+        // Sequentially swept addresses: ratios cluster on (x+1)/x values,
+        // none of which is a primitive-root power chain explaining the
+        // order as a cyclic walk of the hypothesized space.
+        for i in 0..4096u32 {
+            d.ingest_info(&info(5, i, 23, Fingerprint::Unknown));
+        }
+        let hyp = SpaceHypothesis::new(std::net::Ipv4Addr::new(0, 0, 0, 0), 4096, &[23]);
+        let attrs = d.attributions(&hyp);
+        assert_eq!(attrs.len(), 1);
+        assert_eq!(attrs[0].tool, Fingerprint::Unknown);
+        assert_eq!(attrs[0].method, AttributionMethod::Unattributed);
     }
 
     #[test]

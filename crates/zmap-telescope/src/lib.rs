@@ -10,15 +10,22 @@
 //!
 //! * [`fingerprint`] — per-packet tool classification,
 //! * [`detector`] — flow assembly and the ≥10-IP scan threshold,
+//! * [`cryptanalysis`] — second-stage attribution by cyclic-walk
+//!   recovery (Mazel & Strullu), catching scanners that randomize the
+//!   IP ID,
 //! * [`aggregate`] — the quarterly/port/country roll-ups behind each
 //!   figure,
 //! * [`bibliography`] — the Appendix B dataset (Figure 8).
 
 pub mod aggregate;
 pub mod bibliography;
+pub mod cryptanalysis;
 pub mod detector;
 pub mod fingerprint;
 
 pub use aggregate::{CountryReport, PortReport, QuarterReport};
+pub use cryptanalysis::{
+    recover_walk, report_json, Attribution, AttributionMethod, RecoveredParams, SpaceHypothesis,
+};
 pub use detector::{ScanDetector, ScanRecord};
 pub use fingerprint::{classify_frame, Fingerprint};

@@ -224,6 +224,7 @@ pub fn siphash24_5w_x8(k0: u64, k1: u64, m: &[[u64; 5]; 8]) -> [u64; 8] {
         };
     }
 
+    #[allow(clippy::needless_range_loop)] // `b` indexes the inner word of every lane's block
     for b in 0..5 {
         lanes!(|i| v3[i] ^= m[i][b]);
         rounds!(2);

@@ -59,6 +59,13 @@ pub struct ProbeBuilder {
 
 impl ProbeBuilder {
     /// A builder with ZMap defaults, deriving MACs/key from `seed`.
+    ///
+    /// The validation key is a function of the seed *only* — never of
+    /// the target walk. Validation is therefore decoupled from probe
+    /// order: a stealth scan that re-keys its permutation per block
+    /// (`rekey_blocks`) changes *when* each probe is sent but not what
+    /// it contains, so responses validate identically and the RX path
+    /// needs no awareness of the walk shape.
     pub fn new(src_ip: Ipv4Addr, seed: u64) -> Self {
         ProbeBuilder {
             src_mac: MacAddr::local(seed as u32),
@@ -599,6 +606,32 @@ mod tests {
         assert_eq!(resp.kind, ResponseKind::SynAck);
         assert!(resp.kind.is_success());
         assert_eq!(resp.ttl, 55);
+    }
+
+    #[test]
+    fn validation_is_independent_of_probe_order_and_walk_state() {
+        // Stealth re-keying reorders probe emission; validation must not
+        // care. Probes are a pure function of (dst, port, entropy) — the
+        // same frame regardless of emission order — and a response
+        // validates against a *fresh* same-seed builder that never sent
+        // the probe, proving the key holds no walk state.
+        let b = builder();
+        let targets = [
+            (Ipv4Addr::new(203, 0, 113, 5), 443u16),
+            (Ipv4Addr::new(203, 0, 113, 80), 80),
+            (Ipv4Addr::new(198, 51, 100, 7), 22),
+        ];
+        let forward: Vec<_> = targets.iter().map(|&(ip, p)| b.tcp_syn(ip, p, 7)).collect();
+        let reversed: Vec<_> = targets.iter().rev().map(|&(ip, p)| b.tcp_syn(ip, p, 7)).collect();
+        for (f, r) in forward.iter().zip(reversed.iter().rev()) {
+            assert_eq!(f, r, "probe frames must not depend on emission order");
+        }
+        let fresh = builder(); // same seed, no probes ever sent
+        for (probe, &(ip, port)) in forward.iter().zip(&targets) {
+            let reply = synthesize_synack(&b, probe);
+            let resp = fresh.parse_response(&reply).unwrap().unwrap();
+            assert_eq!((resp.ip, resp.port), (ip, port));
+        }
     }
 
     #[test]
